@@ -1,0 +1,49 @@
+// Ablation: signature cardinality K — the paper's memory-availability axis
+// (§5 scalability axis 3). Sweeps K well beyond the paper's 13-15, reporting
+// pruning efficiency, accuracy at 0.5% termination, occupied entries, and
+// the 2^K directory memory the paper's cost model charges.
+
+#include <cstdio>
+
+#include "common/harness.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  mbi::bench::HarnessFlags flags;
+  if (!mbi::bench::HarnessFlags::Parse("Ablation: signature cardinality K",
+                                       argc, argv, &flags)) {
+    return 0;
+  }
+  const uint64_t size = 200'000 / static_cast<uint64_t>(flags.scale);
+  mbi::bench::PrintBanner("Ablation",
+                          "signature cardinality K (memory availability)",
+                          "T10.I6.D" + std::to_string(size), flags);
+
+  mbi::QuestGenerator generator(mbi::bench::PaperGeneratorConfig(
+      10.0, 6.0, static_cast<uint64_t>(flags.seed)));
+  mbi::TransactionDatabase db = generator.GenerateDatabase(size);
+  std::vector<mbi::Transaction> targets =
+      generator.GenerateQueries(static_cast<uint64_t>(flags.queries));
+  mbi::InverseHammingFamily family;
+
+  mbi::TablePrinter table({"K", "directory_KiB", "occupied", "pruning_%",
+                           "accuracy@0.5%_%"});
+  for (uint32_t k : {8u, 10u, 12u, 13u, 14u, 15u, 17u, 19u}) {
+    mbi::SignatureTable sig_table = mbi::bench::BuildTable(db, k);
+    mbi::BranchAndBoundEngine engine(&db, &sig_table);
+    table.AddRow(
+        {mbi::TablePrinter::Format(static_cast<int64_t>(k)),
+         mbi::TablePrinter::Format(
+             static_cast<int64_t>(sig_table.MemoryFootprintBytes() / 1024)),
+         mbi::TablePrinter::Format(
+             static_cast<int64_t>(sig_table.entries().size())),
+         mbi::TablePrinter::Format(
+             mbi::bench::AvgPruningEfficiency(engine, targets, family), 2),
+         mbi::TablePrinter::Format(
+             mbi::bench::AccuracyAtTermination(engine, targets, family,
+                                               0.005),
+             1)});
+  }
+  flags.csv ? table.PrintCsv(stdout) : table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces paper Figure 6: pruning efficiency vs database size for the
+// Hamming distance similarity function (f = 1/y), K = 13/14/15, T10.I6.Dx.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunPruningVsDbSize("Figure 6", "hamming", argc, argv);
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 7: accuracy vs early-termination level for the
+// Hamming distance similarity function, T10.I6.D800K, K = 13/14/15.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTermination("Figure 7", "hamming", argc,
+                                              argv);
+}

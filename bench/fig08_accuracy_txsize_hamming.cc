@@ -1,0 +1,8 @@
+// Reproduces paper Figure 8: accuracy at 2% termination vs average
+// transaction size for the Hamming distance similarity function, Tx.I6.D800K.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTransactionSize("Figure 8", "hamming", argc,
+                                                  argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces paper Figure 9: pruning efficiency vs database size for the
+// match/hamming-distance-ratio similarity function (f = x/y), T10.I6.Dx.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunPruningVsDbSize("Figure 9", "match_ratio", argc, argv);
+}

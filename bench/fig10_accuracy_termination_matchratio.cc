@@ -1,0 +1,8 @@
+// Reproduces paper Figure 10: accuracy vs early-termination level for the
+// match/hamming-distance-ratio similarity function, T10.I6.D800K.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTermination("Figure 10", "match_ratio", argc,
+                                              argv);
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 11: accuracy at 2% termination vs average
+// transaction size for the match/hamming-distance-ratio function, Tx.I6.D800K.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTransactionSize("Figure 11", "match_ratio",
+                                                  argc, argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces paper Figure 12: pruning efficiency vs database size for the
+// cosine similarity function, T10.I6.Dx, K = 13/14/15.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunPruningVsDbSize("Figure 12", "cosine", argc, argv);
+}

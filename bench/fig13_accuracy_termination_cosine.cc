@@ -1,0 +1,8 @@
+// Reproduces paper Figure 13: accuracy vs early-termination level for the
+// cosine similarity function, T10.I6.D800K, K = 13/14/15.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTermination("Figure 13", "cosine", argc,
+                                              argv);
+}

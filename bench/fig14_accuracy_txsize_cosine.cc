@@ -1,0 +1,8 @@
+// Reproduces paper Figure 14: accuracy at 2% termination vs average
+// transaction size for the cosine similarity function, Tx.I6.D800K.
+#include "common/harness.h"
+
+int main(int argc, char** argv) {
+  return mbi::bench::RunAccuracyVsTransactionSize("Figure 14", "cosine", argc,
+                                                  argv);
+}

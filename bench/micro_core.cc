@@ -1,0 +1,149 @@
+// Google-benchmark microbenchmarks for the core index operations: similarity
+// primitives, bound computation, supercoordinate mapping, table construction,
+// and end-to-end query latency vs signature cardinality.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/branch_and_bound.h"
+#include "core/bounds.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig BenchConfig() {
+  QuestGeneratorConfig config;
+  config.universe_size = 1000;
+  config.num_large_itemsets = 2000;
+  config.avg_itemset_size = 6.0;
+  config.avg_transaction_size = 10.0;
+  config.seed = 42;
+  return config;
+}
+
+struct SharedData {
+  TransactionDatabase db;
+  std::vector<Transaction> queries;
+
+  static const SharedData& Get() {
+    static const SharedData& instance = *new SharedData();
+    return instance;
+  }
+
+ private:
+  SharedData() : db(1000) {
+    QuestGenerator generator(BenchConfig());
+    db = generator.GenerateDatabase(50'000);
+    queries = generator.GenerateQueries(64);
+  }
+};
+
+void BM_MatchAndHamming(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t match = 0, hamming = 0;
+    MatchAndHamming(data.queries[i % data.queries.size()],
+                    data.db.Get(static_cast<TransactionId>(i % data.db.size())),
+                    &match, &hamming);
+    benchmark::DoNotOptimize(match + hamming);
+    ++i;
+  }
+}
+BENCHMARK(BM_MatchAndHamming);
+
+void BM_SupercoordinateMapping(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  SignatureTable table =
+      mbi::BuildIndex(data.db, [] {
+        IndexBuildConfig config;
+        config.clustering.target_cardinality = 15;
+        return config;
+      }());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSupercoordinate(
+        data.db.Get(static_cast<TransactionId>(i % data.db.size())),
+        table.partition(), 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_SupercoordinateMapping);
+
+void BM_BoundComputation(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  IndexBuildConfig config;
+  config.clustering.target_cardinality =
+      static_cast<uint32_t>(state.range(0));
+  SignatureTable table = BuildIndex(data.db, config);
+  BoundCalculator calc(table.partition().CountsPerSignature(data.queries[0]),
+                       1);
+  size_t i = 0;
+  const auto& entries = table.entries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.Compute(entries[i % entries.size()].coordinate));
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundComputation)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_TableBuild(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  const auto db_size = static_cast<uint64_t>(state.range(0));
+  TransactionDatabase db(data.db.universe_size());
+  for (TransactionId id = 0; id < db_size; ++id) db.Add(data.db.Get(id));
+  for (auto _ : state) {
+    IndexBuildConfig config;
+    config.clustering.target_cardinality = 15;
+    SignatureTable table = BuildIndex(db, config);
+    benchmark::DoNotOptimize(table.entries().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db_size));
+}
+BENCHMARK(BM_TableBuild)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+void BM_NearestNeighborQuery(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  IndexBuildConfig config;
+  config.clustering.target_cardinality =
+      static_cast<uint32_t>(state.range(0));
+  SignatureTable table = BuildIndex(data.db, config);
+  BranchAndBoundEngine engine(&data.db, &table);
+  InverseHammingFamily family;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.FindNearest(data.queries[i % data.queries.size()], family));
+    ++i;
+  }
+}
+BENCHMARK(BM_NearestNeighborQuery)->Arg(11)->Arg(13)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KNearestQuery(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  IndexBuildConfig config;
+  config.clustering.target_cardinality = 15;
+  SignatureTable table = BuildIndex(data.db, config);
+  BranchAndBoundEngine engine(&data.db, &table);
+  MatchRatioFamily family;
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.FindKNearest(data.queries[i % data.queries.size()], family, k));
+    ++i;
+  }
+}
+BENCHMARK(BM_KNearestQuery)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mbi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+#include "baseline/compressed_postings.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+void EncodeVarint(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t DecodeVarint(const std::vector<uint8_t>& bytes, size_t* offset) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    MBI_CHECK(*offset < bytes.size());
+    uint8_t byte = bytes[(*offset)++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    MBI_CHECK_MSG(shift < 35, "varint too long");
+  }
+  return value;
+}
+
+}  // namespace
+
+CompressedPostingList CompressedPostingList::Encode(
+    const std::vector<TransactionId>& tids) {
+  CompressedPostingList list;
+  for (TransactionId tid : tids) list.Append(tid);
+  return list;
+}
+
+void CompressedPostingList::Append(TransactionId tid) {
+  if (count_ == 0) {
+    EncodeVarint(tid, &bytes_);
+  } else {
+    MBI_CHECK_MSG(tid > last_, "postings must be appended in ascending order");
+    EncodeVarint(tid - last_, &bytes_);
+  }
+  last_ = tid;
+  ++count_;
+}
+
+std::vector<TransactionId> CompressedPostingList::Decode() const {
+  std::vector<TransactionId> tids;
+  tids.reserve(count_);
+  for (Iterator it = begin(); it.valid(); it.Next()) {
+    tids.push_back(it.value());
+  }
+  return tids;
+}
+
+CompressedPostingList::Iterator::Iterator(const CompressedPostingList* list)
+    : list_(list), remaining_(list->count_) {
+  if (remaining_ > 0) {
+    current_ = DecodeVarint(list_->bytes_, &offset_);
+  }
+}
+
+void CompressedPostingList::Iterator::Next() {
+  MBI_CHECK(valid());
+  --remaining_;
+  if (remaining_ > 0) {
+    current_ += DecodeVarint(list_->bytes_, &offset_);
+  }
+}
+
+std::vector<TransactionId> UnionPostings(
+    const std::vector<const CompressedPostingList*>& lists) {
+  // K-way merge over streaming iterators via a min-heap of (value, cursor).
+  using HeapEntry = std::pair<TransactionId, size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  std::vector<CompressedPostingList::Iterator> cursors;
+  cursors.reserve(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    MBI_CHECK(lists[i] != nullptr);
+    cursors.emplace_back(lists[i]);
+    if (cursors[i].valid()) heap.push({cursors[i].value(), i});
+  }
+  std::vector<TransactionId> result;
+  while (!heap.empty()) {
+    auto [value, index] = heap.top();
+    heap.pop();
+    if (result.empty() || result.back() != value) result.push_back(value);
+    cursors[index].Next();
+    if (cursors[index].valid()) heap.push({cursors[index].value(), index});
+  }
+  return result;
+}
+
+std::vector<TransactionId> IntersectPostings(const CompressedPostingList& a,
+                                             const CompressedPostingList& b) {
+  std::vector<TransactionId> result;
+  CompressedPostingList::Iterator ia = a.begin();
+  CompressedPostingList::Iterator ib = b.begin();
+  while (ia.valid() && ib.valid()) {
+    if (ia.value() < ib.value()) {
+      ia.Next();
+    } else if (ia.value() > ib.value()) {
+      ib.Next();
+    } else {
+      result.push_back(ia.value());
+      ia.Next();
+      ib.Next();
+    }
+  }
+  return result;
+}
+
+}  // namespace mbi

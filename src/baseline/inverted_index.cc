@@ -1,0 +1,125 @@
+#include "baseline/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+InvertedIndex::InvertedIndex(const TransactionDatabase* database,
+                             uint32_t page_size_bytes,
+                             size_t buffer_pool_pages, bool compress_postings)
+    : database_(database),
+      compress_postings_(compress_postings),
+      postings_(compress_postings ? 0 : database->universe_size()),
+      compressed_postings_(compress_postings ? database->universe_size() : 0),
+      sequential_store_(
+          TransactionStore::BuildSequential(*database, page_size_bytes)),
+      buffer_pool_pages_(buffer_pool_pages) {
+  MBI_CHECK(database != nullptr);
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    for (ItemId item : database_->Get(id).items()) {
+      if (compress_postings_) {
+        compressed_postings_[item].Append(id);  // Ids arrive ascending.
+      } else {
+        postings_[item].push_back(id);
+      }
+    }
+  }
+}
+
+std::vector<TransactionId> InvertedIndex::Candidates(
+    const Transaction& target) const {
+  if (compress_postings_) {
+    std::vector<const CompressedPostingList*> lists;
+    lists.reserve(target.size());
+    for (ItemId item : target.items()) {
+      MBI_CHECK(item < compressed_postings_.size());
+      lists.push_back(&compressed_postings_[item]);
+    }
+    return UnionPostings(lists);
+  }
+  // Flatten + sort of the (already sorted) posting lists; target
+  // transactions have few items, so this stays cheap.
+  std::vector<TransactionId> merged;
+  for (ItemId item : target.items()) {
+    MBI_CHECK(item < postings_.size());
+    merged.insert(merged.end(), postings_[item].begin(), postings_[item].end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+InvertedIndex::Result InvertedIndex::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family,
+    size_t k) const {
+  MBI_CHECK(k >= 1);
+  Result result;
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+
+  std::vector<TransactionId> candidates = Candidates(target);
+  result.candidates = candidates.size();
+  result.accessed_fraction =
+      database_->empty() ? 0.0
+                         : static_cast<double>(candidates.size()) /
+                               static_cast<double>(database_->size());
+
+  // Zero-match transactions can only be safely ignored if f(0, y) can never
+  // exceed the similarity of some candidate. That holds for the families
+  // whose f vanishes at x = 0 (match ratio, cosine) as long as at least one
+  // candidate exists; inverse Hamming violates it structurally.
+  result.candidates_complete =
+      !candidates.empty() && similarity->Evaluate(0, 1) == 0.0 &&
+      similarity->Evaluate(0, 0) == 0.0;
+
+  // Phase 2: fetch candidates in id order through an optional buffer pool,
+  // tracking the distinct pages the scattered fetches touch.
+  BufferPool pool(&sequential_store_.page_store(), buffer_pool_pages_);
+  std::unordered_set<PageId> touched;
+  std::vector<Neighbor> scored;
+  scored.reserve(candidates.size());
+  for (TransactionId id : candidates) {
+    touched.insert(sequential_store_.PageOfTransaction(id));
+    sequential_store_.FetchTransaction(
+        id, buffer_pool_pages_ > 0 ? &pool : nullptr, &result.io);
+    size_t match = 0, hamming = 0;
+    MatchAndHamming(target, database_->Get(id), &match, &hamming);
+    scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
+                                               static_cast<int>(hamming))});
+  }
+  result.pages_touched = touched.size();
+  result.pages_total = sequential_store_.page_store().size();
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  result.neighbors = std::move(scored);
+  return result;
+}
+
+std::vector<TransactionId> InvertedIndex::PostingsOf(ItemId item) const {
+  MBI_CHECK(item < database_->universe_size());
+  if (compress_postings_) return compressed_postings_[item].Decode();
+  return postings_[item];
+}
+
+uint64_t InvertedIndex::PostingsBytes() const {
+  uint64_t total = 0;
+  if (compress_postings_) {
+    for (const auto& list : compressed_postings_) total += list.ByteSize();
+  } else {
+    for (const auto& list : postings_) {
+      total += list.size() * sizeof(TransactionId);
+    }
+  }
+  return total;
+}
+
+}  // namespace mbi

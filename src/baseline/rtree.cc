@@ -1,0 +1,316 @@
+#include "baseline/rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+/// Free dimensions of an MBR = dims where upper = 1 and lower = 0. Since
+/// lower ⊆ upper always holds, this equals popcount(lower XOR upper).
+size_t FreeDims(const Bitset& lower, const Bitset& upper) {
+  return Bitset::XorCount(lower, upper);
+}
+
+}  // namespace
+
+BinaryRTree::BinaryRTree(const TransactionDatabase* database,
+                         const RTreeConfig& config)
+    : database_(database), config_(config) {
+  MBI_CHECK(database != nullptr);
+  MBI_CHECK(config_.max_node_entries >= 4);
+  MBI_CHECK(config_.min_node_entries >= 2 &&
+            config_.min_node_entries <= config_.max_node_entries / 2);
+  root_ = std::make_unique<Node>(database_->universe_size());
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    Insert(id, AsBitset(database_->Get(id)));
+  }
+}
+
+Bitset BinaryRTree::AsBitset(const Transaction& transaction) const {
+  Bitset bits(database_->universe_size());
+  for (ItemId item : transaction.items()) bits.Set(item);
+  return bits;
+}
+
+size_t BinaryRTree::MinDist(const Bitset& query, const Node& node) {
+  // Dims where the query is 1 but no point of the subtree can be 1, plus
+  // dims where every point of the subtree is 1 but the query is 0.
+  return Bitset::AndNotCount(query, node.upper) +
+         Bitset::AndNotCount(node.lower, query);
+}
+
+void BinaryRTree::Insert(TransactionId id, const Bitset& point) {
+  std::unique_ptr<Node> sibling = InsertRecursive(root_.get(), id, point);
+  if (sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>(database_->universe_size());
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    RecomputeMbr(root_.get());
+  }
+}
+
+std::unique_ptr<BinaryRTree::Node> BinaryRTree::InsertRecursive(
+    Node* node, TransactionId id, const Bitset& point) {
+  node->lower &= point;
+  node->upper |= point;
+
+  if (node->is_leaf) {
+    node->transaction_ids.push_back(id);
+    if (node->transaction_ids.size() > config_.max_node_entries) {
+      return SplitNode(node);
+    }
+    return nullptr;
+  }
+
+  // ChooseSubtree: least enlargement of the free-dimension count, ties by
+  // fewer free dims, then fewer entries (Guttman's least-area / least-count
+  // rule transported to binary MBRs).
+  Node* best = nullptr;
+  size_t best_enlargement = std::numeric_limits<size_t>::max();
+  size_t best_free = std::numeric_limits<size_t>::max();
+  size_t best_entries = std::numeric_limits<size_t>::max();
+  for (const auto& child : node->children) {
+    Bitset new_lower = child->lower;
+    new_lower &= point;
+    Bitset new_upper = child->upper;
+    new_upper |= point;
+    size_t old_free = FreeDims(child->lower, child->upper);
+    size_t new_free = FreeDims(new_lower, new_upper);
+    size_t enlargement = new_free - old_free;
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement &&
+         (new_free < best_free ||
+          (new_free == best_free && child->EntryCount() < best_entries)))) {
+      best = child.get();
+      best_enlargement = enlargement;
+      best_free = new_free;
+      best_entries = child->EntryCount();
+    }
+  }
+  MBI_CHECK(best != nullptr);
+
+  std::unique_ptr<Node> split_child = InsertRecursive(best, id, point);
+  if (split_child != nullptr) {
+    node->children.push_back(std::move(split_child));
+    if (node->children.size() > config_.max_node_entries) {
+      return SplitNode(node);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BinaryRTree::Node> BinaryRTree::SplitNode(Node* node) {
+  auto sibling = std::make_unique<Node>(database_->universe_size());
+  sibling->is_leaf = node->is_leaf;
+
+  if (node->is_leaf) {
+    // Quadratic-style seeds: the two entries at maximum Hamming distance.
+    std::vector<TransactionId> entries = std::move(node->transaction_ids);
+    node->transaction_ids.clear();
+    size_t seed_a = 0, seed_b = 1, best = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        size_t distance = HammingDistance(database_->Get(entries[i]),
+                                          database_->Get(entries[j]));
+        if (distance >= best) {
+          best = distance;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    // Greedy assignment to the closer seed, forcing the minimum fill: once a
+    // group needs every remaining entry to reach the minimum, it gets them.
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i != seed_a && i != seed_b) rest.push_back(i);
+    }
+    std::vector<TransactionId> group_a = {entries[seed_a]};
+    std::vector<TransactionId> group_b = {entries[seed_b]};
+    for (size_t r = 0; r < rest.size(); ++r) {
+      size_t i = rest[r];
+      size_t remaining = rest.size() - r;
+      if (group_a.size() + remaining <= config_.min_node_entries) {
+        group_a.push_back(entries[i]);
+        continue;
+      }
+      if (group_b.size() + remaining <= config_.min_node_entries) {
+        group_b.push_back(entries[i]);
+        continue;
+      }
+      size_t da = HammingDistance(database_->Get(entries[i]),
+                                  database_->Get(entries[seed_a]));
+      size_t db = HammingDistance(database_->Get(entries[i]),
+                                  database_->Get(entries[seed_b]));
+      (da <= db ? group_a : group_b).push_back(entries[i]);
+    }
+    node->transaction_ids = std::move(group_a);
+    sibling->transaction_ids = std::move(group_b);
+  } else {
+    // Internal split: seeds are the pair of children with the largest
+    // OR-mask separation; assignment by least free-dim enlargement.
+    std::vector<std::unique_ptr<Node>> entries = std::move(node->children);
+    node->children.clear();
+    size_t seed_a = 0, seed_b = 1, best = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        size_t separation = Bitset::XorCount(entries[i]->upper,
+                                             entries[j]->upper);
+        if (separation >= best) {
+          best = separation;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i != seed_a && i != seed_b) rest.push_back(i);
+    }
+    Bitset upper_a = entries[seed_a]->upper;
+    Bitset upper_b = entries[seed_b]->upper;
+    std::vector<std::unique_ptr<Node>> group_a, group_b;
+    group_a.push_back(std::move(entries[seed_a]));
+    group_b.push_back(std::move(entries[seed_b]));
+    for (size_t r = 0; r < rest.size(); ++r) {
+      size_t i = rest[r];
+      size_t remaining = rest.size() - r;
+      if (group_a.size() + remaining <= config_.min_node_entries) {
+        upper_a |= entries[i]->upper;
+        group_a.push_back(std::move(entries[i]));
+        continue;
+      }
+      if (group_b.size() + remaining <= config_.min_node_entries) {
+        upper_b |= entries[i]->upper;
+        group_b.push_back(std::move(entries[i]));
+        continue;
+      }
+      size_t grow_a = Bitset::AndNotCount(entries[i]->upper, upper_a);
+      size_t grow_b = Bitset::AndNotCount(entries[i]->upper, upper_b);
+      if (grow_a <= grow_b) {
+        upper_a |= entries[i]->upper;
+        group_a.push_back(std::move(entries[i]));
+      } else {
+        upper_b |= entries[i]->upper;
+        group_b.push_back(std::move(entries[i]));
+      }
+    }
+    node->children = std::move(group_a);
+    sibling->children = std::move(group_b);
+  }
+
+  RecomputeMbr(node);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+void BinaryRTree::RecomputeMbr(Node* node) const {
+  node->lower.SetAll();
+  node->upper.ClearAll();
+  if (node->is_leaf) {
+    for (TransactionId id : node->transaction_ids) {
+      Bitset point = AsBitset(database_->Get(id));
+      node->lower &= point;
+      node->upper |= point;
+    }
+  } else {
+    for (const auto& child : node->children) {
+      node->lower &= child->lower;
+      node->upper |= child->upper;
+    }
+  }
+}
+
+BinaryRTree::Result BinaryRTree::FindKNearestHamming(const Transaction& target,
+                                                     size_t k) const {
+  MBI_CHECK(k >= 1);
+  Result result;
+  result.stats.database_size = database_->size();
+  if (database_->empty()) return result;
+  Bitset query = AsBitset(target);
+
+  // Best-first search (Roussopoulos et al. branch and bound): a min-heap of
+  // nodes keyed by MINDIST; prune when MINDIST exceeds the k-th best exact
+  // distance found so far.
+  using HeapEntry = std::pair<size_t, const Node*>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  heap.push({MinDist(query, *root_), root_.get()});
+
+  // Max-heap of the k best (distance, id): top is the current k-th best.
+  std::priority_queue<std::pair<size_t, TransactionId>> best;
+
+  while (!heap.empty()) {
+    auto [mindist, node] = heap.top();
+    heap.pop();
+    if (best.size() == k && mindist > best.top().first) {
+      ++result.stats.nodes_pruned;
+      continue;
+    }
+    ++result.stats.nodes_visited;
+    if (node->is_leaf) {
+      for (TransactionId id : node->transaction_ids) {
+        size_t distance = HammingDistance(target, database_->Get(id));
+        ++result.stats.transactions_evaluated;
+        if (best.size() < k) {
+          best.push({distance, id});
+        } else if (distance < best.top().first ||
+                   (distance == best.top().first && id < best.top().second)) {
+          best.pop();
+          best.push({distance, id});
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        heap.push({MinDist(query, *child), child.get()});
+      }
+    }
+  }
+
+  result.neighbors.resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    result.neighbors[i] = {best.top().second,
+                           -static_cast<double>(best.top().first)};
+    best.pop();
+  }
+  return result;
+}
+
+BinaryRTree::TreeStats BinaryRTree::ComputeTreeStats() const {
+  TreeStats stats;
+  // Height and node counts by BFS.
+  std::vector<const Node*> level = {root_.get()};
+  while (!level.empty()) {
+    ++stats.height;
+    std::vector<const Node*> next;
+    for (const Node* node : level) {
+      if (node->is_leaf) {
+        ++stats.leaf_nodes;
+      } else {
+        ++stats.internal_nodes;
+        for (const auto& child : node->children) next.push_back(child.get());
+      }
+    }
+    level = std::move(next);
+  }
+  if (!root_->is_leaf && database_->universe_size() > 0) {
+    double total = 0.0;
+    for (const auto& child : root_->children) {
+      total += static_cast<double>(FreeDims(child->lower, child->upper)) /
+               static_cast<double>(database_->universe_size());
+    }
+    stats.root_child_free_dim_fraction =
+        total / static_cast<double>(root_->children.size());
+  }
+  return stats;
+}
+
+}  // namespace mbi

@@ -1,0 +1,104 @@
+#include "baseline/sequential_scan.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "storage/page_store.h"
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+void SortBestFirst(std::vector<Neighbor>* neighbors) {
+  std::sort(neighbors->begin(), neighbors->end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+SequentialScanner::SequentialScanner(const TransactionDatabase* database)
+    : database_(database) {
+  MBI_CHECK(database != nullptr);
+}
+
+std::vector<Neighbor> SequentialScanner::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    IoStats* stats, uint32_t page_size_bytes) const {
+  MBI_CHECK(k >= 1);
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+
+  uint64_t page_bytes_used = 0;
+  std::vector<Neighbor> scored;
+  scored.reserve(database_->size());
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    const Transaction& candidate = database_->Get(id);
+    if (stats != nullptr) {
+      ++stats->transactions_fetched;
+      uint64_t need = PageStore::SerializedSize(candidate);
+      if (page_bytes_used == 0 || page_bytes_used + need > page_size_bytes) {
+        ++stats->pages_read;
+        stats->bytes_read += page_size_bytes;
+        page_bytes_used = 0;
+      }
+      page_bytes_used += need;
+    }
+    size_t match = 0, hamming = 0;
+    MatchAndHamming(target, candidate, &match, &hamming);
+    scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
+                                               static_cast<int>(hamming))});
+  }
+  SortBestFirst(&scored);
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<Neighbor> SequentialScanner::FindKNearestMultiTarget(
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k) const {
+  MBI_CHECK(k >= 1);
+  MBI_CHECK(!targets.empty());
+  std::vector<std::unique_ptr<SimilarityFunction>> functions;
+  functions.reserve(targets.size());
+  for (const Transaction& target : targets) {
+    functions.push_back(family.ForTarget(target));
+  }
+  std::vector<Neighbor> scored;
+  scored.reserve(database_->size());
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    const Transaction& candidate = database_->Get(id);
+    double sum = 0.0;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      size_t match = 0, hamming = 0;
+      MatchAndHamming(targets[t], candidate, &match, &hamming);
+      sum += functions[t]->Evaluate(static_cast<int>(match),
+                                    static_cast<int>(hamming));
+    }
+    scored.push_back({id, sum / static_cast<double>(targets.size())});
+  }
+  SortBestFirst(&scored);
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<Neighbor> SequentialScanner::FindInRange(
+    const Transaction& target, const SimilarityFamily& family,
+    double threshold) const {
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+  std::vector<Neighbor> matches;
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    size_t match = 0, hamming = 0;
+    MatchAndHamming(target, database_->Get(id), &match, &hamming);
+    double value = similarity->Evaluate(static_cast<int>(match),
+                                        static_cast<int>(hamming));
+    if (value >= threshold) matches.push_back({id, value});
+  }
+  SortBestFirst(&matches);
+  return matches;
+}
+
+}  // namespace mbi

@@ -1,0 +1,35 @@
+#include "core/batch_query.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace mbi {
+
+std::vector<NearestNeighborResult> FindKNearestBatch(
+    const BranchAndBoundEngine& engine,
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options, size_t num_threads) {
+  std::vector<NearestNeighborResult> results(targets.size());
+  if (targets.empty()) return results;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, targets.size());
+
+  if (num_threads == 1) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      results[i] = engine.FindKNearest(targets[i], family, k, options);
+    }
+    return results;
+  }
+
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(targets.size(), [&](size_t i) {
+    results[i] = engine.FindKNearest(targets[i], family, k, options);
+  });
+  return results;
+}
+
+}  // namespace mbi

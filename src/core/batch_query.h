@@ -1,0 +1,24 @@
+#ifndef MBI_CORE_BATCH_QUERY_H_
+#define MBI_CORE_BATCH_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/branch_and_bound.h"
+
+namespace mbi {
+
+/// Answers many independent k-NN queries against one engine concurrently.
+///
+/// Queries against a built SignatureTable are read-only (the engine keeps no
+/// per-query state and the simulated disk reads are const), so a batch can
+/// fan out across a thread pool without any locking. Results are returned in
+/// target order. `num_threads` of 0 uses the hardware concurrency.
+std::vector<NearestNeighborResult> FindKNearestBatch(
+    const BranchAndBoundEngine& engine,
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options = {}, size_t num_threads = 0);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_BATCH_QUERY_H_

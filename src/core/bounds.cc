@@ -1,0 +1,50 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+BoundCalculator::BoundCalculator(const std::vector<int>& target_counts,
+                                 int activation_threshold) {
+  MBI_CHECK(activation_threshold >= 1);
+  MBI_CHECK(target_counts.size() <= SignaturePartition::kMaxCardinality);
+  const int r = activation_threshold;
+  const size_t k = target_counts.size();
+  dist_if_zero_.resize(k);
+  dist_if_one_.resize(k);
+  match_if_zero_.resize(k);
+  match_if_one_.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    const int rj = target_counts[j];
+    MBI_CHECK(rj >= 0);
+    dist_if_zero_[j] = std::max(0, rj - r + 1);
+    dist_if_one_[j] = std::max(0, r - rj);
+    match_if_zero_[j] = std::min(r - 1, rj);
+    match_if_one_[j] = rj;
+  }
+}
+
+OptimisticBounds BoundCalculator::Compute(Supercoordinate coordinate) const {
+  OptimisticBounds bounds;
+  const size_t k = dist_if_zero_.size();
+  for (size_t j = 0; j < k; ++j) {
+    if ((coordinate >> j) & 1u) {
+      bounds.dist_lower += dist_if_one_[j];
+      bounds.match_upper += match_if_one_[j];
+    } else {
+      bounds.dist_lower += dist_if_zero_[j];
+      bounds.match_upper += match_if_zero_[j];
+    }
+  }
+  return bounds;
+}
+
+double BoundCalculator::OptimisticSimilarity(
+    Supercoordinate coordinate, const SimilarityFunction& similarity) const {
+  OptimisticBounds bounds = Compute(coordinate);
+  return similarity.Evaluate(bounds.match_upper, bounds.dist_lower);
+}
+
+}  // namespace mbi

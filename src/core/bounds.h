@@ -1,0 +1,61 @@
+#ifndef MBI_CORE_BOUNDS_H_
+#define MBI_CORE_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/similarity.h"
+#include "core/supercoordinate.h"
+
+namespace mbi {
+
+/// Optimistic bounds on the match count and Hamming distance between a query
+/// target and *every* transaction indexed by one signature table entry
+/// (paper §4.1: FindOptimisticMatch / FindOptimisticDist).
+struct OptimisticBounds {
+  /// M_opt — upper bound on the number of matches.
+  int match_upper = 0;
+  /// D_opt — lower bound on the Hamming distance.
+  int dist_lower = 0;
+};
+
+/// Per-query precomputation that turns the O(K) per-entry bound loop into
+/// table lookups: for each signature j, the contribution of signature j to
+/// M_opt and D_opt depends only on the entry's activation bit b_j.
+///
+/// With r_j = |target ∩ S_j| and activation threshold r (paper §4.1):
+///   b_j = 0: every indexed transaction has < r items of S_j, so it misses at
+///            least r_j - (r-1) of the target's items there:
+///            D += max(0, r_j - r + 1), M += min(r - 1, r_j).
+///   b_j = 1: every indexed transaction has >= r items of S_j; if the target
+///            has fewer than r there, the extras are mismatches:
+///            D += max(0, r - r_j), M += r_j.
+class BoundCalculator {
+ public:
+  /// `target_counts` is r_j per signature (SignaturePartition::
+  /// CountsPerSignature); `activation_threshold` is the table's r.
+  BoundCalculator(const std::vector<int>& target_counts,
+                  int activation_threshold);
+
+  /// Evaluates the bounds for one entry's supercoordinate. O(K).
+  OptimisticBounds Compute(Supercoordinate coordinate) const;
+
+  /// Convenience: the optimistic similarity bound f(M_opt, D_opt), valid by
+  /// Lemma 2.1 for every transaction indexed under `coordinate`.
+  double OptimisticSimilarity(Supercoordinate coordinate,
+                              const SimilarityFunction& similarity) const;
+
+  uint32_t cardinality() const {
+    return static_cast<uint32_t>(dist_if_zero_.size());
+  }
+
+ private:
+  std::vector<int> dist_if_zero_;   // D contribution when b_j = 0.
+  std::vector<int> dist_if_one_;    // D contribution when b_j = 1.
+  std::vector<int> match_if_zero_;  // M contribution when b_j = 0.
+  std::vector<int> match_if_one_;   // M contribution when b_j = 1.
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_BOUNDS_H_

@@ -1,0 +1,173 @@
+#ifndef MBI_CORE_BRANCH_AND_BOUND_H_
+#define MBI_CORE_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "core/signature_table.h"
+#include "core/similarity.h"
+#include "txn/database.h"
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// One retrieved transaction and its similarity to the target (for
+/// multi-target queries: the aggregate similarity).
+struct Neighbor {
+  TransactionId id = kInvalidTransactionId;
+  double similarity = 0.0;
+};
+
+/// Order in which the signature table entries are visited (paper §4
+/// discusses both; the paper's experiments use the optimistic-bound order).
+enum class EntrySortOrder {
+  /// Decreasing optimistic bound f(M_opt, D_opt) — the primary strategy.
+  kOptimisticBound,
+  /// Decreasing similarity between the entry's supercoordinate and the
+  /// target's supercoordinate, both viewed as K-bit transactions — the
+  /// alternative implementation of §4. Bounds still drive pruning.
+  kSupercoordinateSimilarity,
+};
+
+/// Per-entry record of what the branch and bound did, for explain/debugging
+/// output (populated only when SearchOptions::collect_trace is set).
+struct EntryTrace {
+  enum class Action { kScanned, kPruned, kUnexplored };
+
+  Supercoordinate coordinate = 0;
+  /// Optimistic bound f(M_opt, D_opt) of this entry (for multi-target
+  /// queries: the average over targets).
+  double optimistic_bound = 0.0;
+  /// Transactions indexed by the entry.
+  uint32_t transaction_count = 0;
+  Action action = Action::kUnexplored;
+  /// Pessimistic bound in effect when the entry was visited (for scanned /
+  /// pruned entries, in visit order).
+  double pessimistic_bound = 0.0;
+};
+
+/// Query-time knobs.
+struct SearchOptions {
+  /// Early termination (paper §4.2): stop once at least this fraction of the
+  /// database's transactions has been evaluated. 1.0 disables termination
+  /// (the search runs to completion and the answer is guaranteed exact).
+  double max_access_fraction = 1.0;
+
+  /// Guaranteed-quality approximation (paper §4.2's second mode: terminate
+  /// "when the best transaction found so far is within a reasonable
+  /// similarity difference from the optimistic bounds of the unexplored
+  /// table entries"). An entry is pruned when its optimistic bound does not
+  /// exceed the pessimistic bound by more than this gap, so the returned
+  /// best is within `optimality_gap` of the true optimum (in similarity
+  /// units). 0 keeps the search exact.
+  double optimality_gap = 0.0;
+
+  EntrySortOrder sort_order = EntrySortOrder::kOptimisticBound;
+
+  /// Record a per-entry EntryTrace in the result (visit order). Adds memory
+  /// and time proportional to the number of occupied entries; off by
+  /// default.
+  bool collect_trace = false;
+};
+
+/// Result of a (k-)nearest-neighbour query.
+struct NearestNeighborResult {
+  /// Up to k neighbours, best first (ties broken by ascending id).
+  std::vector<Neighbor> neighbors;
+
+  /// True when the result is provably exact (in similarity values): no
+  /// entry that was pruned or left unexplored could hold a transaction
+  /// more similar than the k-th best found. Always true for a completed
+  /// search with optimality_gap = 0; for early-terminated or gap-pruned
+  /// searches it reports whether the a-posteriori certificate held
+  /// (paper §4.2).
+  bool guaranteed_exact = false;
+
+  /// Largest optimistic bound among entries left unexplored at termination;
+  /// -infinity when none were left. Together with the k-th best similarity
+  /// this is the paper's a-posteriori quality guarantee.
+  double unexplored_optimistic_bound = 0.0;
+
+  /// Upper bound on the similarity of any transaction the search did *not*
+  /// evaluate (the max optimistic bound over pruned and unexplored entries);
+  /// -infinity when every entry was scanned. The true k-th best similarity
+  /// is at most max(k-th best found, this bound).
+  double best_unscanned_bound = 0.0;
+
+  /// Visit-order per-entry decisions; empty unless
+  /// SearchOptions::collect_trace was set.
+  std::vector<EntryTrace> trace;
+
+  QueryStats stats;
+};
+
+/// Result of a range query.
+struct RangeQueryResult {
+  /// All qualifying transactions, best first.
+  std::vector<Neighbor> matches;
+
+  /// False when early termination may have cut the enumeration short.
+  bool guaranteed_complete = false;
+
+  QueryStats stats;
+};
+
+/// Branch-and-bound similarity search over a signature table (paper §4).
+///
+/// The engine is stateless across queries and holds no ownership: the
+/// database and table must outlive it. The similarity function is supplied
+/// per query (as a SimilarityFamily, so target-dependent functions like
+/// cosine bind to each target), which is the paper's headline flexibility:
+/// one index, any admissible f(x, y).
+class BranchAndBoundEngine {
+ public:
+  BranchAndBoundEngine(const TransactionDatabase* database,
+                       const SignatureTable* table);
+
+  /// Finds the single nearest neighbour of `target` under `family`.
+  NearestNeighborResult FindNearest(const Transaction& target,
+                                    const SimilarityFamily& family,
+                                    const SearchOptions& options = {}) const;
+
+  /// Finds the k most similar transactions (paper §4.3: the pessimistic
+  /// bound is the k-th best similarity found so far).
+  NearestNeighborResult FindKNearest(const Transaction& target,
+                                     const SimilarityFamily& family, size_t k,
+                                     const SearchOptions& options = {}) const;
+
+  /// Multi-target variant (paper §4.3): maximizes the *average* similarity
+  /// to `targets`; an entry's optimistic bound is the average of its
+  /// per-target optimistic bounds.
+  NearestNeighborResult FindKNearestMultiTarget(
+      const std::vector<Transaction>& targets, const SimilarityFamily& family,
+      size_t k, const SearchOptions& options = {}) const;
+
+  /// Range query (paper §4.3): every transaction with f >= `threshold`.
+  /// Entries whose optimistic bound is below the threshold are pruned.
+  RangeQueryResult FindInRange(const Transaction& target,
+                               const SimilarityFamily& family,
+                               double threshold,
+                               const SearchOptions& options = {}) const;
+
+  /// Conjunctive multi-function range query (paper §4.3): transactions
+  /// satisfying f_i >= t_i for *all* i. An entry is pruned as soon as any
+  /// one of its optimistic bounds misses its threshold. `families` and
+  /// `thresholds` must be non-empty and the same length.
+  RangeQueryResult FindInRangeMulti(
+      const Transaction& target,
+      const std::vector<const SimilarityFamily*>& families,
+      const std::vector<double>& thresholds,
+      const SearchOptions& options = {}) const;
+
+  const TransactionDatabase& database() const { return *database_; }
+  const SignatureTable& table() const { return *table_; }
+
+ private:
+  const TransactionDatabase* database_;
+  const SignatureTable* table_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_BRANCH_AND_BOUND_H_

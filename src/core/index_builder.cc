@@ -1,0 +1,18 @@
+#include "core/index_builder.h"
+
+#include "mining/support_counter.h"
+
+namespace mbi {
+
+SignatureTable BuildIndex(const TransactionDatabase& database,
+                          const IndexBuildConfig& config) {
+  SupportCounter supports(database);
+  SignaturePartition partition =
+      config.use_balanced_partitioner
+          ? BuildSignaturesBalanced(supports,
+                                    config.clustering.target_cardinality)
+          : BuildSignaturesSingleLinkage(supports, config.clustering);
+  return SignatureTable::Build(database, std::move(partition), config.table);
+}
+
+}  // namespace mbi

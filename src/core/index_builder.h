@@ -1,0 +1,30 @@
+#ifndef MBI_CORE_INDEX_BUILDER_H_
+#define MBI_CORE_INDEX_BUILDER_H_
+
+#include "core/clustering.h"
+#include "core/signature_table.h"
+#include "txn/database.h"
+
+namespace mbi {
+
+/// End-to-end index construction parameters.
+struct IndexBuildConfig {
+  ClusteringConfig clustering;
+  SignatureTableConfig table;
+
+  /// When true, signatures are built with the correlation-blind balanced
+  /// partitioner instead of single-linkage clustering (ablation control).
+  bool use_balanced_partitioner = false;
+};
+
+/// Builds a complete signature table index over `database`:
+/// mines item/pair supports, clusters items into signatures, and materializes
+/// the table with its on-disk transaction lists. This is the one-call entry
+/// point used by the examples; the individual phases remain available for
+/// callers that want to reuse supports or persist partitions.
+SignatureTable BuildIndex(const TransactionDatabase& database,
+                          const IndexBuildConfig& config);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_INDEX_BUILDER_H_

@@ -1,0 +1,67 @@
+#include "core/partition_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace mbi {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D425350;  // "MBSP"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<FILE, FileCloser>;
+
+}  // namespace
+
+bool SavePartition(const SignaturePartition& partition,
+                   const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  const uint32_t header[4] = {kMagic, kVersion, partition.cardinality(),
+                              partition.universe_size()};
+  if (std::fwrite(header, sizeof(uint32_t), 4, file.get()) != 4) return false;
+  std::vector<uint32_t> signature_of_item(partition.universe_size());
+  for (ItemId item = 0; item < partition.universe_size(); ++item) {
+    signature_of_item[item] = partition.SignatureOf(item);
+  }
+  if (std::fwrite(signature_of_item.data(), sizeof(uint32_t),
+                  signature_of_item.size(),
+                  file.get()) != signature_of_item.size()) {
+    return false;
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::optional<SignaturePartition> LoadPartition(const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return std::nullopt;
+  uint32_t header[4];
+  if (std::fread(header, sizeof(uint32_t), 4, file.get()) != 4) {
+    return std::nullopt;
+  }
+  if (header[0] != kMagic || header[1] != kVersion) return std::nullopt;
+  const uint32_t cardinality = header[2];
+  const uint32_t universe = header[3];
+  if (cardinality == 0 || cardinality > SignaturePartition::kMaxCardinality ||
+      universe == 0) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> signature_of_item(universe);
+  if (std::fread(signature_of_item.data(), sizeof(uint32_t), universe,
+                 file.get()) != universe) {
+    return std::nullopt;
+  }
+  for (uint32_t s : signature_of_item) {
+    if (s >= cardinality) return std::nullopt;
+  }
+  return SignaturePartition(cardinality, std::move(signature_of_item));
+}
+
+}  // namespace mbi

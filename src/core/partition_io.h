@@ -1,0 +1,25 @@
+#ifndef MBI_CORE_PARTITION_IO_H_
+#define MBI_CORE_PARTITION_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/signature_partition.h"
+
+namespace mbi {
+
+/// Persists a signature partition. Clustering is the expensive, data-scan
+/// phase of index construction (it needs the pair-support mine); persisting
+/// the partition lets deployments rebuild the fast part of the table (the
+/// supercoordinate mapping) without re-mining, and lets several processes
+/// share one partition.
+bool SavePartition(const SignaturePartition& partition,
+                   const std::string& path);
+
+/// Loads a partition written by SavePartition. Returns nullopt on I/O
+/// failure or malformed input.
+std::optional<SignaturePartition> LoadPartition(const std::string& path);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_PARTITION_IO_H_

@@ -1,0 +1,51 @@
+#ifndef MBI_CORE_QUERY_STATS_H_
+#define MBI_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+#include "storage/io_stats.h"
+
+namespace mbi {
+
+/// Per-query accounting reported by the branch-and-bound engine.
+struct QueryStats {
+  /// Transactions in the database searched over.
+  uint64_t database_size = 0;
+
+  /// Occupied signature table entries the query considered.
+  uint64_t entries_total = 0;
+
+  /// Entries whose transaction lists were actually read from disk.
+  uint64_t entries_scanned = 0;
+
+  /// Entries eliminated by the optimistic-bound test.
+  uint64_t entries_pruned = 0;
+
+  /// Entries left unexplored because of early termination.
+  uint64_t entries_unexplored = 0;
+
+  /// Transactions fetched and evaluated against the target.
+  uint64_t transactions_evaluated = 0;
+
+  /// Simulated-disk I/O incurred by the query.
+  IoStats io;
+
+  /// The paper's pruning-efficiency metric: the percentage of the database
+  /// *not* accessed when the algorithm runs to completion.
+  double PruningEfficiencyPercent() const {
+    if (database_size == 0) return 0.0;
+    return 100.0 * (1.0 - static_cast<double>(transactions_evaluated) /
+                              static_cast<double>(database_size));
+  }
+
+  /// Fraction of the database accessed, in [0, 1].
+  double AccessedFraction() const {
+    if (database_size == 0) return 0.0;
+    return static_cast<double>(transactions_evaluated) /
+           static_cast<double>(database_size);
+  }
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_QUERY_STATS_H_

@@ -1,0 +1,55 @@
+#include "core/signature_partition.h"
+
+#include "util/macros.h"
+
+namespace mbi {
+
+SignaturePartition::SignaturePartition(uint32_t cardinality,
+                                       std::vector<uint32_t> signature_of_item)
+    : cardinality_(cardinality),
+      signature_of_item_(std::move(signature_of_item)) {
+  MBI_CHECK(cardinality_ > 0 && cardinality_ <= kMaxCardinality);
+  MBI_CHECK(!signature_of_item_.empty());
+  items_of_signature_.resize(cardinality_);
+  for (ItemId item = 0; item < signature_of_item_.size(); ++item) {
+    uint32_t s = signature_of_item_[item];
+    MBI_CHECK_MSG(s < cardinality_, "item mapped to an out-of-range signature");
+    items_of_signature_[s].push_back(item);
+  }
+}
+
+uint32_t SignaturePartition::SignatureOf(ItemId item) const {
+  MBI_CHECK(item < signature_of_item_.size());
+  return signature_of_item_[item];
+}
+
+const std::vector<ItemId>& SignaturePartition::ItemsOf(uint32_t s) const {
+  MBI_CHECK(s < cardinality_);
+  return items_of_signature_[s];
+}
+
+std::vector<int> SignaturePartition::CountsPerSignature(
+    const Transaction& transaction) const {
+  std::vector<int> counts(cardinality_, 0);
+  for (ItemId item : transaction.items()) {
+    ++counts[SignatureOf(item)];
+  }
+  return counts;
+}
+
+std::string SignaturePartition::ToString() const {
+  std::string out;
+  for (uint32_t s = 0; s < cardinality_; ++s) {
+    if (s > 0) out += " ";
+    out += "S" + std::to_string(s) + "={";
+    const auto& items = items_of_signature_[s];
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(items[i]);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace mbi

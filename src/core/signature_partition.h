@@ -1,0 +1,58 @@
+#ifndef MBI_CORE_SIGNATURE_PARTITION_H_
+#define MBI_CORE_SIGNATURE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// A partition of the universal item set U into K signatures (paper §3).
+///
+/// A *signature* is a set of items — "a small category of items from the
+/// universal set" — and every item belongs to exactly one signature. K is the
+/// paper's *signature cardinality*; it is capped at 31 so a supercoordinate
+/// fits in a uint32_t (the paper's own experiments use K = 13..15, limited by
+/// the 2^K in-memory table).
+class SignaturePartition {
+ public:
+  /// Maximum supported signature cardinality.
+  static constexpr uint32_t kMaxCardinality = 31;
+
+  /// Builds a partition from per-item signature indices.
+  /// `signature_of_item[i]` in `[0, cardinality)` for every item i.
+  SignaturePartition(uint32_t cardinality,
+                     std::vector<uint32_t> signature_of_item);
+
+  /// Signature index of an item.
+  uint32_t SignatureOf(ItemId item) const;
+
+  /// Items of signature `s`, ascending.
+  const std::vector<ItemId>& ItemsOf(uint32_t s) const;
+
+  /// K, the signature cardinality.
+  uint32_t cardinality() const { return cardinality_; }
+
+  /// |U|.
+  uint32_t universe_size() const {
+    return static_cast<uint32_t>(signature_of_item_.size());
+  }
+
+  /// Counts |T ∩ S_j| for every signature j — the r_j values of the paper's
+  /// bound computation. O(|T|).
+  std::vector<int> CountsPerSignature(const Transaction& transaction) const;
+
+  /// Renders as "S0={1,4} S1={2,3}" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  uint32_t cardinality_;
+  std::vector<uint32_t> signature_of_item_;
+  std::vector<std::vector<ItemId>> items_of_signature_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_SIGNATURE_PARTITION_H_

@@ -1,0 +1,163 @@
+#include "core/signature_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+SignatureTable::SignatureTable(
+    SignaturePartition partition, SignatureTableConfig config,
+    std::vector<Entry> entries,
+    std::vector<Supercoordinate> coordinate_of_transaction,
+    TransactionStore store)
+    : partition_(std::move(partition)),
+      config_(config),
+      entries_(std::move(entries)),
+      coordinate_of_transaction_(std::move(coordinate_of_transaction)),
+      store_(std::move(store)) {}
+
+SignatureTable SignatureTable::Build(const TransactionDatabase& database,
+                                     SignaturePartition partition,
+                                     const SignatureTableConfig& config) {
+  MBI_CHECK(config.activation_threshold >= 1);
+  MBI_CHECK(partition.universe_size() == database.universe_size());
+
+  // Map each transaction to its supercoordinate.
+  std::vector<Supercoordinate> coordinate_of(database.size());
+  for (TransactionId id = 0; id < database.size(); ++id) {
+    coordinate_of[id] = ComputeSupercoordinate(
+        database.Get(id), partition, config.activation_threshold);
+  }
+
+  // Dense bucket ids for the occupied supercoordinates, ascending by
+  // coordinate value for determinism.
+  std::vector<Supercoordinate> occupied = coordinate_of;
+  std::sort(occupied.begin(), occupied.end());
+  occupied.erase(std::unique(occupied.begin(), occupied.end()),
+                 occupied.end());
+
+  std::unordered_map<Supercoordinate, uint32_t> bucket_of_coordinate;
+  bucket_of_coordinate.reserve(occupied.size() * 2);
+  for (uint32_t bucket = 0; bucket < occupied.size(); ++bucket) {
+    bucket_of_coordinate[occupied[bucket]] = bucket;
+  }
+
+  std::vector<uint32_t> bucket_of(database.size());
+  std::vector<Entry> entries(occupied.size());
+  for (uint32_t bucket = 0; bucket < occupied.size(); ++bucket) {
+    entries[bucket].coordinate = occupied[bucket];
+    entries[bucket].bucket = bucket;
+  }
+  for (TransactionId id = 0; id < database.size(); ++id) {
+    uint32_t bucket = bucket_of_coordinate.at(coordinate_of[id]);
+    bucket_of[id] = bucket;
+    ++entries[bucket].transaction_count;
+  }
+
+  TransactionStore store = TransactionStore::BuildBucketed(
+      database, bucket_of, static_cast<uint32_t>(occupied.size()),
+      config.page_size_bytes);
+
+  return SignatureTable(std::move(partition), config, std::move(entries),
+                        std::move(coordinate_of), std::move(store));
+}
+
+Supercoordinate SignatureTable::CoordinateOfTransaction(
+    TransactionId id) const {
+  MBI_CHECK(id < coordinate_of_transaction_.size());
+  return coordinate_of_transaction_[id];
+}
+
+std::vector<TransactionId> SignatureTable::FetchEntryTransactions(
+    size_t entry_index, IoStats* stats) const {
+  MBI_CHECK(entry_index < entries_.size());
+  return store_.FetchBucket(entries_[entry_index].bucket, stats);
+}
+
+const std::vector<PageId>& SignatureTable::PagesOfEntry(
+    size_t entry_index) const {
+  MBI_CHECK(entry_index < entries_.size());
+  return store_.PagesOfBucket(entries_[entry_index].bucket);
+}
+
+void SignatureTable::InsertTransaction(TransactionId id,
+                                       const Transaction& transaction) {
+  MBI_CHECK_MSG(id == coordinate_of_transaction_.size(),
+                "transactions must be inserted in database id order");
+  Supercoordinate coordinate = ComputeSupercoordinate(
+      transaction, partition_, config_.activation_threshold);
+  coordinate_of_transaction_.push_back(coordinate);
+
+  // Locate (or create) the directory entry, keeping `entries_` sorted by
+  // coordinate while bucket ids stay stable.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), coordinate,
+      [](const Entry& entry, Supercoordinate value) {
+        return entry.coordinate < value;
+      });
+  if (it == entries_.end() || it->coordinate != coordinate) {
+    Entry fresh;
+    fresh.coordinate = coordinate;
+    fresh.bucket = store_.AddBucket();
+    it = entries_.insert(it, fresh);
+  }
+  ++it->transaction_count;
+  store_.AppendToBucket(it->bucket, id,
+                        PageStore::SerializedSize(transaction));
+}
+
+SignatureTable::Stats SignatureTable::ComputeStats() const {
+  Stats stats;
+  stats.cardinality = cardinality();
+  stats.directory_entries = uint64_t{1} << cardinality();
+  stats.occupied_entries = entries_.size();
+  stats.num_transactions = coordinate_of_transaction_.size();
+  for (const Entry& entry : entries_) {
+    stats.max_bucket_size =
+        std::max<uint64_t>(stats.max_bucket_size, entry.transaction_count);
+  }
+  if (!entries_.empty()) {
+    stats.avg_bucket_size = static_cast<double>(stats.num_transactions) /
+                            static_cast<double>(entries_.size());
+  }
+  stats.disk_pages = store_.page_store().size();
+  stats.directory_bytes = MemoryFootprintBytes();
+  return stats;
+}
+
+SignatureTable SignatureTable::Assemble(
+    SignaturePartition partition, SignatureTableConfig config,
+    std::vector<Entry> entries,
+    std::vector<Supercoordinate> coordinate_of_transaction,
+    TransactionStore store) {
+  MBI_CHECK(config.activation_threshold >= 1);
+  MBI_CHECK(coordinate_of_transaction.size() == store.num_transactions());
+  uint64_t total = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) {
+      MBI_CHECK_MSG(entries[i - 1].coordinate < entries[i].coordinate,
+                    "entries must be sorted by supercoordinate");
+    }
+    MBI_CHECK_MSG(entries[i].coordinate <
+                      (Supercoordinate{1} << partition.cardinality()),
+                  "entry coordinate outside the 2^K directory");
+    MBI_CHECK_MSG(entries[i].bucket < store.num_buckets(),
+                  "entry references a missing bucket");
+    total += entries[i].transaction_count;
+  }
+  MBI_CHECK_MSG(total == coordinate_of_transaction.size(),
+                "entry counts do not sum to the transaction count");
+  return SignatureTable(std::move(partition), config, std::move(entries),
+                        std::move(coordinate_of_transaction),
+                        std::move(store));
+}
+
+uint64_t SignatureTable::MemoryFootprintBytes() const {
+  // The paper's model: one main-memory slot (a pointer to the page list) per
+  // possible supercoordinate.
+  return (uint64_t{1} << cardinality()) * sizeof(void*);
+}
+
+}  // namespace mbi

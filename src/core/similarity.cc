@@ -1,0 +1,141 @@
+#include "core/similarity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double InverseHammingSimilarity::Evaluate(int matches, int hamming) const {
+  MBI_CHECK(matches >= 0 && hamming >= 0);
+  (void)matches;  // f depends on the Hamming distance alone.
+  if (hamming == 0) return kInfinity;
+  return 1.0 / static_cast<double>(hamming);
+}
+
+double MatchRatioSimilarity::Evaluate(int matches, int hamming) const {
+  MBI_CHECK(matches >= 0 && hamming >= 0);
+  if (hamming == 0) return matches > 0 ? kInfinity : 0.0;
+  return static_cast<double>(matches) / static_cast<double>(hamming);
+}
+
+CosineSimilarity::CosineSimilarity(size_t target_size)
+    : target_size_(static_cast<double>(target_size)) {}
+
+double CosineSimilarity::Evaluate(int matches, int hamming) const {
+  MBI_CHECK(matches >= 0 && hamming >= 0);
+  if (matches == 0 || target_size_ == 0.0) return 0.0;
+  double x = static_cast<double>(matches);
+  double y = static_cast<double>(hamming);
+  // |S| = 2x + y - |T| on feasible pairs; clamp to >= x so the function stays
+  // monotone on infeasible bound pairs (clamp is a no-op on feasible input,
+  // where |S| >= x always holds).
+  double other_size = std::max(2.0 * x + y - target_size_, x);
+  return x / (std::sqrt(other_size) * std::sqrt(target_size_));
+}
+
+double JaccardSimilarity::Evaluate(int matches, int hamming) const {
+  MBI_CHECK(matches >= 0 && hamming >= 0);
+  if (matches + hamming == 0) return 1.0;
+  return static_cast<double>(matches) /
+         static_cast<double>(matches + hamming);
+}
+
+CustomSimilarity::CustomSimilarity(std::string name,
+                                   std::function<double(int, int)> fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  MBI_CHECK(fn_ != nullptr);
+}
+
+double CustomSimilarity::Evaluate(int matches, int hamming) const {
+  MBI_CHECK(matches >= 0 && hamming >= 0);
+  return fn_(matches, hamming);
+}
+
+std::unique_ptr<SimilarityFunction> InverseHammingFamily::ForTarget(
+    const Transaction& target) const {
+  (void)target;
+  return std::make_unique<InverseHammingSimilarity>();
+}
+
+std::unique_ptr<SimilarityFunction> MatchRatioFamily::ForTarget(
+    const Transaction& target) const {
+  (void)target;
+  return std::make_unique<MatchRatioSimilarity>();
+}
+
+std::unique_ptr<SimilarityFunction> CosineFamily::ForTarget(
+    const Transaction& target) const {
+  return std::make_unique<CosineSimilarity>(target.size());
+}
+
+std::unique_ptr<SimilarityFunction> JaccardFamily::ForTarget(
+    const Transaction& target) const {
+  (void)target;
+  return std::make_unique<JaccardSimilarity>();
+}
+
+CustomFamily::CustomFamily(std::string name,
+                           std::function<double(int, int)> fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  MBI_CHECK(fn_ != nullptr);
+}
+
+std::unique_ptr<SimilarityFunction> CustomFamily::ForTarget(
+    const Transaction& target) const {
+  (void)target;
+  return std::make_unique<CustomSimilarity>(name_, fn_);
+}
+
+std::string AdmissibilityReport::ToString() const {
+  if (admissible) return "admissible";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s monotonicity violated at (x=%d, y=%d)",
+                match_monotonicity_violated ? "match" : "hamming", x, y);
+  return buffer;
+}
+
+AdmissibilityReport CheckAdmissibility(const SimilarityFunction& similarity,
+                                       int max_matches, int max_hamming) {
+  MBI_CHECK(max_matches >= 0 && max_hamming >= 0);
+  AdmissibilityReport report;
+  for (int x = 0; x <= max_matches; ++x) {
+    for (int y = 0; y <= max_hamming; ++y) {
+      double here = similarity.Evaluate(x, y);
+      if (x < max_matches && similarity.Evaluate(x + 1, y) < here) {
+        report.admissible = false;
+        report.match_monotonicity_violated = true;
+        report.x = x;
+        report.y = y;
+        return report;
+      }
+      if (y < max_hamming && similarity.Evaluate(x, y + 1) > here) {
+        report.admissible = false;
+        report.match_monotonicity_violated = false;
+        report.x = x;
+        report.y = y;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+std::unique_ptr<SimilarityFamily> MakeSimilarityFamily(
+    const std::string& name) {
+  if (name == "hamming") return std::make_unique<InverseHammingFamily>();
+  if (name == "match_ratio") return std::make_unique<MatchRatioFamily>();
+  if (name == "cosine") return std::make_unique<CosineFamily>();
+  if (name == "jaccard") return std::make_unique<JaccardFamily>();
+  MBI_CHECK_MSG(false, "unknown similarity family name");
+  return nullptr;
+}
+
+}  // namespace mbi

@@ -1,0 +1,196 @@
+#ifndef MBI_CORE_SIMILARITY_H_
+#define MBI_CORE_SIMILARITY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// A similarity function f(x, y) over the number of matches x and the Hamming
+/// distance y between two transactions (paper Section 2).
+///
+/// The branch-and-bound engine accepts *any* function satisfying the paper's
+/// two monotonicity constraints:
+///
+///     df/dx >= 0   (more matches never decrease similarity)
+///     df/dy <= 0   (larger Hamming distance never increases similarity)
+///
+/// Lemma 2.1: under these constraints, if `alpha >= x` and `beta <= y`, then
+/// `f(alpha, beta) >= f(x, y)` — which is what makes f(M_opt, D_opt) a valid
+/// optimistic bound for a signature table entry.
+///
+/// Implementations must be monotone over the whole integer domain x >= 0,
+/// y >= 0 (including combinations that cannot occur between real
+/// transactions), because bound evaluation feeds in the per-entry optimistic
+/// pair (M_opt, D_opt) which need not be jointly feasible. Higher return
+/// values mean greater similarity; +infinity is allowed (identical
+/// transactions under 1/y).
+class SimilarityFunction {
+ public:
+  virtual ~SimilarityFunction() = default;
+
+  /// Evaluates f(x, y). `matches >= 0`, `hamming >= 0`.
+  virtual double Evaluate(int matches, int hamming) const = 0;
+
+  /// Human-readable name for logs and benchmark output.
+  virtual std::string name() const = 0;
+};
+
+/// The paper's example (1): Hamming distance restated in maximization form,
+/// f(x, y) = 1 / y. Identical transactions (y = 0) evaluate to +infinity.
+class InverseHammingSimilarity final : public SimilarityFunction {
+ public:
+  double Evaluate(int matches, int hamming) const override;
+  std::string name() const override { return "hamming"; }
+};
+
+/// The paper's example (2): match to Hamming distance ratio, f(x, y) = x / y.
+/// y = 0 evaluates to +infinity when x > 0 (identical non-empty transactions)
+/// and to 0 when x = 0 (two empty transactions are a degenerate case; any
+/// value is consistent because no third value can beat +inf ties).
+class MatchRatioSimilarity final : public SimilarityFunction {
+ public:
+  double Evaluate(int matches, int hamming) const override;
+  std::string name() const override { return "match_ratio"; }
+};
+
+/// The paper's example (3): cosine of the angle between the transactions
+/// viewed as 0/1 vectors. For a fixed target T with #T items,
+///
+///     cosine(S, T) = x / (sqrt(#S) * sqrt(#T))
+///                  = x / (sqrt(2x + y - #T) * sqrt(#T))
+///
+/// because #S + #T = 2x + y. The class is bound to a target size; infeasible
+/// (x, y) combinations arising from bound evaluation are clamped so the
+/// implemented function stays monotone everywhere (the clamp is exact on all
+/// feasible pairs).
+class CosineSimilarity final : public SimilarityFunction {
+ public:
+  explicit CosineSimilarity(size_t target_size);
+
+  double Evaluate(int matches, int hamming) const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  double target_size_;
+};
+
+/// Jaccard coefficient |S ∩ T| / |S ∪ T| = x / (x + y) — not one of the
+/// paper's three examples but admissible under its §2 constraints, so the
+/// same signature table serves it. Provided for the comparison against the
+/// MinHash/LSH baseline, whose collision probability estimates exactly this
+/// function. f(0, 0) is defined as 1 (two empty baskets are identical).
+class JaccardSimilarity final : public SimilarityFunction {
+ public:
+  double Evaluate(int matches, int hamming) const override;
+  std::string name() const override { return "jaccard"; }
+};
+
+/// A user-supplied similarity function wrapping a callable; the caller
+/// promises the monotonicity constraints hold. This is the "specified at
+/// query time" extension point: any f(x, y) obeying the constraints can be
+/// used against an already-built signature table.
+class CustomSimilarity final : public SimilarityFunction {
+ public:
+  CustomSimilarity(std::string name, std::function<double(int, int)> fn);
+
+  double Evaluate(int matches, int hamming) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(int, int)> fn_;
+};
+
+/// Factory binding a similarity function to a query target.
+///
+/// Hamming and match/ratio ignore the target; cosine needs the target's size.
+/// Query APIs accept a family so that multi-target queries can bind one
+/// function per target.
+class SimilarityFamily {
+ public:
+  virtual ~SimilarityFamily() = default;
+
+  /// Creates the function instance for `target`.
+  virtual std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Families for the paper's three evaluation functions.
+class InverseHammingFamily final : public SimilarityFamily {
+ public:
+  std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const override;
+  std::string name() const override { return "hamming"; }
+};
+
+class MatchRatioFamily final : public SimilarityFamily {
+ public:
+  std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const override;
+  std::string name() const override { return "match_ratio"; }
+};
+
+class CosineFamily final : public SimilarityFamily {
+ public:
+  std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const override;
+  std::string name() const override { return "cosine"; }
+};
+
+class JaccardFamily final : public SimilarityFamily {
+ public:
+  std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const override;
+  std::string name() const override { return "jaccard"; }
+};
+
+/// Family wrapping a fixed target-independent custom function.
+class CustomFamily final : public SimilarityFamily {
+ public:
+  CustomFamily(std::string name, std::function<double(int, int)> fn);
+  std::unique_ptr<SimilarityFunction> ForTarget(
+      const Transaction& target) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(int, int)> fn_;
+};
+
+/// Creates a family by name
+/// ("hamming", "match_ratio", "cosine", "jaccard"); aborts on unknown names.
+std::unique_ptr<SimilarityFamily> MakeSimilarityFamily(
+    const std::string& name);
+
+/// Result of CheckAdmissibility.
+struct AdmissibilityReport {
+  bool admissible = true;
+  /// First violating lattice point when not admissible: comparing
+  /// f(x, y) against f(x + 1, y) (match violation) or f(x, y + 1)
+  /// (hamming violation).
+  int x = 0;
+  int y = 0;
+  bool match_monotonicity_violated = false;
+
+  std::string ToString() const;
+};
+
+/// Grid-checks that `similarity` satisfies the paper's §2 constraints —
+/// nondecreasing in matches, nonincreasing in Hamming distance — over
+/// `0 <= x <= max_matches`, `0 <= y <= max_hamming`. The engine's bounds are
+/// only correct for admissible functions (Lemma 2.1), so callers supplying a
+/// CustomSimilarity should run this over the realistic (x, y) range of their
+/// data before trusting query results. O(max_matches * max_hamming)
+/// evaluations.
+AdmissibilityReport CheckAdmissibility(const SimilarityFunction& similarity,
+                                       int max_matches, int max_hamming);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_SIMILARITY_H_

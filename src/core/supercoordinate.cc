@@ -1,0 +1,49 @@
+#include "core/supercoordinate.h"
+
+#include <bit>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+Supercoordinate ComputeSupercoordinate(const Transaction& transaction,
+                                       const SignaturePartition& partition,
+                                       int activation_threshold) {
+  return SupercoordinateFromCounts(partition.CountsPerSignature(transaction),
+                                   activation_threshold);
+}
+
+Supercoordinate SupercoordinateFromCounts(const std::vector<int>& counts,
+                                          int activation_threshold) {
+  MBI_CHECK(activation_threshold >= 1);
+  MBI_CHECK(counts.size() <= SignaturePartition::kMaxCardinality);
+  Supercoordinate coordinate = 0;
+  for (size_t j = 0; j < counts.size(); ++j) {
+    if (Activates(counts[j], activation_threshold)) {
+      coordinate |= (Supercoordinate{1} << j);
+    }
+  }
+  return coordinate;
+}
+
+int ActivatedCount(Supercoordinate coordinate) {
+  return std::popcount(coordinate);
+}
+
+std::string SupercoordinateToString(Supercoordinate coordinate,
+                                    uint32_t cardinality) {
+  std::string out;
+  out.reserve(cardinality);
+  for (uint32_t j = 0; j < cardinality; ++j) {
+    out.push_back((coordinate >> j) & 1u ? '1' : '0');
+  }
+  return out;
+}
+
+void SupercoordinateMatchAndHamming(Supercoordinate a, Supercoordinate b,
+                                    int* match, int* hamming) {
+  *match = std::popcount(a & b);
+  *hamming = std::popcount(a ^ b);
+}
+
+}  // namespace mbi

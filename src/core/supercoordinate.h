@@ -1,0 +1,52 @@
+#ifndef MBI_CORE_SUPERCOORDINATE_H_
+#define MBI_CORE_SUPERCOORDINATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/signature_partition.h"
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// A supercoordinate: K activation bits, bit j set iff the transaction
+/// activates signature S_j (paper §3). Bit j of the integer corresponds to
+/// signature j.
+using Supercoordinate = uint32_t;
+
+/// True iff a transaction with `count` items in signature j activates it at
+/// activation threshold `r` (|T ∩ S_j| >= r).
+inline bool Activates(int count, int activation_threshold) {
+  return count >= activation_threshold;
+}
+
+/// Computes the supercoordinate of `transaction` under `partition` at the
+/// given activation threshold (>= 1).
+Supercoordinate ComputeSupercoordinate(const Transaction& transaction,
+                                       const SignaturePartition& partition,
+                                       int activation_threshold);
+
+/// Computes the supercoordinate from precomputed per-signature counts r_j.
+Supercoordinate SupercoordinateFromCounts(const std::vector<int>& counts,
+                                          int activation_threshold);
+
+/// Number of activated signatures (population count).
+int ActivatedCount(Supercoordinate coordinate);
+
+/// Renders the low `cardinality` bits as a 0/1 string, signature 0 first,
+/// e.g. "1010" for a 4-signature table with S0 and S2 active.
+std::string SupercoordinateToString(Supercoordinate coordinate,
+                                    uint32_t cardinality);
+
+/// Similarity between two supercoordinates viewed as K-bit transactions:
+/// matches = |a AND b| and hamming = |a XOR b|, fed into an arbitrary
+/// similarity functor. Used by the alternative entry-sorting strategy of
+/// §4 ("sort the entries ... based on the similarity function between the
+/// respective supercoordinates").
+void SupercoordinateMatchAndHamming(Supercoordinate a, Supercoordinate b,
+                                    int* match, int* hamming);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_SUPERCOORDINATE_H_

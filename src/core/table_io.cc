@@ -1,0 +1,234 @@
+#include "core/table_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace mbi {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D425354;  // "MBST"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<FILE, FileCloser>;
+
+bool WriteU32(FILE* file, uint32_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool WriteU64(FILE* file, uint64_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool WriteU32Vector(FILE* file, const std::vector<uint32_t>& values) {
+  if (!WriteU64(file, values.size())) return false;
+  return values.empty() ||
+         std::fwrite(values.data(), sizeof(uint32_t), values.size(), file) ==
+             values.size();
+}
+
+bool ReadU32(FILE* file, uint32_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+bool ReadU64(FILE* file, uint64_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+bool ReadU32Vector(FILE* file, uint64_t max_size,
+                   std::vector<uint32_t>* values) {
+  uint64_t size = 0;
+  if (!ReadU64(file, &size) || size > max_size) return false;
+  values->resize(size);
+  return size == 0 ||
+         std::fread(values->data(), sizeof(uint32_t), size, file) == size;
+}
+
+// Hard caps against corrupt headers allocating absurd buffers.
+constexpr uint64_t kMaxReasonableCount = 1ULL << 33;
+
+}  // namespace
+
+bool SaveSignatureTable(const SignatureTable& table, const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  FILE* out = file.get();
+
+  const SignaturePartition& partition = table.partition();
+  if (!WriteU32(out, kMagic) || !WriteU32(out, kVersion) ||
+      !WriteU32(out, partition.cardinality()) ||
+      !WriteU32(out, partition.universe_size()) ||
+      !WriteU32(out, static_cast<uint32_t>(table.activation_threshold())) ||
+      !WriteU32(out, table.page_size_bytes())) {
+    return false;
+  }
+
+  // Partition: signature index per item.
+  std::vector<uint32_t> signature_of_item(partition.universe_size());
+  for (ItemId item = 0; item < partition.universe_size(); ++item) {
+    signature_of_item[item] = partition.SignatureOf(item);
+  }
+  if (!WriteU32Vector(out, signature_of_item)) return false;
+
+  // Per-transaction supercoordinates.
+  const uint64_t num_transactions = table.num_indexed_transactions();
+  if (!WriteU64(out, num_transactions)) return false;
+  for (TransactionId id = 0; id < num_transactions; ++id) {
+    if (!WriteU32(out, table.CoordinateOfTransaction(id))) return false;
+  }
+
+  // Directory entries.
+  if (!WriteU64(out, table.entries().size())) return false;
+  for (const SignatureTable::Entry& entry : table.entries()) {
+    if (!WriteU32(out, entry.coordinate) ||
+        !WriteU32(out, entry.transaction_count) ||
+        !WriteU32(out, entry.bucket)) {
+      return false;
+    }
+  }
+
+  // Disk layout: buckets then pages.
+  const TransactionStore& store = table.store();
+  if (!WriteU64(out, store.num_buckets())) return false;
+  for (uint32_t bucket = 0; bucket < store.num_buckets(); ++bucket) {
+    if (!WriteU32Vector(out, store.PagesOfBucket(bucket))) return false;
+  }
+  const PageStore& pages = store.page_store();
+  if (!WriteU64(out, pages.size())) return false;
+  for (const Page& page : pages.pages()) {
+    if (!WriteU32(out, page.used_bytes) ||
+        !WriteU32Vector(out, page.transaction_ids)) {
+      return false;
+    }
+  }
+  std::vector<uint32_t> page_of_transaction(num_transactions);
+  for (TransactionId id = 0; id < num_transactions; ++id) {
+    page_of_transaction[id] = store.PageOfTransaction(id);
+  }
+  if (!WriteU32Vector(out, page_of_transaction)) return false;
+  return std::fflush(out) == 0;
+}
+
+std::optional<SignatureTable> LoadSignatureTable(
+    const std::string& path, const TransactionDatabase& database) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return std::nullopt;
+  FILE* in = file.get();
+
+  uint32_t magic = 0, version = 0, cardinality = 0, universe = 0;
+  uint32_t activation_threshold = 0, page_size = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic || !ReadU32(in, &version) ||
+      version != kVersion || !ReadU32(in, &cardinality) ||
+      !ReadU32(in, &universe) || !ReadU32(in, &activation_threshold) ||
+      !ReadU32(in, &page_size)) {
+    return std::nullopt;
+  }
+  if (cardinality == 0 || cardinality > SignaturePartition::kMaxCardinality ||
+      universe == 0 || activation_threshold == 0 || page_size < 64) {
+    return std::nullopt;
+  }
+  if (universe != database.universe_size()) return std::nullopt;
+
+  std::vector<uint32_t> signature_of_item;
+  if (!ReadU32Vector(in, universe, &signature_of_item) ||
+      signature_of_item.size() != universe) {
+    return std::nullopt;
+  }
+  for (uint32_t s : signature_of_item) {
+    if (s >= cardinality) return std::nullopt;
+  }
+
+  uint64_t num_transactions = 0;
+  if (!ReadU64(in, &num_transactions) ||
+      num_transactions != database.size() ||
+      num_transactions > kMaxReasonableCount) {
+    return std::nullopt;
+  }
+  std::vector<Supercoordinate> coordinates(num_transactions);
+  if (num_transactions > 0 &&
+      std::fread(coordinates.data(), sizeof(uint32_t), num_transactions, in) !=
+          num_transactions) {
+    return std::nullopt;
+  }
+
+  uint64_t num_entries = 0;
+  if (!ReadU64(in, &num_entries) || num_entries > num_transactions) {
+    return std::nullopt;
+  }
+  std::vector<SignatureTable::Entry> entries(num_entries);
+  for (auto& entry : entries) {
+    if (!ReadU32(in, &entry.coordinate) ||
+        !ReadU32(in, &entry.transaction_count) || !ReadU32(in, &entry.bucket)) {
+      return std::nullopt;
+    }
+  }
+
+  uint64_t num_buckets = 0;
+  if (!ReadU64(in, &num_buckets) || num_buckets > num_transactions) {
+    return std::nullopt;
+  }
+  std::vector<std::vector<PageId>> buckets(num_buckets);
+  for (auto& bucket : buckets) {
+    if (!ReadU32Vector(in, kMaxReasonableCount, &bucket)) return std::nullopt;
+  }
+
+  uint64_t num_pages = 0;
+  if (!ReadU64(in, &num_pages) || num_pages > kMaxReasonableCount) {
+    return std::nullopt;
+  }
+  std::vector<Page> pages(num_pages);
+  for (auto& page : pages) {
+    if (!ReadU32(in, &page.used_bytes) ||
+        !ReadU32Vector(in, kMaxReasonableCount, &page.transaction_ids)) {
+      return std::nullopt;
+    }
+    if (page.used_bytes > page_size) return std::nullopt;
+  }
+  std::vector<PageId> page_of_transaction;
+  if (!ReadU32Vector(in, kMaxReasonableCount, &page_of_transaction) ||
+      page_of_transaction.size() != num_transactions) {
+    return std::nullopt;
+  }
+  for (PageId page : page_of_transaction) {
+    if (page >= num_pages) return std::nullopt;
+  }
+  for (const auto& bucket : buckets) {
+    for (PageId page : bucket) {
+      if (page >= num_pages) return std::nullopt;
+    }
+  }
+  for (const auto& entry : entries) {
+    if (entry.bucket >= num_buckets) return std::nullopt;
+    if (entry.coordinate >= (Supercoordinate{1} << cardinality)) {
+      return std::nullopt;
+    }
+  }
+  // Entry counts must sum to the transaction count; ordering is validated by
+  // Assemble (which aborts on programmer error — here we reject gracefully).
+  uint64_t total = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0 && entries[i - 1].coordinate >= entries[i].coordinate) {
+      return std::nullopt;
+    }
+    total += entries[i].transaction_count;
+  }
+  if (total != num_transactions) return std::nullopt;
+
+  SignatureTableConfig config;
+  config.activation_threshold = static_cast<int>(activation_threshold);
+  config.page_size_bytes = page_size;
+  return SignatureTable::Assemble(
+      SignaturePartition(cardinality, std::move(signature_of_item)), config,
+      std::move(entries), std::move(coordinates),
+      TransactionStore::FromParts(
+          PageStore::FromPages(page_size, std::move(pages)),
+          std::move(buckets), std::move(page_of_transaction)));
+}
+
+}  // namespace mbi

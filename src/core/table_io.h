@@ -1,0 +1,31 @@
+#ifndef MBI_CORE_TABLE_IO_H_
+#define MBI_CORE_TABLE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/signature_table.h"
+#include "txn/database.h"
+
+namespace mbi {
+
+/// Persists a fully built signature table — partition, directory entries,
+/// per-transaction supercoordinates, and the complete on-disk page layout —
+/// so an index over a large database can be reopened without re-mining
+/// supports, re-clustering, or re-bucketing. Returns false on I/O failure.
+///
+/// The transaction *contents* are not duplicated into the index file; pair a
+/// table file with the database file (SaveDatabase / LoadDatabase) or with
+/// whatever system owns the rows.
+bool SaveSignatureTable(const SignatureTable& table, const std::string& path);
+
+/// Loads a table written by SaveSignatureTable and validates it against
+/// `database` (universe size and transaction count must match — the table
+/// indexes exactly that database). Returns nullopt on I/O failure, malformed
+/// input, or a database mismatch.
+std::optional<SignatureTable> LoadSignatureTable(
+    const std::string& path, const TransactionDatabase& database);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_TABLE_IO_H_

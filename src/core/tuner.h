@@ -1,0 +1,68 @@
+#ifndef MBI_CORE_TUNER_H_
+#define MBI_CORE_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/index_builder.h"
+#include "core/similarity.h"
+#include "txn/database.h"
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// Parameters of the automatic index tuner.
+struct TunerConfig {
+  /// Main-memory budget for the 2^K directory, in bytes (the paper's
+  /// "amount of available memory determines the value of the signature
+  /// cardinality K"). The tuner never recommends a K whose directory would
+  /// exceed it.
+  uint64_t directory_memory_budget_bytes = 1 << 20;  // 1 MiB -> K <= 17.
+
+  /// Activation thresholds to consider (paper §5 footnote 4: larger r can
+  /// help for larger transaction sizes).
+  std::vector<int> activation_thresholds = {1, 2};
+
+  /// Transactions sampled from the database for the trial builds. Trials on
+  /// a sample keep tuning cheap; pruning on the full database is better than
+  /// on the sample (paper: pruning improves with size), so the measurement
+  /// is conservative.
+  uint64_t sample_size = 20'000;
+
+  /// Candidate cardinalities are swept from this floor up to the budget cap.
+  uint32_t min_cardinality = 8;
+
+  /// Seed for the sampling.
+  uint64_t seed = 1;
+};
+
+/// One trial's measurement.
+struct TuningTrial {
+  uint32_t cardinality = 0;
+  int activation_threshold = 1;
+  uint64_t directory_bytes = 0;
+  /// Average pruning efficiency (%) on the sample, exact search.
+  double pruning_efficiency = 0.0;
+};
+
+/// Tuner output: the recommended build configuration plus every trial, so
+/// callers can inspect the trade-off curve.
+struct TuningResult {
+  IndexBuildConfig recommended;
+  std::vector<TuningTrial> trials;
+  std::string ToString() const;
+};
+
+/// Picks a signature cardinality K and activation threshold r for `database`
+/// under a directory memory budget by measuring pruning efficiency of trial
+/// tables built over a sample, probed with `probe_queries` under `family`.
+/// Ties (within 0.25 percentage points) go to the smaller directory.
+TuningResult TuneIndex(const TransactionDatabase& database,
+                       const std::vector<Transaction>& probe_queries,
+                       const SimilarityFamily& family,
+                       const TunerConfig& config);
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_TUNER_H_

@@ -1,0 +1,177 @@
+#include "gen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+QuestGenerator::QuestGenerator(const QuestGeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  MBI_CHECK(config_.universe_size > 0);
+  MBI_CHECK(config_.num_large_itemsets > 0);
+  MBI_CHECK(config_.avg_itemset_size > 0.0);
+  MBI_CHECK(config_.avg_transaction_size > 0.0);
+  MBI_CHECK(config_.correlation_fraction >= 0.0 &&
+            config_.correlation_fraction <= 1.0);
+  MBI_CHECK(config_.spill_probability >= 0.0 &&
+            config_.spill_probability <= 1.0);
+  BuildLargeItemsets();
+}
+
+void QuestGenerator::BuildLargeItemsets() {
+  large_itemsets_.reserve(config_.num_large_itemsets);
+  noise_levels_.reserve(config_.num_large_itemsets);
+  std::vector<double> weights;
+  weights.reserve(config_.num_large_itemsets);
+
+  const double noise_stddev = std::sqrt(config_.noise_variance);
+  std::vector<ItemId> previous;
+
+  for (uint32_t i = 0; i < config_.num_large_itemsets; ++i) {
+    int size = std::max(1, rng_.Poisson(config_.avg_itemset_size));
+    size = std::min<int>(size, static_cast<int>(config_.universe_size));
+
+    std::unordered_set<ItemId> chosen;
+    if (!previous.empty()) {
+      // Inherit a fraction of the previous itemset's items so that successive
+      // potentially large itemsets share items (paper: "picking half of its
+      // items from the current itemset").
+      int inherit =
+          std::min<int>(static_cast<int>(std::lround(
+                            config_.correlation_fraction * size)),
+                        static_cast<int>(previous.size()));
+      std::vector<ItemId> pool = previous;
+      rng_.Shuffle(&pool);
+      for (int j = 0; j < inherit; ++j) chosen.insert(pool[j]);
+    }
+    // Fill the remainder with uniform random items.
+    while (static_cast<int>(chosen.size()) < size) {
+      chosen.insert(
+          static_cast<ItemId>(rng_.UniformUint64(config_.universe_size)));
+    }
+
+    std::vector<ItemId> items(chosen.begin(), chosen.end());
+    large_itemsets_.emplace_back(std::move(items));
+    previous = large_itemsets_.back().items();
+
+    weights.push_back(rng_.Exponential(1.0));
+
+    // Noise level ~ N(0.5, 0.1), clamped into (0, 1) so the geometric draw is
+    // always well defined.
+    double noise = rng_.Normal(config_.noise_mean, noise_stddev);
+    noise = std::clamp(noise, 0.01, 0.99);
+    noise_levels_.push_back(noise);
+  }
+
+  die_ = std::make_unique<AliasSampler>(weights);
+}
+
+std::vector<ItemId> QuestGenerator::NoisyInstance(size_t index) {
+  const auto& items = large_itemsets_[index].items();
+  std::vector<ItemId> instance = items;
+  int drops = rng_.Geometric(noise_levels_[index]);
+  drops = std::min<int>(drops, static_cast<int>(instance.size()));
+  for (int d = 0; d < drops; ++d) {
+    size_t victim = static_cast<size_t>(rng_.UniformUint64(instance.size()));
+    instance[victim] = instance.back();
+    instance.pop_back();
+  }
+  return instance;
+}
+
+Transaction QuestGenerator::NextTransaction() {
+  const int target_size =
+      std::max(1, rng_.Poisson(config_.avg_transaction_size));
+
+  std::unordered_set<ItemId> basket;
+  // Degenerate configurations (itemset pool whose union is smaller than the
+  // target size) can stop the basket from ever growing; bail out once a run
+  // of instances adds nothing instead of looping forever.
+  int stalled_iterations = 0;
+  constexpr int kMaxStalledIterations = 32;
+  while (static_cast<int>(basket.size()) < target_size) {
+    std::vector<ItemId> instance;
+    if (has_carryover_) {
+      instance = std::move(carryover_);
+      has_carryover_ = false;
+    } else {
+      instance = NoisyInstance(die_->Sample(&rng_));
+    }
+    size_t size_before = basket.size();
+    if (instance.empty()) {  // Noise dropped the whole itemset.
+      if (!basket.empty() && ++stalled_iterations >= kMaxStalledIterations) {
+        break;
+      }
+      continue;
+    }
+
+    const int room = target_size - static_cast<int>(basket.size());
+    if (static_cast<int>(instance.size()) <= room) {
+      basket.insert(instance.begin(), instance.end());
+      if (basket.size() == size_before) {
+        if (++stalled_iterations >= kMaxStalledIterations) break;
+      } else {
+        stalled_iterations = 0;
+      }
+      continue;
+    }
+    // The instance does not fit: half of the time assign it to the current
+    // transaction anyway; otherwise carry it over to the next transaction.
+    // An empty basket always takes the instance — carrying it over would
+    // emit an empty transaction, which the model does not produce.
+    if (basket.empty() || rng_.Bernoulli(config_.spill_probability)) {
+      basket.insert(instance.begin(), instance.end());
+    } else {
+      carryover_ = std::move(instance);
+      has_carryover_ = true;
+    }
+    break;
+  }
+
+  return Transaction(std::vector<ItemId>(basket.begin(), basket.end()));
+}
+
+TransactionDatabase QuestGenerator::GenerateDatabase(uint64_t count) {
+  TransactionDatabase database(config_.universe_size);
+  for (uint64_t i = 0; i < count; ++i) database.Add(NextTransaction());
+  return database;
+}
+
+std::vector<Transaction> QuestGenerator::GenerateQueries(uint64_t count) {
+  std::vector<Transaction> queries;
+  queries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) queries.push_back(NextTransaction());
+  return queries;
+}
+
+double QuestGenerator::noise_level(size_t index) const {
+  MBI_CHECK(index < noise_levels_.size());
+  return noise_levels_[index];
+}
+
+CorpusStats ComputeCorpusStats(const TransactionDatabase& database) {
+  CorpusStats stats;
+  stats.num_transactions = database.size();
+  std::vector<bool> seen(database.universe_size(), false);
+  uint64_t total_items = 0;
+  for (const auto& transaction : database.transactions()) {
+    total_items += transaction.size();
+    stats.max_transaction_size =
+        std::max(stats.max_transaction_size, transaction.size());
+    for (ItemId item : transaction.items()) seen[item] = true;
+  }
+  stats.distinct_items =
+      static_cast<uint32_t>(std::count(seen.begin(), seen.end(), true));
+  if (database.size() > 0) {
+    stats.avg_transaction_size =
+        static_cast<double>(total_items) / static_cast<double>(database.size());
+    stats.density = stats.avg_transaction_size /
+                    static_cast<double>(database.universe_size());
+  }
+  return stats;
+}
+
+}  // namespace mbi

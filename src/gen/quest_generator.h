@@ -1,0 +1,134 @@
+#ifndef MBI_GEN_QUEST_GENERATOR_H_
+#define MBI_GEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txn/database.h"
+#include "txn/transaction.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+
+namespace mbi {
+
+/// Parameters of the synthetic market-basket generator described in Section 5
+/// of Aggarwal, Wolf & Yu (SIGMOD 1999), which follows the IBM Quest method of
+/// Agrawal & Srikant (VLDB 1994).
+///
+/// Datasets are named by the paper's convention `T<t>.I<i>.D<n>`:
+/// `avg_transaction_size` = T, `avg_itemset_size` = I, and the count passed to
+/// GenerateDatabase() = D.
+struct QuestGeneratorConfig {
+  /// Size of the universal item set U.
+  uint32_t universe_size = 1000;
+
+  /// Number L of maximal potentially large itemsets ("consumer tendencies").
+  /// The paper uses L = 2000.
+  uint32_t num_large_itemsets = 2000;
+
+  /// Mean of the Poisson from which each maximal itemset's size is drawn
+  /// (the paper's I). Sizes are clamped to [1, universe_size].
+  double avg_itemset_size = 6.0;
+
+  /// Fraction of each successive itemset's items inherited from the previous
+  /// itemset ("half of its items from the current itemset" => 0.5).
+  double correlation_fraction = 0.5;
+
+  /// Mean of the Poisson from which each transaction's size is drawn
+  /// (the paper's T). Sizes are clamped to at least 1.
+  double avg_transaction_size = 10.0;
+
+  /// Mean of the normal distribution for per-itemset noise levels
+  /// (paper: 0.5) and its variance (paper: 0.1). The noise level is the
+  /// success probability of the geometric variable that decides how many
+  /// items are dropped from an itemset instance; it is clamped to (0, 1).
+  double noise_mean = 0.5;
+  double noise_variance = 0.1;
+
+  /// Probability that an itemset which does not fit in the remaining room of
+  /// the current transaction is assigned to it anyway ("half of the time").
+  double spill_probability = 0.5;
+
+  /// Seed for all randomness of this generator.
+  uint64_t seed = 42;
+};
+
+/// Synthetic market-basket data generator (paper Section 5).
+///
+/// Construction builds the pool of maximal potentially large itemsets:
+///   * each size ~ Poisson(avg_itemset_size), at least 1;
+///   * each successive itemset inherits `correlation_fraction` of its items
+///     from the previous itemset and draws the rest uniformly, so that the
+///     potentially large itemsets "often have common items";
+///   * each itemset has weight ~ Exp(1), forming an L-sided weighted die;
+///   * each itemset has a noise level ~ N(noise_mean, noise_variance).
+///
+/// NextTransaction() then draws a target size ~ Poisson(avg_transaction_size)
+/// and assigns noisy itemset instances in succession: a geometric number of
+/// items (capped at the itemset size) is dropped from each instance, and an
+/// instance that does not fit the remaining room is either force-assigned
+/// (probability `spill_probability`) or carried over to start the next
+/// transaction, exactly as described in the paper.
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(const QuestGeneratorConfig& config);
+
+  /// Generates the next transaction of the stream.
+  Transaction NextTransaction();
+
+  /// Generates `count` transactions into a fresh database over the
+  /// configured universe.
+  TransactionDatabase GenerateDatabase(uint64_t count);
+
+  /// Generates `count` query targets. Targets come from the same stream as
+  /// database transactions (fresh draws, not copies of database rows), which
+  /// matches the paper's setting of searching for peers of a new basket.
+  std::vector<Transaction> GenerateQueries(uint64_t count);
+
+  const QuestGeneratorConfig& config() const { return config_; }
+
+  /// The maximal potentially large itemsets (exposed for tests and for the
+  /// mining substrate's ground-truth checks).
+  const std::vector<Transaction>& large_itemsets() const {
+    return large_itemsets_;
+  }
+
+  /// Noise level assigned to large itemset `index`.
+  double noise_level(size_t index) const;
+
+ private:
+  /// Builds the pool of maximal potentially large itemsets.
+  void BuildLargeItemsets();
+
+  /// Draws an itemset instance with noise applied: a copy of large itemset
+  /// `index` with min(G, size) random items dropped, G ~ Geometric(noise).
+  std::vector<ItemId> NoisyInstance(size_t index);
+
+  QuestGeneratorConfig config_;
+  Rng rng_;
+  std::vector<Transaction> large_itemsets_;
+  std::vector<double> noise_levels_;
+  std::unique_ptr<AliasSampler> die_;
+
+  /// Itemset instance carried over when it did not fit the prior transaction.
+  std::vector<ItemId> carryover_;
+  bool has_carryover_ = false;
+};
+
+/// Summary statistics of a database, used by tests and benchmark logs.
+struct CorpusStats {
+  uint64_t num_transactions = 0;
+  double avg_transaction_size = 0.0;
+  size_t max_transaction_size = 0;
+  uint32_t distinct_items = 0;
+  /// Fraction of (transaction, item) cells that are 1 — the data density the
+  /// paper's inverted-index discussion hinges on.
+  double density = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(const TransactionDatabase& database);
+
+}  // namespace mbi
+
+#endif  // MBI_GEN_QUEST_GENERATOR_H_

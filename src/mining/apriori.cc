@@ -1,0 +1,193 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+/// Hash for a sorted itemset (FNV-1a over the id bytes).
+struct ItemsetHash {
+  size_t operator()(const std::vector<ItemId>& items) const {
+    uint64_t hash = 1469598103934665603ULL;
+    for (ItemId item : items) {
+      hash ^= item;
+      hash *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(hash);
+  }
+};
+
+using CandidateCounts =
+    std::unordered_map<std::vector<ItemId>, uint64_t, ItemsetHash>;
+
+/// Apriori-gen: joins frequent (k-1)-itemsets sharing their first k-2 items,
+/// then prunes candidates with an infrequent subset.
+std::vector<std::vector<ItemId>> GenerateCandidates(
+    const std::vector<std::vector<ItemId>>& frequent_prev) {
+  std::vector<std::vector<ItemId>> candidates;
+  if (frequent_prev.empty()) return candidates;
+  const size_t k_minus_1 = frequent_prev[0].size();
+
+  // Membership structure for the prune step.
+  std::unordered_map<std::vector<ItemId>, bool, ItemsetHash> is_frequent;
+  is_frequent.reserve(frequent_prev.size() * 2);
+  for (const auto& itemset : frequent_prev) is_frequent[itemset] = true;
+
+  for (size_t i = 0; i < frequent_prev.size(); ++i) {
+    for (size_t j = i + 1; j < frequent_prev.size(); ++j) {
+      const auto& a = frequent_prev[i];
+      const auto& b = frequent_prev[j];
+      // Join condition: identical prefix of length k-2 (inputs are sorted
+      // lexicographically, so joinable partners are adjacent-ish, but the
+      // quadratic scan with an early break keeps the code simple).
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) {
+        if (a.size() > 1) break;  // Sorted input: prefixes only diverge.
+        continue;
+      }
+      std::vector<ItemId> candidate = a;
+      candidate.push_back(b.back());
+      if (candidate[candidate.size() - 2] > candidate.back()) {
+        std::swap(candidate[candidate.size() - 2],
+                  candidate[candidate.size() - 1]);
+      }
+      // Prune: every (k-1)-subset must be frequent.
+      bool all_subsets_frequent = true;
+      std::vector<ItemId> subset(candidate.size() - 1);
+      for (size_t drop = 0; drop < candidate.size() && all_subsets_frequent;
+           ++drop) {
+        size_t out = 0;
+        for (size_t pos = 0; pos < candidate.size(); ++pos) {
+          if (pos != drop) subset[out++] = candidate[pos];
+        }
+        if (!is_frequent.count(subset)) all_subsets_frequent = false;
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+      (void)k_minus_1;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+/// Counts how many transactions contain each candidate (subset test per
+/// transaction via sorted inclusion).
+void CountCandidates(const TransactionDatabase& database,
+                     const std::vector<std::vector<ItemId>>& candidates,
+                     CandidateCounts* counts) {
+  counts->clear();
+  counts->reserve(candidates.size() * 2);
+  for (const auto& candidate : candidates) (*counts)[candidate] = 0;
+  for (const auto& transaction : database.transactions()) {
+    const auto& items = transaction.items();
+    for (const auto& candidate : candidates) {
+      if (candidate.size() > items.size()) continue;
+      if (std::includes(items.begin(), items.end(), candidate.begin(),
+                        candidate.end())) {
+        ++(*counts)[candidate];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDatabase& database, const AprioriConfig& config) {
+  MBI_CHECK(config.min_support > 0.0 && config.min_support <= 1.0);
+  std::vector<FrequentItemset> result;
+  if (database.empty()) return result;
+
+  const uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(config.min_support * static_cast<double>(database.size())));
+
+  // Level 1: direct item counting.
+  std::vector<uint64_t> item_counts(database.universe_size(), 0);
+  for (const auto& transaction : database.transactions()) {
+    for (ItemId item : transaction.items()) ++item_counts[item];
+  }
+  std::vector<std::vector<ItemId>> frequent_prev;
+  for (ItemId item = 0; item < database.universe_size(); ++item) {
+    if (item_counts[item] >= min_count && item_counts[item] > 0) {
+      result.push_back({{item}, item_counts[item]});
+      frequent_prev.push_back({item});
+    }
+  }
+
+  uint32_t level = 2;
+  CandidateCounts counts;
+  while (!frequent_prev.empty() &&
+         (config.max_itemset_size == 0 || level <= config.max_itemset_size)) {
+    std::vector<std::vector<ItemId>> candidates =
+        GenerateCandidates(frequent_prev);
+    if (candidates.empty()) break;
+    CountCandidates(database, candidates, &counts);
+
+    std::vector<std::vector<ItemId>> frequent_now;
+    for (const auto& candidate : candidates) {
+      uint64_t count = counts[candidate];
+      if (count >= min_count) {
+        result.push_back({candidate, count});
+        frequent_now.push_back(candidate);
+      }
+    }
+    std::sort(frequent_now.begin(), frequent_now.end());
+    frequent_prev = std::move(frequent_now);
+    ++level;
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+std::vector<AssociationRule> GenerateAssociationRules(
+    const std::vector<FrequentItemset>& frequent_itemsets,
+    uint64_t num_transactions, double min_confidence) {
+  MBI_CHECK(min_confidence >= 0.0 && min_confidence <= 1.0);
+  // Index supports for O(1) lookup of antecedent supports.
+  std::map<std::vector<ItemId>, uint64_t> support_of;
+  for (const auto& itemset : frequent_itemsets) {
+    support_of[itemset.items] = itemset.count;
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const auto& itemset : frequent_itemsets) {
+    const size_t n = itemset.items.size();
+    if (n < 2) continue;
+    // Enumerate all proper non-empty subsets as antecedents.
+    const uint32_t subsets = 1u << n;
+    for (uint32_t mask = 1; mask + 1 < subsets; ++mask) {
+      std::vector<ItemId> antecedent, consequent;
+      for (size_t bit = 0; bit < n; ++bit) {
+        if (mask & (1u << bit)) {
+          antecedent.push_back(itemset.items[bit]);
+        } else {
+          consequent.push_back(itemset.items[bit]);
+        }
+      }
+      auto it = support_of.find(antecedent);
+      if (it == support_of.end() || it->second == 0) continue;
+      double confidence = static_cast<double>(itemset.count) /
+                          static_cast<double>(it->second);
+      if (confidence >= min_confidence) {
+        rules.push_back({std::move(antecedent), std::move(consequent),
+                         itemset.Support(num_transactions), confidence});
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace mbi

@@ -1,0 +1,63 @@
+#ifndef MBI_MINING_APRIORI_H_
+#define MBI_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/database.h"
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// A frequent itemset together with its absolute support count.
+struct FrequentItemset {
+  std::vector<ItemId> items;  // Sorted ascending.
+  uint64_t count = 0;
+
+  /// Support as a fraction of `num_transactions`.
+  double Support(uint64_t num_transactions) const {
+    return num_transactions == 0
+               ? 0.0
+               : static_cast<double>(count) /
+                     static_cast<double>(num_transactions);
+  }
+};
+
+/// Configuration for the Apriori miner.
+struct AprioriConfig {
+  /// Minimum fractional support in (0, 1].
+  double min_support = 0.01;
+  /// Stop after this itemset size (0 = unbounded).
+  uint32_t max_itemset_size = 0;
+};
+
+/// Classic levelwise Apriori frequent-itemset miner (Agrawal & Srikant,
+/// VLDB 1994 — the paper's reference [3]).
+///
+/// This is the association-rule substrate the paper builds on; the signature
+/// table itself only needs the 2-itemset level (see SupportCounter), but the
+/// full miner is provided both as the natural companion tool for market
+/// basket analysis and to validate the synthetic generator: the planted
+/// "potentially large itemsets" must surface as frequent itemsets.
+///
+/// Returns all frequent itemsets of every size, sorted by (size, items).
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDatabase& database, const AprioriConfig& config);
+
+/// An association rule `antecedent => consequent` with its metrics.
+struct AssociationRule {
+  std::vector<ItemId> antecedent;  // Sorted.
+  std::vector<ItemId> consequent;  // Sorted, disjoint from antecedent.
+  double support = 0.0;            // Support of antecedent ∪ consequent.
+  double confidence = 0.0;         // support(A ∪ C) / support(A).
+};
+
+/// Derives all association rules meeting `min_confidence` from the frequent
+/// itemsets (standard rule-generation step of the Apriori framework).
+std::vector<AssociationRule> GenerateAssociationRules(
+    const std::vector<FrequentItemset>& frequent_itemsets,
+    uint64_t num_transactions, double min_confidence);
+
+}  // namespace mbi
+
+#endif  // MBI_MINING_APRIORI_H_

@@ -1,0 +1,122 @@
+#include "mining/pcy_counter.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+/// Pair hash for the bucket filter (64-bit mix of the packed pair).
+uint32_t BucketOf(ItemId a, ItemId b, uint32_t num_buckets) {
+  uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDULL;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ULL;
+  key ^= key >> 33;
+  return static_cast<uint32_t>(key % num_buckets);
+}
+
+}  // namespace
+
+PcyCounter::PcyCounter(const TransactionDatabase& database,
+                       const PcyConfig& config)
+    : config_(config),
+      universe_size_(database.universe_size()),
+      num_transactions_(database.size()),
+      item_counts_(database.universe_size(), 0) {
+  MBI_CHECK(config_.min_pair_count >= 1);
+  MBI_CHECK(config_.num_hash_buckets >= 1);
+
+  // Pass 1: item counts + hashed pair-bucket counts.
+  std::vector<uint32_t> bucket_counts(config_.num_hash_buckets, 0);
+  for (const auto& transaction : database.transactions()) {
+    const auto& items = transaction.items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      ++item_counts_[items[i]];
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        ++bucket_counts[BucketOf(items[i], items[j],
+                                 config_.num_hash_buckets)];
+      }
+    }
+  }
+
+  // Collapse the bucket counters into a bitmap of surviving buckets.
+  std::vector<bool> frequent_bucket(config_.num_hash_buckets);
+  for (uint32_t b = 0; b < config_.num_hash_buckets; ++b) {
+    frequent_bucket[b] = bucket_counts[b] >= config_.min_pair_count;
+  }
+  bucket_counts.clear();
+  bucket_counts.shrink_to_fit();
+
+  // Pass 2: exact counts for pairs in surviving buckets only. A pair's true
+  // count never exceeds its bucket's count, so no qualifying pair is missed.
+  for (const auto& transaction : database.transactions()) {
+    const auto& items = transaction.items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      // Cheap item-level prune: a pair cannot qualify if either item's total
+      // count is below the pair threshold.
+      if (item_counts_[items[i]] < config_.min_pair_count) continue;
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        if (item_counts_[items[j]] < config_.min_pair_count) continue;
+        if (!frequent_bucket[BucketOf(items[i], items[j],
+                                      config_.num_hash_buckets)]) {
+          continue;
+        }
+        ++exact_pair_counts_[PairKey(items[i], items[j])];
+      }
+    }
+  }
+
+  // Drop false positives (bucket survived via collisions, pair did not).
+  for (auto it = exact_pair_counts_.begin(); it != exact_pair_counts_.end();) {
+    if (it->second < config_.min_pair_count) {
+      it = exact_pair_counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t PcyCounter::ItemCount(ItemId item) const {
+  MBI_CHECK(item < universe_size_);
+  return item_counts_[item];
+}
+
+double PcyCounter::ItemSupport(ItemId item) const {
+  if (num_transactions_ == 0) return 0.0;
+  return static_cast<double>(ItemCount(item)) /
+         static_cast<double>(num_transactions_);
+}
+
+uint64_t PcyCounter::PairCount(ItemId a, ItemId b) const {
+  MBI_CHECK(a < universe_size_ && b < universe_size_);
+  MBI_CHECK(a != b);
+  if (a > b) std::swap(a, b);
+  auto it = exact_pair_counts_.find(PairKey(a, b));
+  return it == exact_pair_counts_.end() ? 0 : it->second;
+}
+
+std::vector<SupportProvider::PairEntry> PcyCounter::PairsWithMinCount(
+    uint64_t min_count) const {
+  MBI_CHECK_MSG(min_count >= config_.min_pair_count,
+                "PCY cannot report pairs below its construction threshold");
+  std::vector<PairEntry> result;
+  result.reserve(exact_pair_counts_.size());
+  for (const auto& [key, count] : exact_pair_counts_) {
+    if (count >= min_count) {
+      result.push_back({static_cast<ItemId>(key >> 32),
+                        static_cast<ItemId>(key & 0xFFFFFFFFu), count});
+    }
+  }
+  return result;
+}
+
+uint64_t PcyCounter::MemoryBytes() const {
+  return item_counts_.size() * sizeof(uint64_t) +
+         exact_pair_counts_.size() *
+             (sizeof(uint64_t) * 2 + sizeof(void*));  // Approximate node cost.
+}
+
+}  // namespace mbi

@@ -1,0 +1,40 @@
+#include "storage/buffer_pool.h"
+
+#include "util/macros.h"
+
+namespace mbi {
+
+BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
+    : store_(store), capacity_(capacity_pages) {
+  MBI_CHECK(store != nullptr);
+}
+
+const Page& BufferPool::Read(PageId page, IoStats* stats) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return store_->Read(page, stats);
+  }
+  auto it = lookup_.find(page);
+  if (it != lookup_.end()) {
+    ++hits_;
+    if (stats != nullptr) ++stats->pages_cached;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return store_->Read(page, nullptr);  // Served from cache: no charge.
+  }
+  ++misses_;
+  const Page& loaded = store_->Read(page, stats);
+  lru_.push_front(page);
+  lookup_[page] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    lookup_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return loaded;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  lookup_.clear();
+}
+
+}  // namespace mbi

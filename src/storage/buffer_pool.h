@@ -1,0 +1,49 @@
+#ifndef MBI_STORAGE_BUFFER_POOL_H_
+#define MBI_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page_store.h"
+
+namespace mbi {
+
+/// LRU buffer pool in front of a PageStore.
+///
+/// Queries that revisit pages (e.g., the inverted-index baseline fetching
+/// scattered transactions) only pay a physical read on a miss; hits are
+/// tallied as `pages_cached` in the ledger. The pool holds page ids, not page
+/// copies — the underlying store is immutable once built, so a "cached" page
+/// is simply served without charging physical I/O.
+class BufferPool {
+ public:
+  /// `capacity_pages` of 0 disables caching (every read is physical).
+  BufferPool(const PageStore* store, size_t capacity_pages);
+
+  /// Reads a page through the cache, updating `stats` (miss: physical read;
+  /// hit: pages_cached).
+  const Page& Read(PageId page, IoStats* stats);
+
+  /// Drops all cached pages.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return lookup_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  const PageStore* store_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  /// Most-recently-used at front.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> lookup_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_BUFFER_POOL_H_

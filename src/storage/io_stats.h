@@ -1,0 +1,46 @@
+#ifndef MBI_STORAGE_IO_STATS_H_
+#define MBI_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace mbi {
+
+/// I/O accounting for the simulated disk.
+///
+/// The paper's evaluation metrics (pruning efficiency, percentage of
+/// transactions accessed) are counting metrics over the disk-resident part of
+/// the index; this struct is the ledger those counts flow through, so query
+/// engines can report both logical (transactions fetched) and physical
+/// (pages read, with and without buffering) costs.
+struct IoStats {
+  /// Physical page reads issued to the page store (buffer-pool misses when a
+  /// pool is in front of the store, all reads otherwise).
+  uint64_t pages_read = 0;
+
+  /// Page reads that were absorbed by a buffer pool.
+  uint64_t pages_cached = 0;
+
+  /// Pages appended.
+  uint64_t pages_written = 0;
+
+  /// Logical transaction fetches (each transaction materialized from a page).
+  uint64_t transactions_fetched = 0;
+
+  /// Bytes transferred from "disk" (page-size granular).
+  uint64_t bytes_read = 0;
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats& operator+=(const IoStats& other) {
+    pages_read += other.pages_read;
+    pages_cached += other.pages_cached;
+    pages_written += other.pages_written;
+    transactions_fetched += other.transactions_fetched;
+    bytes_read += other.bytes_read;
+    return *this;
+  }
+};
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_IO_STATS_H_

@@ -1,0 +1,78 @@
+#include "storage/page_store.h"
+
+#include "util/macros.h"
+
+namespace mbi {
+
+PageStore::PageStore(uint32_t page_size_bytes)
+    : page_size_bytes_(page_size_bytes) {
+  MBI_CHECK_MSG(page_size_bytes >= 64, "page size too small to be useful");
+}
+
+uint32_t PageStore::SerializedSize(const Transaction& transaction) {
+  return 4 + 4 * static_cast<uint32_t>(transaction.size());
+}
+
+PageId PageStore::Append(TransactionId id, uint32_t serialized_size) {
+  MBI_CHECK_MSG(serialized_size <= page_size_bytes_,
+                "transaction larger than a page");
+  if (pages_.empty() ||
+      pages_.back().used_bytes + serialized_size > page_size_bytes_) {
+    pages_.emplace_back();
+  }
+  Page& tail = pages_.back();
+  tail.transaction_ids.push_back(id);
+  tail.used_bytes += serialized_size;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void PageStore::SealCurrentPage() {
+  if (!pages_.empty() && !pages_.back().transaction_ids.empty()) {
+    pages_.back().used_bytes = page_size_bytes_;
+  }
+}
+
+bool PageStore::TryAppendToPage(PageId page, TransactionId id,
+                                uint32_t serialized_size) {
+  MBI_CHECK(page < pages_.size());
+  MBI_CHECK_MSG(serialized_size <= page_size_bytes_,
+                "transaction larger than a page");
+  Page& target = pages_[page];
+  if (target.used_bytes + serialized_size > page_size_bytes_) return false;
+  target.transaction_ids.push_back(id);
+  target.used_bytes += serialized_size;
+  return true;
+}
+
+PageId PageStore::AppendToFreshPage(TransactionId id,
+                                    uint32_t serialized_size) {
+  MBI_CHECK_MSG(serialized_size <= page_size_bytes_,
+                "transaction larger than a page");
+  pages_.emplace_back();
+  Page& fresh = pages_.back();
+  fresh.transaction_ids.push_back(id);
+  fresh.used_bytes = serialized_size;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+PageStore PageStore::FromPages(uint32_t page_size_bytes,
+                               std::vector<Page> pages) {
+  PageStore store(page_size_bytes);
+  for (const Page& page : pages) {
+    MBI_CHECK_MSG(page.used_bytes <= page_size_bytes,
+                  "serialized page exceeds the page size");
+  }
+  store.pages_ = std::move(pages);
+  return store;
+}
+
+const Page& PageStore::Read(PageId page, IoStats* stats) const {
+  MBI_CHECK(page < pages_.size());
+  if (stats != nullptr) {
+    ++stats->pages_read;
+    stats->bytes_read += page_size_bytes_;
+  }
+  return pages_[page];
+}
+
+}  // namespace mbi

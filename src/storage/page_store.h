@@ -1,0 +1,82 @@
+#ifndef MBI_STORAGE_PAGE_STORE_H_
+#define MBI_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "txn/transaction.h"
+
+namespace mbi {
+
+/// Identifier of a page within a PageStore.
+using PageId = uint32_t;
+
+/// A disk page holding whole serialized transactions.
+///
+/// Transactions are never split across pages (a basket of 5–15 items is tiny
+/// next to a 4 KiB page), so a page is simply the list of transaction ids it
+/// holds plus the byte accounting used to decide when it is full.
+struct Page {
+  std::vector<TransactionId> transaction_ids;
+  uint32_t used_bytes = 0;
+};
+
+/// Append-only simulated disk of fixed-size pages.
+///
+/// The signature table keeps its 2^K entries in main memory but stores the
+/// transaction lists on disk (paper Figure 1); this class is that disk. Every
+/// read is tallied in an IoStats ledger so experiments can report physical
+/// I/O. A serialized transaction costs `4 + 4 * |items|` bytes (length prefix
+/// plus one 32-bit id per item).
+class PageStore {
+ public:
+  /// `page_size_bytes` must be large enough for at least one small
+  /// transaction; 4096 mimics a classic disk page.
+  explicit PageStore(uint32_t page_size_bytes = 4096);
+
+  /// Serialized size of a transaction in bytes.
+  static uint32_t SerializedSize(const Transaction& transaction);
+
+  /// Appends `id` to the current tail page, opening a new page when the tail
+  /// is full. Returns the page the transaction landed on.
+  PageId Append(TransactionId id, uint32_t serialized_size);
+
+  /// Forces subsequent appends onto a fresh page (used to align bucket
+  /// boundaries so one bucket never shares a page with another).
+  void SealCurrentPage();
+
+  /// Appends `id` to an existing page if it still has room; returns false
+  /// (and leaves the page untouched) when it does not fit. Used by dynamic
+  /// inserts to extend a bucket's last page.
+  bool TryAppendToPage(PageId page, TransactionId id,
+                       uint32_t serialized_size);
+
+  /// Opens a brand-new page holding only `id` (never extends the tail page —
+  /// the tail may belong to a different bucket). Returns the new page.
+  PageId AppendToFreshPage(TransactionId id, uint32_t serialized_size);
+
+  /// Reads a page, charging one physical page read to `stats` (if non-null).
+  const Page& Read(PageId page, IoStats* stats) const;
+
+  /// Page count.
+  size_t size() const { return pages_.size(); }
+
+  uint32_t page_size_bytes() const { return page_size_bytes_; }
+
+  /// All pages, for serialization. Bypasses I/O accounting — never use this
+  /// on a query path.
+  const std::vector<Page>& pages() const { return pages_; }
+
+  /// Reassembles a store from serialized pages (deserialization only).
+  static PageStore FromPages(uint32_t page_size_bytes,
+                             std::vector<Page> pages);
+
+ private:
+  uint32_t page_size_bytes_;
+  std::vector<Page> pages_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_PAGE_STORE_H_

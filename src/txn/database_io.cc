@@ -1,0 +1,90 @@
+#include "txn/database_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace mbi {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D424944;  // "MBID"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<FILE, FileCloser>;
+
+bool WriteU32(FILE* file, uint32_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool WriteU64(FILE* file, uint64_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool ReadU32(FILE* file, uint32_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+bool ReadU64(FILE* file, uint64_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+}  // namespace
+
+bool SaveDatabase(const TransactionDatabase& database,
+                  const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  if (!WriteU32(file.get(), kMagic) || !WriteU32(file.get(), kVersion) ||
+      !WriteU32(file.get(), database.universe_size()) ||
+      !WriteU64(file.get(), database.size())) {
+    return false;
+  }
+  for (const Transaction& transaction : database.transactions()) {
+    if (!WriteU32(file.get(), static_cast<uint32_t>(transaction.size()))) {
+      return false;
+    }
+    const auto& items = transaction.items();
+    if (!items.empty() &&
+        std::fwrite(items.data(), sizeof(ItemId), items.size(), file.get()) !=
+            items.size()) {
+      return false;
+    }
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::optional<TransactionDatabase> LoadDatabase(const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return std::nullopt;
+  uint32_t magic = 0, version = 0, universe = 0;
+  uint64_t count = 0;
+  if (!ReadU32(file.get(), &magic) || magic != kMagic ||
+      !ReadU32(file.get(), &version) || version != kVersion ||
+      !ReadU32(file.get(), &universe) || universe == 0 ||
+      !ReadU64(file.get(), &count)) {
+    return std::nullopt;
+  }
+  TransactionDatabase database(universe);
+  for (uint64_t t = 0; t < count; ++t) {
+    uint32_t size = 0;
+    if (!ReadU32(file.get(), &size)) return std::nullopt;
+    std::vector<ItemId> items(size);
+    if (size > 0 &&
+        std::fread(items.data(), sizeof(ItemId), size, file.get()) != size) {
+      return std::nullopt;
+    }
+    for (ItemId item : items) {
+      if (item >= universe) return std::nullopt;
+    }
+    database.Add(Transaction(std::move(items)));
+  }
+  return database;
+}
+
+}  // namespace mbi

@@ -1,0 +1,22 @@
+#ifndef MBI_TXN_DATABASE_IO_H_
+#define MBI_TXN_DATABASE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "txn/database.h"
+
+namespace mbi {
+
+/// Writes `database` to `path` in the library's binary format (little-endian,
+/// magic-tagged, versioned). Returns false on I/O failure.
+bool SaveDatabase(const TransactionDatabase& database, const std::string& path);
+
+/// Reads a database previously written by SaveDatabase. Returns nullopt on
+/// I/O failure or malformed input (bad magic, truncated payload, items out of
+/// the declared universe).
+std::optional<TransactionDatabase> LoadDatabase(const std::string& path);
+
+}  // namespace mbi
+
+#endif  // MBI_TXN_DATABASE_IO_H_

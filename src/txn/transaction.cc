@@ -1,0 +1,92 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbi {
+
+Transaction::Transaction(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Transaction::Transaction(std::initializer_list<ItemId> items)
+    : Transaction(std::vector<ItemId>(items)) {}
+
+bool Transaction::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Transaction::ContainsAll(const Transaction& other) const {
+  return std::includes(items_.begin(), items_.end(), other.items_.begin(),
+                       other.items_.end());
+}
+
+std::string Transaction::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+size_t MatchCount(const Transaction& a, const Transaction& b) {
+  const auto& x = a.items();
+  const auto& y = b.items();
+  size_t i = 0, j = 0, matches = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] < y[j]) {
+      ++i;
+    } else if (x[i] > y[j]) {
+      ++j;
+    } else {
+      ++matches;
+      ++i;
+      ++j;
+    }
+  }
+  return matches;
+}
+
+size_t HammingDistance(const Transaction& a, const Transaction& b) {
+  size_t matches = MatchCount(a, b);
+  return a.size() + b.size() - 2 * matches;
+}
+
+void MatchAndHamming(const Transaction& a, const Transaction& b, size_t* match,
+                     size_t* hamming) {
+  *match = MatchCount(a, b);
+  *hamming = a.size() + b.size() - 2 * *match;
+}
+
+Transaction Intersect(const Transaction& a, const Transaction& b) {
+  std::vector<ItemId> out;
+  std::set_intersection(a.items().begin(), a.items().end(), b.items().begin(),
+                        b.items().end(), std::back_inserter(out));
+  return Transaction(std::move(out));
+}
+
+Transaction Union(const Transaction& a, const Transaction& b) {
+  std::vector<ItemId> out;
+  std::set_union(a.items().begin(), a.items().end(), b.items().begin(),
+                 b.items().end(), std::back_inserter(out));
+  return Transaction(std::move(out));
+}
+
+Transaction Difference(const Transaction& a, const Transaction& b) {
+  std::vector<ItemId> out;
+  std::set_difference(a.items().begin(), a.items().end(), b.items().begin(),
+                      b.items().end(), std::back_inserter(out));
+  return Transaction(std::move(out));
+}
+
+double CosineBetween(const Transaction& a, const Transaction& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double matches = static_cast<double>(MatchCount(a, b));
+  return matches / (std::sqrt(static_cast<double>(a.size())) *
+                    std::sqrt(static_cast<double>(b.size())));
+}
+
+}  // namespace mbi

@@ -1,0 +1,88 @@
+#ifndef MBI_TXN_TRANSACTION_H_
+#define MBI_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mbi {
+
+/// Identifier of an item in the universal item set U. Items are dense
+/// integers `0 .. universe_size-1`.
+using ItemId = uint32_t;
+
+/// Identifier of a transaction within a TransactionDatabase.
+using TransactionId = uint32_t;
+
+/// Sentinel for "no transaction" (e.g., nearest-neighbour search over an
+/// empty candidate set).
+inline constexpr TransactionId kInvalidTransactionId = UINT32_MAX;
+
+/// A market-basket transaction: the set of items bought together, stored as a
+/// sorted vector of unique ItemIds.
+///
+/// The class maintains the sorted-unique invariant on construction so that
+/// the match / Hamming primitives can run as linear merges. Transactions are
+/// cheap to copy (a vector of 4-byte ids; typical size 5-15 per the paper).
+class Transaction {
+ public:
+  /// Empty transaction.
+  Transaction() = default;
+
+  /// Builds from arbitrary item ids; sorts and deduplicates.
+  explicit Transaction(std::vector<ItemId> items);
+
+  /// Convenience literal construction: Transaction({1, 5, 9}).
+  Transaction(std::initializer_list<ItemId> items);
+
+  /// The items, sorted ascending, no duplicates.
+  const std::vector<ItemId>& items() const { return items_; }
+
+  /// Number of items (|T|). The paper writes this #T.
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Membership test (binary search).
+  bool Contains(ItemId item) const;
+
+  /// True if every item of `other` is contained in this transaction.
+  bool ContainsAll(const Transaction& other) const;
+
+  /// Renders as "{1, 5, 9}" for logs and examples.
+  std::string ToString() const;
+
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+/// Number of matches x = |a ∩ b| (the paper's match function).
+size_t MatchCount(const Transaction& a, const Transaction& b);
+
+/// Hamming distance y = |a △ b| = |a - b| + |b - a|.
+size_t HammingDistance(const Transaction& a, const Transaction& b);
+
+/// Computes x and y in a single merge pass (queries need both).
+void MatchAndHamming(const Transaction& a, const Transaction& b,
+                     size_t* match, size_t* hamming);
+
+/// Set intersection a ∩ b.
+Transaction Intersect(const Transaction& a, const Transaction& b);
+
+/// Set union a ∪ b.
+Transaction Union(const Transaction& a, const Transaction& b);
+
+/// Set difference a - b.
+Transaction Difference(const Transaction& a, const Transaction& b);
+
+/// Cosine between the transactions viewed as 0/1 vectors:
+/// x / (sqrt(#a) * sqrt(#b)). Returns 0 when either side is empty.
+double CosineBetween(const Transaction& a, const Transaction& b);
+
+}  // namespace mbi
+
+#endif  // MBI_TXN_TRANSACTION_H_

@@ -1,0 +1,65 @@
+#include "util/alias_sampler.h"
+
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  MBI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MBI_CHECK_MSG(w >= 0.0, "alias sampler weights must be non-negative");
+    total += w;
+  }
+  MBI_CHECK_MSG(total > 0.0, "alias sampler needs a positive total weight");
+
+  const size_t n = weights.size();
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's O(n) construction: split buckets into those whose scaled mass is
+  // below 1 (small) and at least 1 (large); each small bucket borrows the
+  // remainder from a large one.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * n;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining buckets have mass exactly 1 up to floating point error.
+  for (uint32_t l : large) probability_[l] = 1.0;
+  for (uint32_t s : small) probability_[s] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  size_t bucket = static_cast<size_t>(rng->UniformUint64(probability_.size()));
+  return rng->UniformDouble() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasSampler::ProbabilityOf(size_t i) const {
+  MBI_CHECK(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace mbi

@@ -1,0 +1,126 @@
+#ifndef MBI_UTIL_BITSET_H_
+#define MBI_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+/// Fixed-size dynamic bitset with the bulk boolean-count operations the
+/// binary R-tree baseline needs (its minimum bounding "rectangles" over
+/// {0,1}^d are pairs of bitsets, and MINDIST reduces to popcounts of
+/// AND-NOT combinations).
+class Bitset {
+ public:
+  /// All-zeros bitset of `size` bits.
+  explicit Bitset(size_t size = 0)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  bool Get(size_t index) const {
+    MBI_CHECK(index < size_);
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+
+  void Set(size_t index) {
+    MBI_CHECK(index < size_);
+    words_[index >> 6] |= uint64_t{1} << (index & 63);
+  }
+
+  void Clear(size_t index) {
+    MBI_CHECK(index < size_);
+    words_[index >> 6] &= ~(uint64_t{1} << (index & 63));
+  }
+
+  void SetAll() {
+    for (uint64_t& word : words_) word = ~uint64_t{0};
+    TrimTail();
+  }
+
+  void ClearAll() {
+    for (uint64_t& word : words_) word = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t word : words_) count += std::popcount(word);
+    return count;
+  }
+
+  /// In-place union / intersection (sizes must match).
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+
+  /// popcount(a & b).
+  static size_t AndCount(const Bitset& a, const Bitset& b);
+
+  /// popcount(a & ~b) — "bits of a missing from b".
+  static size_t AndNotCount(const Bitset& a, const Bitset& b);
+
+  /// popcount(a ^ b).
+  static size_t XorCount(const Bitset& a, const Bitset& b);
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void TrimTail() {
+    size_t tail_bits = size_ & 63;
+    if (tail_bits != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail_bits) - 1;
+    }
+  }
+
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+inline Bitset& Bitset::operator|=(const Bitset& other) {
+  MBI_CHECK(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+inline Bitset& Bitset::operator&=(const Bitset& other) {
+  MBI_CHECK(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+inline size_t Bitset::AndCount(const Bitset& a, const Bitset& b) {
+  MBI_CHECK(a.size_ == b.size_);
+  size_t count = 0;
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    count += std::popcount(a.words_[w] & b.words_[w]);
+  }
+  return count;
+}
+
+inline size_t Bitset::AndNotCount(const Bitset& a, const Bitset& b) {
+  MBI_CHECK(a.size_ == b.size_);
+  size_t count = 0;
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    count += std::popcount(a.words_[w] & ~b.words_[w]);
+  }
+  return count;
+}
+
+inline size_t Bitset::XorCount(const Bitset& a, const Bitset& b) {
+  MBI_CHECK(a.size_ == b.size_);
+  size_t count = 0;
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    count += std::popcount(a.words_[w] ^ b.words_[w]);
+  }
+  return count;
+}
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_BITSET_H_

@@ -1,0 +1,74 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::Min() const {
+  MBI_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::Max() const {
+  MBI_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Mean() const {
+  MBI_CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (double value : samples_) sum += value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::StdDev() const {
+  MBI_CHECK(!samples_.empty());
+  double mean = Mean();
+  double sum_sq = 0.0;
+  for (double value : samples_) sum_sq += (value - mean) * (value - mean);
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size()));
+}
+
+double Histogram::Quantile(double q) const {
+  MBI_CHECK(!samples_.empty());
+  MBI_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  double position = q * static_cast<double>(sorted_.size() - 1);
+  size_t low = static_cast<size_t>(position);
+  if (low + 1 >= sorted_.size()) return sorted_.back();
+  double fraction = position - static_cast<double>(low);
+  return sorted_[low] * (1.0 - fraction) + sorted_[low + 1] * fraction;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  if (samples_.empty()) return "count=0";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%zu mean=%.3g%s p50=%.3g%s p95=%.3g%s p99=%.3g%s "
+                "max=%.3g%s",
+                count(), Mean(), unit.c_str(), Quantile(0.5), unit.c_str(),
+                Quantile(0.95), unit.c_str(), Quantile(0.99), unit.c_str(),
+                Max(), unit.c_str());
+  return buffer;
+}
+
+}  // namespace mbi

@@ -1,0 +1,42 @@
+#ifndef MBI_UTIL_HISTOGRAM_H_
+#define MBI_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mbi {
+
+/// Accumulates scalar samples (latencies, access fractions, ...) and reports
+/// order statistics. Used by the workload-replay tooling; not thread-safe.
+class Histogram {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double StdDev() const;
+
+  /// Quantile in [0, 1] by linear interpolation between order statistics
+  /// (q = 0.5 is the median). Requires at least one sample.
+  double Quantile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..." one-liner with the
+  /// given unit suffix.
+  std::string Summary(const std::string& unit) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_HISTOGRAM_H_

@@ -1,0 +1,37 @@
+#ifndef MBI_UTIL_MACROS_H_
+#define MBI_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight runtime-check macros.
+///
+/// The library does not throw exceptions across its public API; programmer
+/// errors (precondition violations) abort with a diagnostic instead. These
+/// checks are active in all build modes: the costs are negligible next to the
+/// index operations they guard, and silent corruption of an index is far more
+/// expensive than the branch.
+
+/// Aborts the process with a formatted message if `condition` is false.
+#define MBI_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "MBI_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Aborts with `message` if `condition` is false. `message` must be a
+/// C string literal or expression convertible to `const char*`.
+#define MBI_CHECK_MSG(condition, message)                                    \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "MBI_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #condition, static_cast<const char*>(message)); \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // MBI_UTIL_MACROS_H_

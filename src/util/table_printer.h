@@ -1,0 +1,45 @@
+#ifndef MBI_UTIL_TABLE_PRINTER_H_
+#define MBI_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mbi {
+
+/// Prints fixed-width aligned tables to a FILE*, used by the figure/table
+/// benchmark harnesses to emit the same rows/series the paper reports.
+///
+/// Usage:
+///   TablePrinter table({"DB size", "K=13", "K=14", "K=15"});
+///   table.AddRow({"100000", "93.1", "95.2", "96.8"});
+///   table.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimal places.
+  static std::string Format(double value, int precision = 2);
+
+  /// Convenience: formats an integer.
+  static std::string Format(int64_t value);
+
+  /// Renders the header, a separator, and all rows.
+  void Print(FILE* out) const;
+
+  /// Renders the table as comma-separated values (for downstream plotting).
+  void PrintCsv(FILE* out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  MBI_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MBI_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    MBI_CHECK_MSG(!shutting_down_, "submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  // Shard by an atomic cursor so uneven task costs balance dynamically.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  size_t shards = std::min(count, workers_.size());
+  for (size_t s = 0; s < shards; ++s) {
+    Submit([cursor, count, &fn] {
+      while (true) {
+        size_t index = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (index >= count) break;
+        fn(index);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // Shutting down and drained.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace mbi

@@ -1,0 +1,55 @@
+#ifndef MBI_UTIL_THREAD_POOL_H_
+#define MBI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mbi {
+
+/// Fixed-size worker pool used to run independent queries concurrently
+/// (queries against a built SignatureTable are read-only, so a batch can be
+/// answered in parallel without locking the index).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; pass std::thread::hardware_
+  /// concurrency() for one per core).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `count` index-addressed tasks across the pool and waits:
+  /// `fn(i)` is invoked exactly once for each i in [0, count).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_THREAD_POOL_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/signature_partition.h"
+#include "core/supercoordinate.h"
+
+namespace mbi {
+namespace {
+
+/// Exhaustive verification of the paper's §4.1 bound formulas on a small
+/// universe: enumerating *every* possible transaction T ⊆ U, grouping them
+/// by supercoordinate, the formulas must be
+///
+///  * admissible — M_opt >= matches and D_opt <= hamming for every member
+///    of the coordinate's feasible set, and
+///  * individually tight — some member attains the match bound and some
+///    member attains the distance bound (they need not be the same member).
+///
+/// Tightness matters: it shows the bounds are the strongest possible given
+/// only the activation bits, i.e. the index extracts all the information the
+/// supercoordinate carries.
+
+class BoundTightnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoundTightnessTest, BoundsAreAdmissibleAndIndividuallyTight) {
+  auto [activation_threshold, target_index] = GetParam();
+
+  // Universe of 9 items in 3 signatures of 3.
+  constexpr uint32_t kUniverse = 9;
+  SignaturePartition partition(3, {0, 0, 0, 1, 1, 1, 2, 2, 2});
+
+  // A few representative targets.
+  const std::vector<Transaction> targets = {
+      Transaction({0, 1, 3}),          // Spread over S0, S1.
+      Transaction({0, 1, 2}),          // All of S0.
+      Transaction({8}),                // Single item in S2.
+      Transaction({0, 3, 6}),          // One per signature.
+      Transaction({0, 1, 2, 3, 4, 5, 6, 7, 8}),  // Everything.
+      Transaction{},                   // Empty basket.
+  };
+  const Transaction& target = targets[static_cast<size_t>(target_index)];
+
+  BoundCalculator calc(partition.CountsPerSignature(target),
+                       activation_threshold);
+
+  // Enumerate the full feasible set: all 2^9 subsets.
+  struct Extremes {
+    int max_match = -1;
+    int min_dist = INT32_MAX;
+  };
+  std::map<Supercoordinate, Extremes> by_coordinate;
+  for (uint32_t mask = 0; mask < (1u << kUniverse); ++mask) {
+    std::vector<ItemId> items;
+    for (uint32_t bit = 0; bit < kUniverse; ++bit) {
+      if (mask & (1u << bit)) items.push_back(bit);
+    }
+    Transaction candidate(std::move(items));
+    Supercoordinate coordinate =
+        ComputeSupercoordinate(candidate, partition, activation_threshold);
+    size_t match = 0, hamming = 0;
+    MatchAndHamming(target, candidate, &match, &hamming);
+    Extremes& extremes = by_coordinate[coordinate];
+    extremes.max_match =
+        std::max(extremes.max_match, static_cast<int>(match));
+    extremes.min_dist = std::min(extremes.min_dist, static_cast<int>(hamming));
+  }
+
+  for (const auto& [coordinate, extremes] : by_coordinate) {
+    OptimisticBounds bounds = calc.Compute(coordinate);
+    // Admissible over the whole feasible set.
+    EXPECT_GE(bounds.match_upper, extremes.max_match)
+        << "coordinate " << SupercoordinateToString(coordinate, 3);
+    EXPECT_LE(bounds.dist_lower, extremes.min_dist)
+        << "coordinate " << SupercoordinateToString(coordinate, 3);
+    // Individually tight: attained by some feasible transaction.
+    EXPECT_EQ(bounds.match_upper, extremes.max_match)
+        << "match bound not tight for coordinate "
+        << SupercoordinateToString(coordinate, 3);
+    EXPECT_EQ(bounds.dist_lower, extremes.min_dist)
+        << "distance bound not tight for coordinate "
+        << SupercoordinateToString(coordinate, 3);
+  }
+
+  // Sanity: at r = 1 the all-zero coordinate is exactly the empty basket;
+  // at r > 1 it also holds sparse baskets.
+  ASSERT_TRUE(by_coordinate.count(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdsAndTargets, BoundTightnessTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,321 @@
+#include "core/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baseline/sequential_scan.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+
+namespace mbi {
+namespace {
+
+struct Fixture {
+  TransactionDatabase db;
+  SignatureTable table;
+  std::vector<Transaction> queries;
+};
+
+Fixture MakeFixture(uint64_t seed, uint32_t cardinality,
+                    int activation_threshold = 1, uint64_t db_size = 1200,
+                    uint64_t num_queries = 12) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 70;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(db_size);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = cardinality;
+  build.table.activation_threshold = activation_threshold;
+  SignatureTable table = BuildIndex(db, build);
+  auto queries = generator.GenerateQueries(num_queries);
+  return {std::move(db), std::move(table), std::move(queries)};
+}
+
+bool SameSimilarities(const std::vector<Neighbor>& a,
+                      const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool both_inf = std::isinf(a[i].similarity) && std::isinf(b[i].similarity);
+    if (!both_inf && a[i].similarity != b[i].similarity) return false;
+  }
+  return true;
+}
+
+// --- Exactness against the sequential-scan oracle, swept over similarity
+// family, k, activation threshold, and entry sort order. ---
+
+class ExactnessTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, size_t, int, EntrySortOrder>> {};
+
+TEST_P(ExactnessTest, MatchesSequentialScan) {
+  auto [family_name, k, activation_threshold, sort_order] = GetParam();
+  Fixture fixture = MakeFixture(101, 9, activation_threshold);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  SequentialScanner scanner(&fixture.db);
+  auto family = MakeSimilarityFamily(family_name);
+
+  SearchOptions options;
+  options.sort_order = sort_order;
+
+  for (const Transaction& target : fixture.queries) {
+    NearestNeighborResult result =
+        engine.FindKNearest(target, *family, k, options);
+    auto oracle = scanner.FindKNearest(target, *family, k);
+    EXPECT_TRUE(result.guaranteed_exact);
+    ASSERT_EQ(result.neighbors.size(), std::min<size_t>(k, fixture.db.size()));
+    EXPECT_TRUE(SameSimilarities(result.neighbors, oracle))
+        << family_name << " k=" << k << " r=" << activation_threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactnessTest,
+    ::testing::Combine(
+        ::testing::Values("hamming", "match_ratio", "cosine"),
+        ::testing::Values(size_t{1}, size_t{5}),
+        ::testing::Values(1, 2),
+        ::testing::Values(EntrySortOrder::kOptimisticBound,
+                          EntrySortOrder::kSupercoordinateSimilarity)));
+
+// --- Result structure and statistics ---
+
+TEST(BranchAndBoundTest, NeighborsSortedBestFirstWithIdTieBreak) {
+  Fixture fixture = MakeFixture(7, 8);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  InverseHammingFamily family;
+  auto result = engine.FindKNearest(fixture.queries[0], family, 10);
+  for (size_t i = 1; i < result.neighbors.size(); ++i) {
+    const Neighbor& prev = result.neighbors[i - 1];
+    const Neighbor& here = result.neighbors[i];
+    EXPECT_TRUE(prev.similarity > here.similarity ||
+                (prev.similarity == here.similarity && prev.id < here.id));
+  }
+}
+
+TEST(BranchAndBoundTest, StatsAccountForEveryEntry) {
+  Fixture fixture = MakeFixture(13, 10);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  MatchRatioFamily family;
+  for (const Transaction& target : fixture.queries) {
+    auto result = engine.FindNearest(target, family);
+    const QueryStats& stats = result.stats;
+    EXPECT_EQ(stats.entries_total, fixture.table.entries().size());
+    EXPECT_EQ(stats.entries_scanned + stats.entries_pruned +
+                  stats.entries_unexplored,
+              stats.entries_total);
+    EXPECT_LE(stats.transactions_evaluated, fixture.db.size());
+    EXPECT_GT(stats.transactions_evaluated, 0u);
+    EXPECT_EQ(stats.io.transactions_fetched, stats.transactions_evaluated);
+    EXPECT_GT(stats.io.pages_read, 0u);
+    EXPECT_GE(stats.PruningEfficiencyPercent(), 0.0);
+    EXPECT_LE(stats.PruningEfficiencyPercent(), 100.0);
+  }
+}
+
+TEST(BranchAndBoundTest, PrunesSubstantiallyOnCorrelatedData) {
+  Fixture fixture = MakeFixture(17, 12, 1, 4000);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  InverseHammingFamily family;
+  double total_pruning = 0.0;
+  for (const Transaction& target : fixture.queries) {
+    auto result = engine.FindNearest(target, family);
+    total_pruning += result.stats.PruningEfficiencyPercent();
+  }
+  EXPECT_GT(total_pruning / fixture.queries.size(), 50.0);
+}
+
+TEST(BranchAndBoundTest, DeterministicAcrossRuns) {
+  Fixture fixture = MakeFixture(19, 9);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  CosineFamily family;
+  auto first = engine.FindKNearest(fixture.queries[0], family, 5);
+  auto second = engine.FindKNearest(fixture.queries[0], family, 5);
+  ASSERT_EQ(first.neighbors.size(), second.neighbors.size());
+  for (size_t i = 0; i < first.neighbors.size(); ++i) {
+    EXPECT_EQ(first.neighbors[i].id, second.neighbors[i].id);
+    EXPECT_EQ(first.neighbors[i].similarity, second.neighbors[i].similarity);
+  }
+}
+
+TEST(BranchAndBoundTest, KLargerThanDatabaseReturnsEverything) {
+  QuestGeneratorConfig config;
+  config.universe_size = 50;
+  config.num_large_itemsets = 10;
+  config.seed = 3;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(20);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 4;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  MatchRatioFamily family;
+  auto result = engine.FindKNearest(generator.NextTransaction(), family, 100);
+  EXPECT_EQ(result.neighbors.size(), 20u);
+  EXPECT_TRUE(result.guaranteed_exact);
+}
+
+// --- Early termination (paper §4.2) ---
+
+TEST(BranchAndBoundTest, EarlyTerminationRespectsBudget) {
+  Fixture fixture = MakeFixture(23, 10, 1, 5000);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  InverseHammingFamily family;
+  SearchOptions options;
+  options.max_access_fraction = 0.02;
+  uint64_t budget = static_cast<uint64_t>(0.02 * fixture.db.size());
+  // The budget check runs at entry granularity, so allow one max-bucket
+  // overshoot.
+  uint64_t max_bucket = 0;
+  for (const auto& entry : fixture.table.entries()) {
+    max_bucket = std::max<uint64_t>(max_bucket, entry.transaction_count);
+  }
+  for (const Transaction& target : fixture.queries) {
+    auto result = engine.FindNearest(target, family, options);
+    EXPECT_LE(result.stats.transactions_evaluated, budget + max_bucket);
+    EXPECT_FALSE(result.neighbors.empty());
+  }
+}
+
+TEST(BranchAndBoundTest, EarlyTerminationCertificateIsSound) {
+  Fixture fixture = MakeFixture(29, 10, 1, 5000);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  SequentialScanner scanner(&fixture.db);
+  MatchRatioFamily family;
+  SearchOptions options;
+  options.max_access_fraction = 0.01;
+  for (const Transaction& target : fixture.queries) {
+    auto result = engine.FindNearest(target, family, options);
+    auto oracle = scanner.FindKNearest(target, family, 1);
+    if (result.guaranteed_exact) {
+      // The certificate must never lie.
+      EXPECT_TRUE(SameSimilarities(result.neighbors, oracle));
+    } else {
+      // The true optimum can never exceed max(found, unexplored bound).
+      EXPECT_GE(std::max(result.neighbors[0].similarity,
+                         result.unexplored_optimistic_bound),
+                oracle[0].similarity);
+    }
+  }
+}
+
+TEST(BranchAndBoundTest, FullAccessFractionAlwaysExact) {
+  Fixture fixture = MakeFixture(31, 8);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  CosineFamily family;
+  SearchOptions options;
+  options.max_access_fraction = 1.0;
+  auto result = engine.FindNearest(fixture.queries[0], family, options);
+  EXPECT_TRUE(result.guaranteed_exact);
+  EXPECT_EQ(result.stats.entries_unexplored, 0u);
+}
+
+// --- Multi-target queries (paper §4.3) ---
+
+TEST(BranchAndBoundTest, MultiTargetMatchesScanOracle) {
+  Fixture fixture = MakeFixture(37, 9);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  SequentialScanner scanner(&fixture.db);
+  MatchRatioFamily family;
+  std::vector<Transaction> targets = {fixture.queries[0], fixture.queries[1],
+                                      fixture.queries[2]};
+  auto result = engine.FindKNearestMultiTarget(targets, family, 4);
+  auto oracle = scanner.FindKNearestMultiTarget(targets, family, 4);
+  EXPECT_TRUE(result.guaranteed_exact);
+  EXPECT_TRUE(SameSimilarities(result.neighbors, oracle));
+}
+
+TEST(BranchAndBoundTest, MultiTargetCosineBindsEachTargetSize) {
+  Fixture fixture = MakeFixture(41, 9);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  SequentialScanner scanner(&fixture.db);
+  CosineFamily family;
+  std::vector<Transaction> targets = {fixture.queries[3], fixture.queries[4]};
+  auto result = engine.FindKNearestMultiTarget(targets, family, 3);
+  auto oracle = scanner.FindKNearestMultiTarget(targets, family, 3);
+  EXPECT_TRUE(SameSimilarities(result.neighbors, oracle));
+}
+
+// --- Range queries (paper §4.3) ---
+
+TEST(BranchAndBoundTest, RangeQueryMatchesScanOracle) {
+  Fixture fixture = MakeFixture(43, 9);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  SequentialScanner scanner(&fixture.db);
+  MatchRatioFamily family;
+  for (double threshold : {0.25, 0.5, 1.0}) {
+    for (int q = 0; q < 5; ++q) {
+      auto result = engine.FindInRange(fixture.queries[q], family, threshold);
+      auto oracle = scanner.FindInRange(fixture.queries[q], family, threshold);
+      EXPECT_TRUE(result.guaranteed_complete);
+      ASSERT_EQ(result.matches.size(), oracle.size())
+          << "threshold " << threshold << " query " << q;
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(result.matches[i].id, oracle[i].id);
+      }
+    }
+  }
+}
+
+TEST(BranchAndBoundTest, RangeQueryPrunesEntries) {
+  Fixture fixture = MakeFixture(47, 12, 1, 3000);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  MatchRatioFamily family;
+  auto result = engine.FindInRange(fixture.queries[0], family, 2.0);
+  EXPECT_GT(result.stats.entries_pruned, 0u);
+}
+
+TEST(BranchAndBoundTest, MultiRangeQueryIsConjunctive) {
+  // "All transactions which have at least p items in common and at most q
+  // items different from the target" (paper §2.1) — expressed as two custom
+  // families over x and y.
+  Fixture fixture = MakeFixture(53, 9);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  CustomFamily matches_family("matches", [](int x, int) {
+    return static_cast<double>(x);
+  });
+  CustomFamily neg_hamming_family("neg_hamming", [](int, int y) {
+    return -static_cast<double>(y);
+  });
+  const double min_matches = 3.0;
+  const double max_hamming = 8.0;
+  std::vector<const SimilarityFamily*> families = {&matches_family,
+                                                   &neg_hamming_family};
+  std::vector<double> thresholds = {min_matches, -max_hamming};
+
+  for (int q = 0; q < 5; ++q) {
+    const Transaction& target = fixture.queries[q];
+    auto result = engine.FindInRangeMulti(target, families, thresholds);
+    EXPECT_TRUE(result.guaranteed_complete);
+
+    // Brute-force the expected id set.
+    std::vector<TransactionId> expected;
+    for (TransactionId id = 0; id < fixture.db.size(); ++id) {
+      size_t x = 0, y = 0;
+      MatchAndHamming(target, fixture.db.Get(id), &x, &y);
+      if (static_cast<double>(x) >= min_matches &&
+          static_cast<double>(y) <= max_hamming) {
+        expected.push_back(id);
+      }
+    }
+    std::vector<TransactionId> got;
+    for (const Neighbor& neighbor : result.matches) got.push_back(neighbor.id);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(BranchAndBoundTest, RejectsMismatchedUniverse) {
+  Fixture fixture = MakeFixture(59, 8);
+  TransactionDatabase other(999);
+  EXPECT_DEATH(BranchAndBoundEngine(&other, &fixture.table), "universe");
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace mbi {
+namespace {
+
+/// End-to-end tests of the `mbi` command-line tool, driving the real binary
+/// (path injected by CMake as MBI_CLI_PATH).
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string command = std::string(MBI_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CommandResult result;
+  std::array<char, 4096> buffer;
+  size_t read;
+  while ((read = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), read);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(RunCli("--help").exit_code, 0);
+  CommandResult unknown = RunCli("frobnicate");
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.output.find("unknown command"), std::string::npos);
+  EXPECT_EQ(RunCli("").exit_code, 2);
+}
+
+TEST(CliTest, FullPipeline) {
+  std::string db = TempPath("cli_pipeline.mbid");
+  std::string index = TempPath("cli_pipeline.mbst");
+
+  CommandResult generate = RunCli(
+      "generate --out " + db +
+      " --transactions 5000 --universe 300 --itemsets 100 --seed 7");
+  ASSERT_EQ(generate.exit_code, 0) << generate.output;
+  EXPECT_NE(generate.output.find("5000 transactions"), std::string::npos);
+
+  CommandResult build =
+      RunCli("build --db " + db + " --out " + index + " --cardinality 10");
+  ASSERT_EQ(build.exit_code, 0) << build.output;
+  EXPECT_NE(build.output.find("K=10"), std::string::npos);
+
+  CommandResult query = RunCli("query --db " + db + " --index " + index +
+                            " --k 3 --similarity cosine");
+  ASSERT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_NE(query.output.find("top-3 by cosine"), std::string::npos);
+  EXPECT_NE(query.output.find("provably exact"), std::string::npos);
+
+  CommandResult range = RunCli("query --db " + db + " --index " + index +
+                            " --similarity cosine --range 0.7");
+  ASSERT_EQ(range.exit_code, 0) << range.output;
+  EXPECT_NE(range.output.find("range query cosine >= 0.7"),
+            std::string::npos);
+
+  CommandResult explicit_target =
+      RunCli("query --db " + db + " --index " + index + " --items 1,2,3 --k 2");
+  ASSERT_EQ(explicit_target.exit_code, 0) << explicit_target.output;
+  EXPECT_NE(explicit_target.output.find("target: {1, 2, 3}"),
+            std::string::npos);
+
+  CommandResult stats = RunCli("stats --db " + db + " --index " + index);
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("signature cardinality K: 10"),
+            std::string::npos);
+
+  CommandResult mine = RunCli("mine --db " + db + " --min_support 0.02");
+  ASSERT_EQ(mine.exit_code, 0) << mine.output;
+  EXPECT_NE(mine.output.find("frequent itemsets"), std::string::npos);
+
+  CommandResult bench = RunCli("bench --db " + db + " --index " + index +
+                               " --queries 20 --termination 0.05");
+  ASSERT_EQ(bench.exit_code, 0) << bench.output;
+  EXPECT_NE(bench.output.find("latency:"), std::string::npos);
+  EXPECT_NE(bench.output.find("p95="), std::string::npos);
+
+  std::remove(db.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(CliTest, ErrorsAreReported) {
+  EXPECT_EQ(RunCli("build --db /no/such/file.mbid").exit_code, 1);
+  EXPECT_EQ(RunCli("query --db /no/such/file.mbid").exit_code, 1);
+  EXPECT_EQ(RunCli("stats --db /no/such/file.mbid").exit_code, 1);
+  EXPECT_EQ(RunCli("mine --db /no/such/file.mbid").exit_code, 1);
+
+  // Malformed --items and out-of-universe items.
+  std::string db = TempPath("cli_errors.mbid");
+  std::string index = TempPath("cli_errors.mbst");
+  ASSERT_EQ(RunCli("generate --out " + db +
+                " --transactions 200 --universe 50 --itemsets 20")
+                .exit_code,
+            0);
+  ASSERT_EQ(
+      RunCli("build --db " + db + " --out " + index + " --cardinality 6")
+          .exit_code,
+      0);
+  EXPECT_EQ(RunCli("query --db " + db + " --index " + index + " --items abc")
+                .exit_code,
+            1);
+  EXPECT_EQ(RunCli("query --db " + db + " --index " + index + " --items 99999")
+                .exit_code,
+            1);
+  std::remove(db.c_str());
+  std::remove(index.c_str());
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,135 @@
+#include "baseline/compressed_postings.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/inverted_index.h"
+#include "gen/quest_generator.h"
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+TEST(CompressedPostingsTest, EncodeDecodeRoundTrip) {
+  std::vector<TransactionId> tids = {0, 1, 5, 127, 128, 300, 70'000, 1'000'000};
+  CompressedPostingList list = CompressedPostingList::Encode(tids);
+  EXPECT_EQ(list.size(), tids.size());
+  EXPECT_EQ(list.Decode(), tids);
+}
+
+TEST(CompressedPostingsTest, EmptyList) {
+  CompressedPostingList list = CompressedPostingList::Encode({});
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.ByteSize(), 0u);
+  EXPECT_TRUE(list.Decode().empty());
+  EXPECT_FALSE(list.begin().valid());
+}
+
+TEST(CompressedPostingsTest, DenseListsCompressWell) {
+  // Consecutive ids: 1 byte per gap after the first.
+  std::vector<TransactionId> tids(10'000);
+  for (TransactionId i = 0; i < tids.size(); ++i) tids[i] = i;
+  CompressedPostingList list = CompressedPostingList::Encode(tids);
+  EXPECT_LE(list.ByteSize(), tids.size() + 4);
+  EXPECT_LT(list.ByteSize() * 3, tids.size() * sizeof(TransactionId));
+}
+
+TEST(CompressedPostingsTest, RandomRoundTripFuzz) {
+  Rng rng(501);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<TransactionId> chosen;
+    size_t count = 1 + rng.UniformUint64(500);
+    for (size_t i = 0; i < count; ++i) {
+      chosen.insert(static_cast<TransactionId>(rng.UniformUint64(5'000'000)));
+    }
+    std::vector<TransactionId> tids(chosen.begin(), chosen.end());
+    CompressedPostingList list = CompressedPostingList::Encode(tids);
+    ASSERT_EQ(list.Decode(), tids) << "trial " << trial;
+  }
+}
+
+TEST(CompressedPostingsTest, IteratorStreamsValues) {
+  std::vector<TransactionId> tids = {2, 9, 10, 999};
+  CompressedPostingList list = CompressedPostingList::Encode(tids);
+  std::vector<TransactionId> streamed;
+  for (auto it = list.begin(); it.valid(); it.Next()) {
+    streamed.push_back(it.value());
+  }
+  EXPECT_EQ(streamed, tids);
+}
+
+TEST(CompressedPostingsTest, AppendRejectsNonIncreasing) {
+  CompressedPostingList list = CompressedPostingList::Encode({5});
+  EXPECT_DEATH(list.Append(5), "ascending");
+  EXPECT_DEATH(list.Append(3), "ascending");
+}
+
+TEST(CompressedPostingsTest, UnionMatchesSetUnion) {
+  Rng rng(503);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<TransactionId>> raw(3);
+    std::set<TransactionId> expected;
+    for (auto& list : raw) {
+      std::set<TransactionId> chosen;
+      for (int i = 0; i < 100; ++i) {
+        TransactionId tid =
+            static_cast<TransactionId>(rng.UniformUint64(2'000));
+        chosen.insert(tid);
+        expected.insert(tid);
+      }
+      list.assign(chosen.begin(), chosen.end());
+    }
+    std::vector<CompressedPostingList> lists;
+    std::vector<const CompressedPostingList*> pointers;
+    for (const auto& tids : raw) {
+      lists.push_back(CompressedPostingList::Encode(tids));
+    }
+    for (const auto& list : lists) pointers.push_back(&list);
+    EXPECT_EQ(UnionPostings(pointers),
+              std::vector<TransactionId>(expected.begin(), expected.end()));
+  }
+}
+
+TEST(CompressedPostingsTest, IntersectMatchesSetIntersection) {
+  std::vector<TransactionId> a = {1, 3, 5, 7, 9, 100, 200};
+  std::vector<TransactionId> b = {2, 3, 7, 99, 100, 201};
+  auto result = IntersectPostings(CompressedPostingList::Encode(a),
+                                  CompressedPostingList::Encode(b));
+  EXPECT_EQ(result, (std::vector<TransactionId>{3, 7, 100}));
+}
+
+TEST(CompressedInvertedIndexTest, SameAnswersSmallerFootprint) {
+  QuestGeneratorConfig config;
+  config.universe_size = 250;
+  config.num_large_itemsets = 60;
+  config.avg_transaction_size = 9.0;
+  config.seed = 509;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+
+  InvertedIndex plain(&db, 4096, 0, /*compress_postings=*/false);
+  InvertedIndex compressed(&db, 4096, 0, /*compress_postings=*/true);
+  EXPECT_FALSE(plain.compressed());
+  EXPECT_TRUE(compressed.compressed());
+  EXPECT_LT(compressed.PostingsBytes(), plain.PostingsBytes());
+
+  MatchRatioFamily family;
+  for (int q = 0; q < 8; ++q) {
+    Transaction target = generator.NextTransaction();
+    EXPECT_EQ(plain.Candidates(target), compressed.Candidates(target));
+    auto a = plain.FindKNearest(target, family, 5);
+    auto b = compressed.FindKNearest(target, family, 5);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id);
+    }
+  }
+  for (ItemId item = 0; item < db.universe_size(); ++item) {
+    ASSERT_EQ(plain.PostingsOf(item), compressed.PostingsOf(item));
+  }
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baseline/sequential_scan.h"
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig GeneratorConfig(uint64_t seed = 301) {
+  QuestGeneratorConfig config;
+  config.universe_size = 250;
+  config.num_large_itemsets = 60;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  return config;
+}
+
+bool SameSimilarities(const std::vector<Neighbor>& a,
+                      const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool both_inf = std::isinf(a[i].similarity) && std::isinf(b[i].similarity);
+    if (!both_inf && a[i].similarity != b[i].similarity) return false;
+  }
+  return true;
+}
+
+TEST(DynamicInsertTest, InsertedTransactionsLandInTheirCoordinateEntry) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(400);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 8;
+  SignatureTable table = BuildIndex(db, build);
+
+  for (int i = 0; i < 200; ++i) {
+    Transaction fresh = generator.NextTransaction();
+    TransactionId id = db.Add(fresh);
+    table.InsertTransaction(id, fresh);
+    EXPECT_EQ(table.CoordinateOfTransaction(id),
+              ComputeSupercoordinate(fresh, table.partition(),
+                                     table.activation_threshold()));
+  }
+  EXPECT_EQ(table.num_indexed_transactions(), 600u);
+
+  // The table must still partition the database exactly.
+  std::set<TransactionId> seen;
+  uint64_t total = 0;
+  for (size_t e = 0; e < table.entries().size(); ++e) {
+    IoStats io;
+    auto ids = table.FetchEntryTransactions(e, &io);
+    EXPECT_EQ(ids.size(), table.entries()[e].transaction_count);
+    total += ids.size();
+    for (TransactionId id : ids) {
+      EXPECT_TRUE(seen.insert(id).second);
+      EXPECT_EQ(table.CoordinateOfTransaction(id),
+                table.entries()[e].coordinate);
+    }
+  }
+  EXPECT_EQ(total, db.size());
+}
+
+TEST(DynamicInsertTest, EntriesStaySortedAndBucketsStayExclusive) {
+  QuestGenerator generator(GeneratorConfig(311));
+  TransactionDatabase db = generator.GenerateDatabase(300);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 10;
+  SignatureTable table = BuildIndex(db, build);
+
+  for (int i = 0; i < 300; ++i) {
+    Transaction fresh = generator.NextTransaction();
+    table.InsertTransaction(db.Add(fresh), fresh);
+  }
+
+  const auto& entries = table.entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].coordinate, entries[i].coordinate);
+  }
+  std::set<PageId> pages_seen;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    for (PageId page : table.PagesOfEntry(e)) {
+      EXPECT_TRUE(pages_seen.insert(page).second)
+          << "page shared between entries after inserts";
+    }
+  }
+}
+
+TEST(DynamicInsertTest, QueriesStayExactAfterInserts) {
+  QuestGenerator generator(GeneratorConfig(313));
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 9;
+  SignatureTable table = BuildIndex(db, build);
+
+  for (int i = 0; i < 500; ++i) {
+    Transaction fresh = generator.NextTransaction();
+    table.InsertTransaction(db.Add(fresh), fresh);
+  }
+
+  BranchAndBoundEngine engine(&db, &table);
+  SequentialScanner scanner(&db);
+  for (const char* name : {"hamming", "match_ratio", "cosine"}) {
+    auto family = MakeSimilarityFamily(name);
+    for (int q = 0; q < 6; ++q) {
+      Transaction target = generator.NextTransaction();
+      auto result = engine.FindKNearest(target, *family, 5);
+      auto oracle = scanner.FindKNearest(target, *family, 5);
+      EXPECT_TRUE(result.guaranteed_exact);
+      EXPECT_TRUE(SameSimilarities(result.neighbors, oracle)) << name;
+    }
+  }
+}
+
+TEST(DynamicInsertTest, InsertIntoEmptyBuiltTable) {
+  TransactionDatabase db(16);
+  // Build over a single-transaction database, then grow it.
+  db.Add(Transaction({0, 1}));
+  SignaturePartition partition(4, {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3,
+                                   3, 3});
+  SignatureTable table = SignatureTable::Build(db, partition, {});
+  EXPECT_EQ(table.entries().size(), 1u);
+
+  Transaction fresh({8, 12});  // Activates S2 and S3: a brand-new coordinate.
+  table.InsertTransaction(db.Add(fresh), fresh);
+  EXPECT_EQ(table.entries().size(), 2u);
+  IoStats io;
+  // The new entry is sorted after the old one (0b0011 < 0b1100).
+  EXPECT_EQ(table.entries()[1].coordinate, 0b1100u);
+  auto ids = table.FetchEntryTransactions(1, &io);
+  EXPECT_EQ(ids, (std::vector<TransactionId>{1}));
+}
+
+TEST(DynamicInsertTest, RejectsOutOfOrderIds) {
+  TransactionDatabase db(8);
+  db.Add(Transaction({0}));
+  SignaturePartition partition(2, {0, 0, 0, 0, 1, 1, 1, 1});
+  SignatureTable table = SignatureTable::Build(db, partition, {});
+  EXPECT_DEATH(table.InsertTransaction(5, Transaction({1})), "id order");
+}
+
+TEST(DynamicInsertTest, ManyInsertsReusePagesWithinBucket) {
+  // Transactions with identical coordinates must pack onto shared pages, not
+  // one page each.
+  TransactionDatabase db(8);
+  db.Add(Transaction({0}));
+  SignaturePartition partition(2, {0, 0, 0, 0, 1, 1, 1, 1});
+  SignatureTableConfig config;
+  config.page_size_bytes = 4096;
+  SignatureTable table = SignatureTable::Build(db, partition, config);
+  for (int i = 0; i < 100; ++i) {
+    Transaction t({static_cast<ItemId>(i % 4)});  // All map to coordinate 01.
+    table.InsertTransaction(db.Add(t), t);
+  }
+  ASSERT_EQ(table.entries().size(), 1u);
+  EXPECT_LE(table.PagesOfEntry(0).size(), 2u);
+}
+
+// --- Gap-bounded approximate search (paper §4.2, second mode) ---
+
+TEST(OptimalityGapTest, GapZeroIsExactAndGapBoundsHold) {
+  QuestGenerator generator(GeneratorConfig(317));
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 10;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  SequentialScanner scanner(&db);
+  MatchRatioFamily family;
+
+  for (int q = 0; q < 8; ++q) {
+    Transaction target = generator.NextTransaction();
+    auto oracle = scanner.FindKNearest(target, family, 1);
+    for (double gap : {0.0, 0.1, 0.5}) {
+      SearchOptions options;
+      options.optimality_gap = gap;
+      auto result = engine.FindNearest(target, family, options);
+      double found = result.neighbors[0].similarity;
+      double truth = oracle[0].similarity;
+      if (std::isinf(truth)) {
+        // Identical transaction exists; inf bounds prune only at inf.
+        EXPECT_TRUE(std::isinf(found));
+        continue;
+      }
+      EXPECT_GE(found + gap, truth) << "gap " << gap << " violated";
+      if (gap == 0.0) {
+        EXPECT_EQ(found, truth);
+        EXPECT_TRUE(result.guaranteed_exact);
+      }
+      // The uniform quality bound must always hold.
+      EXPECT_GE(std::max(found, result.best_unscanned_bound), truth);
+    }
+  }
+}
+
+TEST(OptimalityGapTest, LargerGapPrunesMore) {
+  QuestGenerator generator(GeneratorConfig(331));
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 10;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  MatchRatioFamily family;
+
+  uint64_t evaluated_exact = 0, evaluated_gap = 0;
+  for (int q = 0; q < 10; ++q) {
+    Transaction target = generator.NextTransaction();
+    evaluated_exact +=
+        engine.FindNearest(target, family).stats.transactions_evaluated;
+    SearchOptions options;
+    options.optimality_gap = 0.5;
+    auto result = engine.FindNearest(target, family, options);
+    evaluated_gap += result.stats.transactions_evaluated;
+  }
+  EXPECT_LT(evaluated_gap, evaluated_exact);
+}
+
+TEST(OptimalityGapTest, RejectsNegativeGap) {
+  QuestGenerator generator(GeneratorConfig(337));
+  TransactionDatabase db = generator.GenerateDatabase(50);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 4;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  MatchRatioFamily family;
+  SearchOptions options;
+  options.optimality_gap = -0.1;
+  EXPECT_DEATH(engine.FindNearest(generator.NextTransaction(), family,
+                                  options),
+               "non-negative");
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/quest_generator.h"
+#include "mining/support_counter.h"
+
+namespace mbi {
+namespace {
+
+/// Edge cases of the synthetic generator: extreme parameter settings must
+/// still yield valid, non-degenerate data.
+
+TEST(GeneratorEdgeTest, SingleLargeItemset) {
+  QuestGeneratorConfig config;
+  config.universe_size = 50;
+  config.num_large_itemsets = 1;
+  config.avg_itemset_size = 4.0;
+  config.avg_transaction_size = 6.0;
+  config.seed = 1301;
+  QuestGenerator generator(config);
+  // Every transaction is a noisy variation of the one itemset (plus spill
+  // mechanics); all generated items come from that itemset.
+  const auto& itemset = generator.large_itemsets()[0];
+  for (int i = 0; i < 200; ++i) {
+    Transaction t = generator.NextTransaction();
+    EXPECT_FALSE(t.empty());
+    for (ItemId item : t.items()) {
+      EXPECT_TRUE(itemset.Contains(item));
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, CorrelationFractionOneChainsItemsetsMaximally) {
+  QuestGeneratorConfig config;
+  config.universe_size = 2000;
+  config.num_large_itemsets = 100;
+  config.avg_itemset_size = 6.0;
+  config.correlation_fraction = 1.0;
+  config.seed = 1303;
+  QuestGenerator generator(config);
+  const auto& itemsets = generator.large_itemsets();
+  // With full inheritance, each itemset draws as much as possible from its
+  // predecessor: overlap is at least min(|prev|, round(1.0 * |cur|)) items
+  // whenever the previous itemset is large enough.
+  int strong_overlaps = 0;
+  for (size_t i = 1; i < itemsets.size(); ++i) {
+    size_t overlap = MatchCount(itemsets[i - 1], itemsets[i]);
+    if (overlap * 2 >= itemsets[i].size()) ++strong_overlaps;
+  }
+  EXPECT_GT(strong_overlaps, static_cast<int>(itemsets.size()) * 2 / 3);
+}
+
+TEST(GeneratorEdgeTest, CorrelationFractionZeroStillCoversUniverse) {
+  QuestGeneratorConfig config;
+  config.universe_size = 100;
+  config.num_large_itemsets = 200;
+  config.correlation_fraction = 0.0;
+  config.seed = 1307;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+  CorpusStats stats = ComputeCorpusStats(db);
+  EXPECT_GT(stats.distinct_items, 80u);
+}
+
+TEST(GeneratorEdgeTest, ItemsetLargerThanUniverseIsClamped) {
+  QuestGeneratorConfig config;
+  config.universe_size = 5;
+  config.num_large_itemsets = 10;
+  config.avg_itemset_size = 50.0;  // Poisson mean far above |U|.
+  config.avg_transaction_size = 3.0;
+  config.seed = 1309;
+  QuestGenerator generator(config);
+  for (const auto& itemset : generator.large_itemsets()) {
+    EXPECT_LE(itemset.size(), 5u);
+    EXPECT_GE(itemset.size(), 1u);
+  }
+  Transaction t = generator.NextTransaction();
+  EXPECT_LE(t.size(), 5u);
+}
+
+TEST(GeneratorEdgeTest, SpillProbabilityZeroCarriesOver) {
+  // With spill probability 0 an oversized instance is always deferred
+  // (unless the basket is empty), so transactions hug the target size from
+  // below more tightly than with spill 1.
+  QuestGeneratorConfig base;
+  base.universe_size = 500;
+  base.num_large_itemsets = 100;
+  base.avg_itemset_size = 8.0;
+  base.avg_transaction_size = 6.0;
+  base.seed = 1313;
+
+  QuestGeneratorConfig never_spill = base;
+  never_spill.spill_probability = 0.0;
+  QuestGeneratorConfig always_spill = base;
+  always_spill.spill_probability = 1.0;
+
+  QuestGenerator never(never_spill);
+  QuestGenerator always(always_spill);
+  double never_avg = never.GenerateDatabase(3000).AverageTransactionSize();
+  double always_avg = always.GenerateDatabase(3000).AverageTransactionSize();
+  EXPECT_LT(never_avg, always_avg);
+}
+
+TEST(GeneratorEdgeTest, HighNoiseShrinksTransactions) {
+  QuestGeneratorConfig low_noise;
+  low_noise.universe_size = 500;
+  low_noise.num_large_itemsets = 100;
+  low_noise.avg_transaction_size = 10.0;
+  low_noise.noise_mean = 0.9;  // Geometric with high p -> few drops.
+  low_noise.noise_variance = 0.001;
+  low_noise.seed = 1319;
+
+  QuestGeneratorConfig high_noise = low_noise;
+  high_noise.noise_mean = 0.1;  // Many drops per itemset instance.
+
+  QuestGenerator low(low_noise);
+  QuestGenerator high(high_noise);
+  // Both hit the target size eventually (the loop keeps adding instances),
+  // but high noise needs more instances, so the per-item correlation is
+  // diluted: measure via the strongest pair support.
+  TransactionDatabase low_db = low.GenerateDatabase(3000);
+  TransactionDatabase high_db = high.GenerateDatabase(3000);
+  SupportCounter low_supports(low_db);
+  SupportCounter high_supports(high_db);
+  auto strongest = [](const SupportCounter& supports) {
+    uint64_t best = 0;
+    for (const auto& entry : supports.PairsWithMinCount(1)) {
+      best = std::max(best, entry.count);
+    }
+    return best;
+  };
+  EXPECT_GT(strongest(low_supports), strongest(high_supports));
+}
+
+TEST(GeneratorEdgeTest, DatabaseAndQueriesShareOneDeterministicStream) {
+  QuestGeneratorConfig config;
+  config.universe_size = 100;
+  config.num_large_itemsets = 30;
+  config.seed = 1321;
+  QuestGenerator a(config);
+  QuestGenerator b(config);
+  TransactionDatabase db_a = a.GenerateDatabase(100);
+  TransactionDatabase db_b = b.GenerateDatabase(100);
+  for (TransactionId id = 0; id < 100; ++id) {
+    ASSERT_EQ(db_a.Get(id), db_b.Get(id));
+  }
+  // The query stream continues identically after the database.
+  auto queries_a = a.GenerateQueries(20);
+  auto queries_b = b.GenerateQueries(20);
+  EXPECT_EQ(queries_a, queries_b);
+}
+
+}  // namespace
+}  // namespace mbi

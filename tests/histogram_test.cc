@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram histogram;
+  for (double value : {4.0, 1.0, 3.0, 2.0, 5.0}) histogram.Add(value);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 5.0);
+  EXPECT_NEAR(histogram.StdDev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram histogram;
+  histogram.Add(0.0);
+  histogram.Add(10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram histogram;
+  histogram.Add(7.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(histogram.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, AddAfterQuantileInvalidatesCache) {
+  Histogram histogram;
+  histogram.Add(1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 1.0);
+  histogram.Add(9.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, EmptyHistogramAborts) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Summary("ms"), "count=0");
+  EXPECT_DEATH(histogram.Mean(), "");
+  EXPECT_DEATH(histogram.Quantile(0.5), "");
+}
+
+TEST(HistogramTest, QuantilesOfUniformSamplesAreLinear) {
+  Rng rng(77);
+  Histogram histogram;
+  for (int i = 0; i < 100'000; ++i) histogram.Add(rng.UniformDouble());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(histogram.Quantile(q), q, 0.01) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SummaryMentionsAllFields) {
+  Histogram histogram;
+  histogram.Add(1.5);
+  std::string summary = histogram.Summary("ms");
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+  EXPECT_NE(summary.find("p50="), std::string::npos);
+  EXPECT_NE(summary.find("p95="), std::string::npos);
+  EXPECT_NE(summary.find("p99="), std::string::npos);
+  EXPECT_NE(summary.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbi

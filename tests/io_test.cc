@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/partition_io.h"
+#include "gen/quest_generator.h"
+#include "txn/database_io.h"
+
+namespace mbi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatabaseIoTest, RoundTripsGeneratedDatabase) {
+  QuestGeneratorConfig config;
+  config.universe_size = 120;
+  config.num_large_itemsets = 30;
+  config.seed = 71;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(250);
+
+  std::string path = TempPath("db_roundtrip.mbid");
+  ASSERT_TRUE(SaveDatabase(db, path));
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->universe_size(), db.universe_size());
+  ASSERT_EQ(loaded->size(), db.size());
+  for (TransactionId id = 0; id < db.size(); ++id) {
+    EXPECT_EQ(loaded->Get(id), db.Get(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, RoundTripsEmptyAndEmptyTransactions) {
+  TransactionDatabase db(5);
+  db.Add(Transaction{});
+  db.Add(Transaction({0, 4}));
+  std::string path = TempPath("db_empty.mbid");
+  ASSERT_TRUE(SaveDatabase(db, path));
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->Get(0), Transaction{});
+  EXPECT_EQ(loaded->Get(1), Transaction({0, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadDatabase(TempPath("does_not_exist.mbid")).has_value());
+}
+
+TEST(DatabaseIoTest, RejectsCorruptMagic) {
+  std::string path = TempPath("corrupt.mbid");
+  FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("not a database file at all", file);
+  std::fclose(file);
+  EXPECT_FALSE(LoadDatabase(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, RejectsTruncatedPayload) {
+  TransactionDatabase db(5);
+  db.Add(Transaction({0, 1, 2}));
+  std::string path = TempPath("truncated.mbid");
+  ASSERT_TRUE(SaveDatabase(db, path));
+  // Chop the last 4 bytes off.
+  FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fclose(file);
+  ASSERT_EQ(truncate(path.c_str(), size - 4), 0);
+  EXPECT_FALSE(LoadDatabase(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, RoundTrips) {
+  SignaturePartition partition(3, {0, 1, 2, 0, 1, 2, 0});
+  std::string path = TempPath("partition.mbsp");
+  ASSERT_TRUE(SavePartition(partition, path));
+  auto loaded = LoadPartition(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cardinality(), 3u);
+  EXPECT_EQ(loaded->universe_size(), 7u);
+  for (ItemId item = 0; item < 7; ++item) {
+    EXPECT_EQ(loaded->SignatureOf(item), partition.SignatureOf(item));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, RejectsCorruptFile) {
+  std::string path = TempPath("corrupt.mbsp");
+  FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("garbage", file);
+  std::fclose(file);
+  EXPECT_FALSE(LoadPartition(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadPartition(TempPath("no_such.mbsp")).has_value());
+}
+
+}  // namespace
+}  // namespace mbi

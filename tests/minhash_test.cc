@@ -1,0 +1,171 @@
+#include "baseline/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/sequential_scan.h"
+#include "core/similarity.h"
+#include "gen/quest_generator.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig GeneratorConfig(uint64_t seed = 1101) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 70;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(JaccardSimilarityTest, MatchesSetDefinition) {
+  JaccardSimilarity jaccard;
+  // |A ∩ B| = 2, |A ∪ B| = 5 -> 0.4; x = 2, y = 3.
+  EXPECT_DOUBLE_EQ(jaccard.Evaluate(2, 3), 0.4);
+  EXPECT_DOUBLE_EQ(jaccard.Evaluate(0, 7), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard.Evaluate(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard.Evaluate(0, 0), 1.0);
+}
+
+TEST(JaccardSimilarityTest, IsAdmissible) {
+  JaccardSimilarity jaccard;
+  EXPECT_TRUE(CheckAdmissibility(jaccard, 30, 40).admissible);
+  EXPECT_EQ(MakeSimilarityFamily("jaccard")
+                ->ForTarget(Transaction({1}))
+                ->name(),
+            "jaccard");
+}
+
+TEST(MinHashTest, SignatureCollisionRateEstimatesJaccard) {
+  // The defining MinHash property: P[h_min(A) == h_min(B)] = J(A, B).
+  // With 512 hashes the estimate should land within a few points.
+  TransactionDatabase db(100);
+  db.Add(Transaction({0}));  // Index needs a database; content irrelevant.
+  MinHashConfig config;
+  config.num_bands = 128;
+  config.rows_per_band = 4;  // 512 hashes.
+  MinHashIndex index(&db, config);
+
+  struct Case {
+    Transaction a, b;
+  };
+  std::vector<Case> cases = {
+      {Transaction({1, 2, 3, 4}), Transaction({1, 2, 3, 4})},     // J = 1.
+      {Transaction({1, 2, 3, 4}), Transaction({5, 6, 7, 8})},     // J = 0.
+      {Transaction({1, 2, 3, 4}), Transaction({3, 4, 5, 6})},     // J = 1/3.
+      {Transaction({1, 2, 3, 4, 5, 6}), Transaction({4, 5, 6})},  // J = 1/2.
+  };
+  JaccardSimilarity jaccard;
+  for (const Case& test_case : cases) {
+    size_t x = 0, y = 0;
+    MatchAndHamming(test_case.a, test_case.b, &x, &y);
+    double truth =
+        jaccard.Evaluate(static_cast<int>(x), static_cast<int>(y));
+    double estimate = index.EstimateJaccard(test_case.a, test_case.b);
+    EXPECT_NEAR(estimate, truth, 0.08)
+        << test_case.a.ToString() << " vs " << test_case.b.ToString();
+  }
+}
+
+TEST(MinHashTest, CandidatesShareBandsAndRerankExactly) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  MinHashConfig config;
+  config.num_bands = 32;
+  config.rows_per_band = 2;
+  MinHashIndex index(&db, config);
+
+  Transaction target = db.Get(17);  // A database row: its bucket must hit.
+  auto result = index.FindKNearestJaccard(target, 3);
+  ASSERT_FALSE(result.neighbors.empty());
+  // The identical row is its own nearest neighbour at Jaccard 1.
+  EXPECT_EQ(result.neighbors[0].similarity, 1.0);
+  // Reported similarities are exact Jaccard values, best first.
+  JaccardSimilarity jaccard;
+  for (size_t i = 0; i < result.neighbors.size(); ++i) {
+    size_t x = 0, y = 0;
+    MatchAndHamming(target, db.Get(result.neighbors[i].id), &x, &y);
+    EXPECT_DOUBLE_EQ(result.neighbors[i].similarity,
+                     jaccard.Evaluate(static_cast<int>(x),
+                                      static_cast<int>(y)));
+    if (i > 0) {
+      EXPECT_GE(result.neighbors[i - 1].similarity,
+                result.neighbors[i].similarity);
+    }
+  }
+}
+
+TEST(MinHashTest, RecallIsHighForAggressiveBanding) {
+  // Many bands with few rows -> high collision probability even at modest
+  // Jaccard; the true NN (from an exact scan) should be found most of the
+  // time, from a small candidate fraction.
+  QuestGenerator generator(GeneratorConfig(1109));
+  TransactionDatabase db = generator.GenerateDatabase(4000);
+  MinHashConfig config;
+  config.num_bands = 32;
+  config.rows_per_band = 2;
+  MinHashIndex index(&db, config);
+  SequentialScanner scanner(&db);
+  JaccardFamily family;
+
+  int found = 0;
+  double accessed = 0.0;
+  constexpr int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    Transaction target = generator.NextTransaction();
+    auto oracle = scanner.FindKNearest(target, family, 1);
+    auto result = index.FindKNearestJaccard(target, 1);
+    accessed += result.accessed_fraction;
+    found += !result.neighbors.empty() &&
+             result.neighbors[0].similarity == oracle[0].similarity;
+  }
+  EXPECT_GE(found, kQueries * 6 / 10);
+  EXPECT_LT(accessed / kQueries, 0.5);
+}
+
+TEST(MinHashTest, ConservativeBandingTradesRecallForCandidates) {
+  // Few bands with many rows -> collisions need near-duplicates; candidate
+  // sets shrink (and recall with them).
+  QuestGenerator generator(GeneratorConfig(1117));
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+
+  MinHashConfig aggressive;
+  aggressive.num_bands = 32;
+  aggressive.rows_per_band = 2;
+  MinHashConfig conservative;
+  conservative.num_bands = 4;
+  conservative.rows_per_band = 16;
+  MinHashIndex loose(&db, aggressive);
+  MinHashIndex strict(&db, conservative);
+
+  double loose_candidates = 0.0, strict_candidates = 0.0;
+  for (int q = 0; q < 10; ++q) {
+    Transaction target = generator.NextTransaction();
+    loose_candidates += static_cast<double>(
+        loose.FindKNearestJaccard(target, 1).candidates);
+    strict_candidates += static_cast<double>(
+        strict.FindKNearestJaccard(target, 1).candidates);
+  }
+  EXPECT_LT(strict_candidates, loose_candidates);
+}
+
+TEST(MinHashTest, DeterministicForSameSeed) {
+  QuestGenerator generator(GeneratorConfig(1123));
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  MinHashIndex a(&db, MinHashConfig{});
+  MinHashIndex b(&db, MinHashConfig{});
+  Transaction target = generator.NextTransaction();
+  auto result_a = a.FindKNearestJaccard(target, 5);
+  auto result_b = b.FindKNearestJaccard(target, 5);
+  ASSERT_EQ(result_a.neighbors.size(), result_b.neighbors.size());
+  for (size_t i = 0; i < result_a.neighbors.size(); ++i) {
+    EXPECT_EQ(result_a.neighbors[i].id, result_b.neighbors[i].id);
+  }
+  EXPECT_GT(a.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/quest_generator.h"
+#include "mining/apriori.h"
+#include "mining/support_counter.h"
+#include "txn/database.h"
+
+namespace mbi {
+namespace {
+
+TransactionDatabase TinyDatabase() {
+  TransactionDatabase db(6);
+  db.Add(Transaction({0, 1, 2}));
+  db.Add(Transaction({0, 1}));
+  db.Add(Transaction({0, 2}));
+  db.Add(Transaction({3}));
+  db.Add(Transaction({0, 1, 2, 3}));
+  return db;
+}
+
+// --- SupportCounter ---
+
+TEST(SupportCounterTest, ItemCounts) {
+  SupportCounter supports(TinyDatabase());
+  EXPECT_EQ(supports.ItemCount(0), 4u);
+  EXPECT_EQ(supports.ItemCount(1), 3u);
+  EXPECT_EQ(supports.ItemCount(2), 3u);
+  EXPECT_EQ(supports.ItemCount(3), 2u);
+  EXPECT_EQ(supports.ItemCount(4), 0u);
+  EXPECT_DOUBLE_EQ(supports.ItemSupport(0), 0.8);
+}
+
+TEST(SupportCounterTest, PairCountsSymmetric) {
+  SupportCounter supports(TinyDatabase());
+  EXPECT_EQ(supports.PairCount(0, 1), 3u);
+  EXPECT_EQ(supports.PairCount(1, 0), 3u);
+  EXPECT_EQ(supports.PairCount(0, 2), 3u);
+  EXPECT_EQ(supports.PairCount(1, 2), 2u);
+  EXPECT_EQ(supports.PairCount(0, 3), 1u);
+  EXPECT_EQ(supports.PairCount(4, 5), 0u);
+  EXPECT_DOUBLE_EQ(supports.PairSupport(0, 1), 0.6);
+}
+
+TEST(SupportCounterTest, PairsWithMinCountFiltersAndReportsAll) {
+  SupportCounter supports(TinyDatabase());
+  auto pairs = supports.PairsWithMinCount(2);
+  std::map<std::pair<ItemId, ItemId>, uint64_t> found;
+  for (const auto& entry : pairs) found[{entry.a, entry.b}] = entry.count;
+  // Qualifying pairs: (0,1)=3, (0,2)=3, (1,2)=2; all pairs with item 3 occur
+  // only once and must be filtered out.
+  EXPECT_EQ(found.size(), 3u);
+  EXPECT_EQ((found[{0, 1}]), 3u);
+  EXPECT_EQ((found[{0, 2}]), 3u);
+  EXPECT_EQ((found[{1, 2}]), 2u);
+  EXPECT_EQ(found.count({0, 3}), 0u);
+  EXPECT_EQ(found.count({2, 3}), 0u);
+}
+
+TEST(SupportCounterTest, TriangularIndexingCoversAllPairsExactly) {
+  // Cross-check the dense triangular layout against a brute-force recount
+  // on generated data (also exercises every index of the triangle).
+  QuestGeneratorConfig config;
+  config.universe_size = 40;
+  config.num_large_itemsets = 30;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 8.0;
+  config.seed = 21;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  SupportCounter supports(db);
+
+  for (ItemId a = 0; a < db.universe_size(); ++a) {
+    for (ItemId b = a + 1; b < db.universe_size(); ++b) {
+      uint64_t brute = 0;
+      for (const auto& t : db.transactions()) {
+        if (t.Contains(a) && t.Contains(b)) ++brute;
+      }
+      ASSERT_EQ(supports.PairCount(a, b), brute)
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(SupportCounterTest, EmptyDatabase) {
+  TransactionDatabase db(5);
+  SupportCounter supports(db);
+  EXPECT_EQ(supports.ItemCount(0), 0u);
+  EXPECT_DOUBLE_EQ(supports.ItemSupport(0), 0.0);
+  EXPECT_DOUBLE_EQ(supports.PairSupport(0, 1), 0.0);
+}
+
+// --- Apriori ---
+
+TEST(AprioriTest, FindsFrequentItemsetsOnTinyDatabase) {
+  AprioriConfig config;
+  config.min_support = 0.6;  // Count >= 3 of 5.
+  auto itemsets = MineFrequentItemsets(TinyDatabase(), config);
+
+  std::map<std::vector<ItemId>, uint64_t> found;
+  for (const auto& itemset : itemsets) found[itemset.items] = itemset.count;
+
+  EXPECT_EQ(found[{0}], 4u);
+  EXPECT_EQ(found[{1}], 3u);
+  EXPECT_EQ(found[{2}], 3u);
+  EXPECT_EQ(found.count({3}), 0u);  // Count 2 < 3.
+  EXPECT_EQ((found[{0, 1}]), 3u);
+  EXPECT_EQ((found[{0, 2}]), 3u);
+  EXPECT_EQ(found.count({1, 2}), 0u);  // Count 2.
+  EXPECT_EQ(found.count({0, 1, 2}), 0u);
+}
+
+TEST(AprioriTest, AgreesWithBruteForceOnGeneratedData) {
+  QuestGeneratorConfig config;
+  config.universe_size = 30;
+  config.num_large_itemsets = 15;
+  config.avg_itemset_size = 4.0;
+  config.avg_transaction_size = 6.0;
+  config.seed = 77;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(300);
+
+  AprioriConfig apriori;
+  apriori.min_support = 0.05;
+  auto mined = MineFrequentItemsets(db, apriori);
+  const uint64_t min_count = 15;  // ceil(0.05 * 300).
+
+  std::map<std::vector<ItemId>, uint64_t> by_items;
+  for (const auto& itemset : mined) {
+    // Counts must be exact.
+    uint64_t brute = 0;
+    for (const auto& t : db.transactions()) {
+      if (t.ContainsAll(Transaction(std::vector<ItemId>(itemset.items)))) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(itemset.count, brute);
+    EXPECT_GE(itemset.count, min_count);
+    by_items[itemset.items] = itemset.count;
+  }
+
+  // Completeness at sizes 1 and 2 by brute force.
+  for (ItemId a = 0; a < db.universe_size(); ++a) {
+    uint64_t count_a = 0;
+    for (const auto& t : db.transactions()) count_a += t.Contains(a);
+    EXPECT_EQ(by_items.count({a}) > 0, count_a >= min_count) << "item " << a;
+    for (ItemId b = a + 1; b < db.universe_size(); ++b) {
+      uint64_t count_ab = 0;
+      for (const auto& t : db.transactions()) {
+        if (t.Contains(a) && t.Contains(b)) ++count_ab;
+      }
+      EXPECT_EQ(by_items.count({a, b}) > 0, count_ab >= min_count)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  QuestGeneratorConfig config;
+  config.universe_size = 40;
+  config.num_large_itemsets = 20;
+  config.seed = 13;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(400);
+
+  AprioriConfig apriori;
+  apriori.min_support = 0.03;
+  auto mined = MineFrequentItemsets(db, apriori);
+  std::map<std::vector<ItemId>, uint64_t> by_items;
+  for (const auto& itemset : mined) by_items[itemset.items] = itemset.count;
+
+  for (const auto& itemset : mined) {
+    if (itemset.items.size() < 2) continue;
+    for (size_t drop = 0; drop < itemset.items.size(); ++drop) {
+      std::vector<ItemId> subset;
+      for (size_t i = 0; i < itemset.items.size(); ++i) {
+        if (i != drop) subset.push_back(itemset.items[i]);
+      }
+      ASSERT_TRUE(by_items.count(subset))
+          << "missing subset of a frequent itemset";
+      EXPECT_GE(by_items[subset], itemset.count);
+    }
+  }
+}
+
+TEST(AprioriTest, MaxItemsetSizeCapsLevels) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.max_itemset_size = 1;
+  auto itemsets = MineFrequentItemsets(TinyDatabase(), config);
+  for (const auto& itemset : itemsets) EXPECT_EQ(itemset.items.size(), 1u);
+}
+
+TEST(AssociationRulesTest, ConfidenceAndSupport) {
+  AprioriConfig config;
+  config.min_support = 0.4;
+  TransactionDatabase db = TinyDatabase();
+  auto itemsets = MineFrequentItemsets(db, config);
+  auto rules = GenerateAssociationRules(itemsets, db.size(), 0.9);
+
+  // {1} => {0} has confidence 3/3 = 1.0 and support 0.6.
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.antecedent == std::vector<ItemId>{1} &&
+        rule.consequent == std::vector<ItemId>{0}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_DOUBLE_EQ(rule.support, 0.6);
+    }
+    EXPECT_GE(rule.confidence, 0.9);
+  }
+  EXPECT_TRUE(found);
+
+  // {0} => {1} has confidence 3/4 < 0.9 and must be absent.
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.antecedent == std::vector<ItemId>{0} &&
+                 rule.consequent == std::vector<ItemId>{1});
+  }
+}
+
+TEST(AprioriTest, PlantedItemsetsSurfaceAsFrequent) {
+  // The generator's "potentially large itemsets" with high die weights must
+  // be recoverable as frequent itemsets — the premise of the paper's data.
+  QuestGeneratorConfig config;
+  config.universe_size = 500;
+  config.num_large_itemsets = 20;
+  config.avg_itemset_size = 3.0;
+  config.avg_transaction_size = 8.0;
+  config.seed = 55;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+
+  AprioriConfig apriori;
+  apriori.min_support = 0.01;
+  apriori.max_itemset_size = 2;
+  auto mined = MineFrequentItemsets(db, apriori);
+  size_t frequent_pairs = 0;
+  for (const auto& itemset : mined) {
+    frequent_pairs += itemset.items.size() == 2;
+  }
+  // With only 20 planted itemsets, frequent pairs exist (inside itemsets)
+  // and are not the full cross product (correlation, not uniformity).
+  EXPECT_GT(frequent_pairs, 5u);
+  EXPECT_LT(frequent_pairs, 2000u);
+}
+
+}  // namespace
+}  // namespace mbi

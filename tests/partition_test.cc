@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/clustering.h"
+#include "core/signature_partition.h"
+#include "gen/quest_generator.h"
+#include "mining/support_counter.h"
+
+namespace mbi {
+namespace {
+
+// --- SignaturePartition ---
+
+TEST(SignaturePartitionTest, MapsItemsBothWays) {
+  // Paper §3's example: P = {1,2,4,6,8,11,18}, Q = {3,5,7,9,10,16,20}-ish
+  // over a 0-based universe of 8 items here.
+  SignaturePartition partition(3, {0, 0, 1, 2, 1, 0, 2, 1});
+  EXPECT_EQ(partition.cardinality(), 3u);
+  EXPECT_EQ(partition.universe_size(), 8u);
+  EXPECT_EQ(partition.SignatureOf(0), 0u);
+  EXPECT_EQ(partition.SignatureOf(7), 1u);
+  EXPECT_EQ(partition.ItemsOf(0), (std::vector<ItemId>{0, 1, 5}));
+  EXPECT_EQ(partition.ItemsOf(1), (std::vector<ItemId>{2, 4, 7}));
+  EXPECT_EQ(partition.ItemsOf(2), (std::vector<ItemId>{3, 6}));
+}
+
+TEST(SignaturePartitionTest, CountsPerSignature) {
+  SignaturePartition partition(3, {0, 0, 1, 2, 1, 0, 2, 1});
+  Transaction t({0, 1, 3, 7});
+  EXPECT_EQ(partition.CountsPerSignature(t), (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(partition.CountsPerSignature(Transaction{}),
+            (std::vector<int>{0, 0, 0}));
+}
+
+TEST(SignaturePartitionTest, RejectsOutOfRangeSignature) {
+  EXPECT_DEATH(SignaturePartition(2, {0, 1, 2}), "out-of-range");
+}
+
+TEST(SignaturePartitionTest, RejectsExcessiveCardinality) {
+  EXPECT_DEATH(SignaturePartition(32, std::vector<uint32_t>(40, 0)), "");
+}
+
+// --- Clustering ---
+
+QuestGeneratorConfig GeneratorConfig(uint64_t seed = 5) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 80;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  return config;
+}
+
+class ClusteringTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ClusteringTest, ProducesValidPartitionOfRequestedCardinality) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  SupportCounter supports(db);
+  ClusteringConfig config;
+  config.target_cardinality = GetParam();
+  SignaturePartition partition =
+      BuildSignaturesSingleLinkage(supports, config);
+
+  EXPECT_EQ(partition.cardinality(), GetParam());
+  EXPECT_EQ(partition.universe_size(), db.universe_size());
+  // Every item in exactly one signature; none empty.
+  std::set<ItemId> seen;
+  for (uint32_t s = 0; s < partition.cardinality(); ++s) {
+    EXPECT_FALSE(partition.ItemsOf(s).empty()) << "signature " << s;
+    for (ItemId item : partition.ItemsOf(s)) {
+      EXPECT_TRUE(seen.insert(item).second) << "item in two signatures";
+      EXPECT_EQ(partition.SignatureOf(item), s);
+    }
+  }
+  EXPECT_EQ(seen.size(), db.universe_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, ClusteringTest,
+                         ::testing::Values(2u, 8u, 13u, 15u, 20u));
+
+TEST(ClusteringTest, KeepsCorrelatedItemsTogether) {
+  // Build data from *independent* itemsets (correlation_fraction = 0), so
+  // each planted itemset is a separable clique in the co-occurrence graph;
+  // single linkage must put strongly co-occurring pairs in one signature far
+  // more often than a correlation-blind partitioner does. (With chained
+  // itemsets — the default — the strong pairs form one giant component and
+  // *every* K-way partition cuts most of them, so cohesion is not a
+  // meaningful yardstick there.)
+  QuestGeneratorConfig gc;
+  gc.universe_size = 400;
+  gc.num_large_itemsets = 40;
+  gc.avg_itemset_size = 5.0;
+  gc.avg_transaction_size = 8.0;
+  gc.correlation_fraction = 0.0;
+  gc.seed = 17;
+  QuestGenerator generator(gc);
+  TransactionDatabase db = generator.GenerateDatabase(4000);
+  SupportCounter supports(db);
+
+  ClusteringConfig config;
+  config.target_cardinality = 10;
+  SignaturePartition linked = BuildSignaturesSingleLinkage(supports, config);
+  SignaturePartition balanced = BuildSignaturesBalanced(supports, 10);
+
+  auto cohesion = [&](const SignaturePartition& partition) {
+    // Fraction of the strongest co-occurrence pairs that land in the same
+    // signature.
+    auto pairs = supports.PairsWithMinCount(40);
+    if (pairs.empty()) return 0.0;
+    size_t together = 0;
+    for (const auto& pair : pairs) {
+      together += partition.SignatureOf(pair.a) == partition.SignatureOf(pair.b);
+    }
+    return static_cast<double>(together) / static_cast<double>(pairs.size());
+  };
+
+  // Cliques overlap by chance (shared items) and popular cliques can seal
+  // mid-merge, so perfect cohesion is unattainable even for an optimal
+  // partition; what must hold is a wide margin over the correlation-blind
+  // control.
+  EXPECT_GT(cohesion(linked), 0.35);
+  EXPECT_GT(cohesion(linked), cohesion(balanced) + 0.1);
+}
+
+TEST(ClusteringTest, BalancedPartitionerBalancesMass) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(1000);
+  SupportCounter supports(db);
+  SignaturePartition partition = BuildSignaturesBalanced(supports, 8);
+
+  double total = 0.0;
+  std::vector<double> masses(8, 0.0);
+  for (ItemId item = 0; item < db.universe_size(); ++item) {
+    masses[partition.SignatureOf(item)] += supports.ItemSupport(item);
+    total += supports.ItemSupport(item);
+  }
+  for (double mass : masses) {
+    EXPECT_NEAR(mass, total / 8.0, total / 8.0 * 0.25);
+  }
+}
+
+TEST(ClusteringTest, SingleLinkageMassesAreBoundedByCriticalMassGrowth) {
+  // Sealed components stop growing once past critical mass, so no signature
+  // should dwarf the mean by more than one merge's worth; this is a sanity
+  // band, not an exact invariant.
+  QuestGenerator generator(GeneratorConfig(11));
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+  SupportCounter supports(db);
+  ClusteringConfig config;
+  config.target_cardinality = 12;
+  SignaturePartition partition =
+      BuildSignaturesSingleLinkage(supports, config);
+
+  double total = 0.0;
+  std::vector<double> masses(12, 0.0);
+  for (ItemId item = 0; item < db.universe_size(); ++item) {
+    masses[partition.SignatureOf(item)] += supports.ItemSupport(item);
+    total += supports.ItemSupport(item);
+  }
+  for (double mass : masses) {
+    EXPECT_LT(mass, 3.0 * total / 12.0);
+  }
+}
+
+TEST(ClusteringTest, WorksWhenUniverseEqualsCardinality) {
+  TransactionDatabase db(4);
+  db.Add(Transaction({0, 1}));
+  db.Add(Transaction({2, 3}));
+  SupportCounter supports(db);
+  ClusteringConfig config;
+  config.target_cardinality = 4;
+  SignaturePartition partition =
+      BuildSignaturesSingleLinkage(supports, config);
+  EXPECT_EQ(partition.cardinality(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) EXPECT_EQ(partition.ItemsOf(s).size(), 1u);
+}
+
+TEST(ClusteringTest, RejectsUniverseSmallerThanCardinality) {
+  TransactionDatabase db(3);
+  db.Add(Transaction({0, 1, 2}));
+  SupportCounter supports(db);
+  ClusteringConfig config;
+  config.target_cardinality = 5;
+  EXPECT_DEATH(BuildSignaturesSingleLinkage(supports, config), "smaller");
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,141 @@
+#include "mining/pcy_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/clustering.h"
+#include "gen/quest_generator.h"
+#include "mining/support_counter.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig GeneratorConfig(uint64_t seed = 701) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 80;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PcyCounterTest, ItemCountsMatchExactCounter) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  SupportCounter exact(db);
+  PcyConfig config;
+  config.min_pair_count = 5;
+  PcyCounter pcy(db, config);
+  for (ItemId item = 0; item < db.universe_size(); ++item) {
+    EXPECT_EQ(pcy.ItemCount(item), exact.ItemCount(item));
+    EXPECT_DOUBLE_EQ(pcy.ItemSupport(item), exact.ItemSupport(item));
+  }
+}
+
+class PcyAgreementTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PcyAgreementTest, QualifyingPairsAgreeWithExactCounterExactly) {
+  // Parameterized over bucket counts, including one small enough to force
+  // plenty of bucket collisions (false positives must still be filtered).
+  QuestGenerator generator(GeneratorConfig(709));
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  SupportCounter exact(db);
+  PcyConfig config;
+  config.min_pair_count = 8;
+  config.num_hash_buckets = GetParam();
+  PcyCounter pcy(db, config);
+
+  auto exact_pairs = exact.PairsWithMinCount(8);
+  auto pcy_pairs = pcy.PairsWithMinCount(8);
+  std::map<std::pair<ItemId, ItemId>, uint64_t> exact_map, pcy_map;
+  for (const auto& entry : exact_pairs) {
+    exact_map[{entry.a, entry.b}] = entry.count;
+  }
+  for (const auto& entry : pcy_pairs) pcy_map[{entry.a, entry.b}] = entry.count;
+  EXPECT_EQ(exact_map, pcy_map);
+
+  // Point lookups agree on qualifying pairs.
+  for (const auto& [pair, count] : exact_map) {
+    EXPECT_EQ(pcy.PairCount(pair.first, pair.second), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, PcyAgreementTest,
+                         ::testing::Values(1u << 8, 1u << 12, 1u << 20));
+
+TEST(PcyCounterTest, HigherMinCountFiltersFurther) {
+  QuestGenerator generator(GeneratorConfig(719));
+  TransactionDatabase db = generator.GenerateDatabase(1000);
+  PcyConfig config;
+  config.min_pair_count = 3;
+  PcyCounter pcy(db, config);
+  auto at3 = pcy.PairsWithMinCount(3);
+  auto at20 = pcy.PairsWithMinCount(20);
+  EXPECT_LT(at20.size(), at3.size());
+  for (const auto& entry : at20) EXPECT_GE(entry.count, 20u);
+}
+
+TEST(PcyCounterTest, RejectsQueriesBelowConstructionThreshold) {
+  QuestGenerator generator(GeneratorConfig(727));
+  TransactionDatabase db = generator.GenerateDatabase(100);
+  PcyConfig config;
+  config.min_pair_count = 10;
+  PcyCounter pcy(db, config);
+  EXPECT_DEATH(pcy.PairsWithMinCount(5), "construction threshold");
+}
+
+TEST(PcyCounterTest, SmallBucketArrayStillExact) {
+  // Degenerate single-bucket filter: everything survives pass 1, pass 2 is
+  // a full recount — results still exact above the threshold.
+  QuestGenerator generator(GeneratorConfig(733));
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  SupportCounter exact(db);
+  PcyConfig config;
+  config.min_pair_count = 4;
+  config.num_hash_buckets = 1;
+  PcyCounter pcy(db, config);
+  EXPECT_EQ(pcy.PairsWithMinCount(4).size(), exact.PairsWithMinCount(4).size());
+}
+
+TEST(PcyCounterTest, DrivesSignatureConstruction) {
+  // PCY plugs into clustering through the SupportProvider interface; the
+  // resulting partition must be valid and (since PCY is exact above its
+  // threshold) identical to the exact counter's partition when the
+  // clustering edge threshold is at or above PCY's.
+  QuestGenerator generator(GeneratorConfig(739));
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  SupportCounter exact(db);
+  PcyConfig pcy_config;
+  pcy_config.min_pair_count = 2;
+  PcyCounter pcy(db, pcy_config);
+
+  ClusteringConfig clustering;
+  clustering.target_cardinality = 10;
+  clustering.min_pair_support = 2.0 / 2000.0;
+  SignaturePartition from_exact =
+      BuildSignaturesSingleLinkage(exact, clustering);
+  SignaturePartition from_pcy = BuildSignaturesSingleLinkage(pcy, clustering);
+  for (ItemId item = 0; item < db.universe_size(); ++item) {
+    EXPECT_EQ(from_exact.SignatureOf(item), from_pcy.SignatureOf(item))
+        << "item " << item;
+  }
+}
+
+TEST(PcyCounterTest, FilterReducesCandidatePairs) {
+  QuestGenerator generator(GeneratorConfig(743));
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+  PcyConfig strict;
+  strict.min_pair_count = 20;
+  strict.num_hash_buckets = 1 << 20;
+  PcyCounter filtered(db, strict);
+
+  SupportCounter exact(db);
+  uint64_t all_pairs_seen = exact.PairsWithMinCount(1).size();
+  EXPECT_LT(filtered.candidate_pairs(), all_pairs_seen);
+  EXPECT_GT(filtered.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baseline/sequential_scan.h"
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+/// Randomized differential testing: for many random dataset/index/parameter
+/// combinations, the branch-and-bound engine must agree with the sequential
+/// scan oracle — for the paper's three similarity functions and for randomly
+/// generated *admissible* custom functions (monotone in matches, antitone in
+/// Hamming distance by construction).
+
+bool SimilarityEqual(double a, double b) {
+  if (std::isinf(a) && std::isinf(b)) return std::signbit(a) == std::signbit(b);
+  return a == b;
+}
+
+/// A random function of the form
+///   f(x, y) = a·x − b·y + c·sqrt(x) − d·log(1 + y) + e·x/(1 + y)
+/// with non-negative coefficients: every term is nondecreasing in x and
+/// nonincreasing in y, so f is admissible.
+std::unique_ptr<CustomFamily> RandomAdmissibleFamily(Rng* rng, int index) {
+  double a = rng->UniformDouble() * 3.0;
+  double b = rng->UniformDouble() * 3.0;
+  double c = rng->UniformDouble() * 2.0;
+  double d = rng->UniformDouble() * 2.0;
+  double e = rng->UniformDouble() * 4.0;
+  return std::make_unique<CustomFamily>(
+      "random_admissible_" + std::to_string(index),
+      [a, b, c, d, e](int x, int y) {
+        return a * x - b * y + c * std::sqrt(static_cast<double>(x)) -
+               d * std::log1p(static_cast<double>(y)) +
+               e * x / (1.0 + static_cast<double>(y));
+      });
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, EngineAgreesWithScanOracleOnRandomConfigurations) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+
+  QuestGeneratorConfig config;
+  config.universe_size = 100 + static_cast<uint32_t>(rng.UniformUint64(400));
+  config.num_large_itemsets =
+      20 + static_cast<uint32_t>(rng.UniformUint64(100));
+  config.avg_itemset_size = 3.0 + rng.UniformDouble() * 5.0;
+  config.avg_transaction_size = 5.0 + rng.UniformDouble() * 10.0;
+  config.correlation_fraction = rng.UniformDouble() * 0.8;
+  config.seed = seed;
+  QuestGenerator generator(config);
+  const uint64_t db_size = 300 + rng.UniformUint64(1200);
+  TransactionDatabase db = generator.GenerateDatabase(db_size);
+
+  IndexBuildConfig build;
+  build.clustering.target_cardinality =
+      5 + static_cast<uint32_t>(rng.UniformUint64(9));
+  build.table.activation_threshold = 1 + static_cast<int>(rng.UniformUint64(2));
+  build.use_balanced_partitioner = rng.Bernoulli(0.3);
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  SequentialScanner scanner(&db);
+
+  // Assemble the function set: the paper's three plus two random admissible
+  // functions.
+  std::vector<std::unique_ptr<SimilarityFamily>> families;
+  families.push_back(MakeSimilarityFamily("hamming"));
+  families.push_back(MakeSimilarityFamily("match_ratio"));
+  families.push_back(MakeSimilarityFamily("cosine"));
+  families.push_back(RandomAdmissibleFamily(&rng, 0));
+  families.push_back(RandomAdmissibleFamily(&rng, 1));
+
+  for (int q = 0; q < 4; ++q) {
+    Transaction target = generator.NextTransaction();
+    for (const auto& family : families) {
+      size_t k = 1 + rng.UniformUint64(7);
+      auto result = engine.FindKNearest(target, *family, k);
+      auto oracle = scanner.FindKNearest(target, *family, k);
+      ASSERT_TRUE(result.guaranteed_exact)
+          << "seed " << seed << " family " << family->name();
+      ASSERT_EQ(result.neighbors.size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_TRUE(SimilarityEqual(result.neighbors[i].similarity,
+                                    oracle[i].similarity))
+            << "seed " << seed << " family " << family->name() << " k=" << k
+            << " rank " << i << ": " << result.neighbors[i].similarity
+            << " vs " << oracle[i].similarity;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, EarlyTerminationCertificatesNeverLie) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 104729 + 7);
+
+  QuestGeneratorConfig config;
+  config.universe_size = 200 + static_cast<uint32_t>(rng.UniformUint64(300));
+  config.num_large_itemsets = 50;
+  config.avg_transaction_size = 6.0 + rng.UniformDouble() * 8.0;
+  config.seed = seed + 1000;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(2000);
+
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 10;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  SequentialScanner scanner(&db);
+  MatchRatioFamily family;
+
+  for (int q = 0; q < 5; ++q) {
+    Transaction target = generator.NextTransaction();
+    auto oracle = scanner.FindKNearest(target, family, 1);
+    SearchOptions options;
+    options.max_access_fraction = 0.002 + rng.UniformDouble() * 0.05;
+    auto result = engine.FindNearest(target, family, options);
+    if (result.guaranteed_exact) {
+      ASSERT_TRUE(SimilarityEqual(result.neighbors[0].similarity,
+                                  oracle[0].similarity))
+          << "seed " << seed << ": certificate lied";
+    }
+    // The uniform quality bound holds regardless.
+    ASSERT_GE(std::max(result.neighbors[0].similarity,
+                       result.best_unscanned_bound),
+              oracle[0].similarity)
+        << "seed " << seed;
+  }
+}
+
+TEST_P(FuzzTest, RangeQueriesMatchOracleAtRandomThresholds) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 31337 + 5);
+
+  QuestGeneratorConfig config;
+  config.universe_size = 250;
+  config.num_large_itemsets = 60;
+  config.avg_transaction_size = 8.0;
+  config.seed = seed + 2000;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(1000);
+
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 9;
+  SignatureTable table = BuildIndex(db, build);
+  BranchAndBoundEngine engine(&db, &table);
+  SequentialScanner scanner(&db);
+
+  for (const char* name : {"match_ratio", "cosine"}) {
+    auto family = MakeSimilarityFamily(name);
+    for (int q = 0; q < 3; ++q) {
+      Transaction target = generator.NextTransaction();
+      double threshold = rng.UniformDouble() * 1.2;
+      auto result = engine.FindInRange(target, *family, threshold);
+      auto oracle = scanner.FindInRange(target, *family, threshold);
+      ASSERT_TRUE(result.guaranteed_complete);
+      ASSERT_EQ(result.matches.size(), oracle.size())
+          << "seed " << seed << " " << name << " threshold " << threshold;
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_EQ(result.matches[i].id, oracle[i].id);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,161 @@
+#include "gen/quest_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mining/support_counter.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig SmallConfig() {
+  QuestGeneratorConfig config;
+  config.universe_size = 200;
+  config.num_large_itemsets = 100;
+  config.avg_itemset_size = 4.0;
+  config.avg_transaction_size = 8.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(QuestGeneratorTest, DeterministicForSameSeed) {
+  QuestGenerator a(SmallConfig());
+  QuestGenerator b(SmallConfig());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextTransaction(), b.NextTransaction()) << "at " << i;
+  }
+}
+
+TEST(QuestGeneratorTest, DifferentSeedsDiffer) {
+  QuestGeneratorConfig config = SmallConfig();
+  QuestGenerator a(config);
+  config.seed = 8;
+  QuestGenerator b(config);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextTransaction() == b.NextTransaction()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(QuestGeneratorTest, TransactionsRespectUniverse) {
+  QuestGenerator generator(SmallConfig());
+  for (int i = 0; i < 500; ++i) {
+    Transaction t = generator.NextTransaction();
+    EXPECT_FALSE(t.empty());
+    EXPECT_LT(t.items().back(), SmallConfig().universe_size);
+  }
+}
+
+TEST(QuestGeneratorTest, AverageTransactionSizeTracksParameter) {
+  for (double target : {5.0, 10.0, 15.0}) {
+    QuestGeneratorConfig config;
+    config.universe_size = 1000;
+    config.num_large_itemsets = 500;
+    config.avg_itemset_size = 6.0;
+    config.avg_transaction_size = target;
+    config.seed = 99;
+    QuestGenerator generator(config);
+    TransactionDatabase db = generator.GenerateDatabase(4000);
+    // The itemset spill mechanics overshoot the Poisson target when the
+    // target is smaller than the mean itemset size (a whole instance is
+    // force-assigned to an empty basket), so allow a generous band: the
+    // paper's labels (T5/T10/T15) describe the target parameter.
+    EXPECT_NEAR(db.AverageTransactionSize(), target,
+                std::max(target * 0.25, 2.0))
+        << "target " << target;
+  }
+}
+
+TEST(QuestGeneratorTest, LargeItemsetsHaveConfiguredMeanSize) {
+  QuestGeneratorConfig config = SmallConfig();
+  config.num_large_itemsets = 2000;
+  config.universe_size = 1000;
+  QuestGenerator generator(config);
+  double total = 0.0;
+  for (const auto& itemset : generator.large_itemsets()) {
+    EXPECT_GE(itemset.size(), 1u);
+    total += itemset.size();
+  }
+  EXPECT_NEAR(total / config.num_large_itemsets, config.avg_itemset_size,
+              config.avg_itemset_size * 0.15);
+}
+
+TEST(QuestGeneratorTest, SuccessiveItemsetsShareItems) {
+  QuestGeneratorConfig config = SmallConfig();
+  config.universe_size = 5000;  // Sparse universe: random overlap unlikely.
+  config.num_large_itemsets = 500;
+  config.avg_itemset_size = 6.0;
+  QuestGenerator generator(config);
+  const auto& itemsets = generator.large_itemsets();
+  int with_overlap = 0;
+  for (size_t i = 1; i < itemsets.size(); ++i) {
+    if (MatchCount(itemsets[i - 1], itemsets[i]) > 0) ++with_overlap;
+  }
+  // The construction inherits ~half of each itemset from its predecessor.
+  EXPECT_GT(with_overlap, static_cast<int>(itemsets.size()) / 2);
+}
+
+TEST(QuestGeneratorTest, NoiseLevelsAreClampedProbabilities) {
+  QuestGenerator generator(SmallConfig());
+  for (size_t i = 0; i < SmallConfig().num_large_itemsets; ++i) {
+    EXPECT_GT(generator.noise_level(i), 0.0);
+    EXPECT_LT(generator.noise_level(i), 1.0);
+  }
+}
+
+TEST(QuestGeneratorTest, DataIsCorrelatedNotUniform) {
+  // Items co-occurring inside planted itemsets must co-occur in transactions
+  // far more often than independent items would.
+  QuestGeneratorConfig config;
+  config.universe_size = 1000;
+  config.num_large_itemsets = 50;
+  config.avg_itemset_size = 6.0;
+  config.avg_transaction_size = 10.0;
+  config.seed = 3;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(5000);
+  SupportCounter supports(db);
+
+  // Average pair support among pairs inside the first planted itemsets.
+  double planted_pair_support = 0.0;
+  int planted_pairs = 0;
+  for (int s = 0; s < 10; ++s) {
+    const auto& items = generator.large_itemsets()[s].items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        planted_pair_support += supports.PairSupport(items[i], items[j]);
+        ++planted_pairs;
+      }
+    }
+  }
+  ASSERT_GT(planted_pairs, 0);
+  planted_pair_support /= planted_pairs;
+
+  // Expected support of an independent pair: (T/N)^2 = 1e-4.
+  double independent = (10.0 / 1000.0) * (10.0 / 1000.0);
+  EXPECT_GT(planted_pair_support, 10.0 * independent);
+}
+
+TEST(QuestGeneratorTest, GenerateQueriesContinuesTheStream) {
+  QuestGenerator generator(SmallConfig());
+  auto queries = generator.GenerateQueries(10);
+  EXPECT_EQ(queries.size(), 10u);
+  for (const auto& query : queries) EXPECT_FALSE(query.empty());
+}
+
+TEST(CorpusStatsTest, ComputesBasicStatistics) {
+  TransactionDatabase db(10);
+  db.Add(Transaction({0, 1}));
+  db.Add(Transaction({1, 2, 3, 4}));
+  CorpusStats stats = ComputeCorpusStats(db);
+  EXPECT_EQ(stats.num_transactions, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_size, 3.0);
+  EXPECT_EQ(stats.max_transaction_size, 4u);
+  EXPECT_EQ(stats.distinct_items, 5u);
+  EXPECT_DOUBLE_EQ(stats.density, 0.3);
+}
+
+}  // namespace
+}  // namespace mbi

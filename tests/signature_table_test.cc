@@ -1,0 +1,157 @@
+#include "core/signature_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+#include "mining/support_counter.h"
+
+namespace mbi {
+namespace {
+
+QuestGeneratorConfig GeneratorConfig() {
+  QuestGeneratorConfig config;
+  config.universe_size = 200;
+  config.num_large_itemsets = 50;
+  config.avg_itemset_size = 4.0;
+  config.avg_transaction_size = 8.0;
+  config.seed = 31;
+  return config;
+}
+
+SignatureTable BuildSmallTable(const TransactionDatabase& db, uint32_t k,
+                               int activation_threshold = 1) {
+  SupportCounter supports(db);
+  ClusteringConfig clustering;
+  clustering.target_cardinality = k;
+  SignaturePartition partition =
+      BuildSignaturesSingleLinkage(supports, clustering);
+  SignatureTableConfig config;
+  config.activation_threshold = activation_threshold;
+  return SignatureTable::Build(db, std::move(partition), config);
+}
+
+TEST(SignatureTableTest, EntriesPartitionTheDatabase) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(800);
+  SignatureTable table = BuildSmallTable(db, 10);
+
+  std::set<TransactionId> seen;
+  uint64_t counted = 0;
+  for (size_t e = 0; e < table.entries().size(); ++e) {
+    IoStats io;
+    auto ids = table.FetchEntryTransactions(e, &io);
+    EXPECT_EQ(ids.size(), table.entries()[e].transaction_count);
+    counted += ids.size();
+    for (TransactionId id : ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "transaction in two entries";
+      // Every transaction lies in the entry of its own supercoordinate.
+      EXPECT_EQ(table.CoordinateOfTransaction(id),
+                table.entries()[e].coordinate);
+      EXPECT_EQ(ComputeSupercoordinate(db.Get(id), table.partition(),
+                                       table.activation_threshold()),
+                table.entries()[e].coordinate);
+    }
+  }
+  EXPECT_EQ(counted, db.size());
+}
+
+TEST(SignatureTableTest, EntriesSortedAndUnique) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  SignatureTable table = BuildSmallTable(db, 12);
+  const auto& entries = table.entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].coordinate, entries[i].coordinate);
+  }
+  for (const auto& entry : entries) {
+    EXPECT_GT(entry.transaction_count, 0u);
+    EXPECT_LT(entry.coordinate, uint32_t{1} << table.cardinality());
+  }
+}
+
+TEST(SignatureTableTest, StatsAreConsistent) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(600);
+  SignatureTable table = BuildSmallTable(db, 13);
+  SignatureTable::Stats stats = table.ComputeStats();
+  EXPECT_EQ(stats.cardinality, 13u);
+  EXPECT_EQ(stats.directory_entries, uint64_t{1} << 13);
+  EXPECT_EQ(stats.occupied_entries, table.entries().size());
+  EXPECT_EQ(stats.num_transactions, 600u);
+  EXPECT_GT(stats.avg_bucket_size, 0.0);
+  EXPECT_GE(stats.max_bucket_size, 1u);
+  EXPECT_GT(stats.disk_pages, 0u);
+  EXPECT_EQ(stats.directory_bytes, (uint64_t{1} << 13) * sizeof(void*));
+}
+
+TEST(SignatureTableTest, HigherActivationThresholdCoarsensCoordinates) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(500);
+  SignatureTable r1 = BuildSmallTable(db, 10, 1);
+  SignatureTable r3 = BuildSmallTable(db, 10, 3);
+  // At a higher threshold fewer signatures activate, so supercoordinates
+  // have fewer set bits on average.
+  double bits_r1 = 0.0, bits_r3 = 0.0;
+  for (TransactionId id = 0; id < db.size(); ++id) {
+    bits_r1 += ActivatedCount(r1.CoordinateOfTransaction(id));
+    bits_r3 += ActivatedCount(r3.CoordinateOfTransaction(id));
+  }
+  EXPECT_LT(bits_r3, bits_r1);
+}
+
+TEST(SignatureTableTest, EmptyTransactionGetsZeroCoordinate) {
+  TransactionDatabase db(8);
+  db.Add(Transaction{});
+  db.Add(Transaction({0, 1}));
+  SignaturePartition partition(2, {0, 0, 0, 0, 1, 1, 1, 1});
+  SignatureTable table = SignatureTable::Build(db, partition, {});
+  EXPECT_EQ(table.CoordinateOfTransaction(0), 0u);
+  EXPECT_EQ(table.CoordinateOfTransaction(1), 0b01u);
+}
+
+TEST(SignatureTableTest, BuildIndexFacadeProducesWorkingTable) {
+  QuestGenerator generator(GeneratorConfig());
+  TransactionDatabase db = generator.GenerateDatabase(400);
+  IndexBuildConfig config;
+  config.clustering.target_cardinality = 9;
+  SignatureTable table = BuildIndex(db, config);
+  EXPECT_EQ(table.cardinality(), 9u);
+  EXPECT_GT(table.entries().size(), 1u);
+
+  IndexBuildConfig balanced = config;
+  balanced.use_balanced_partitioner = true;
+  SignatureTable control = BuildIndex(db, balanced);
+  EXPECT_EQ(control.cardinality(), 9u);
+}
+
+TEST(SignatureTableTest, CorrelatedPartitionActivatesFewSignatures) {
+  // Paper §3: "if the items in each signature are closely correlated, then a
+  // transaction is likely to activate a small number of signatures."
+  QuestGeneratorConfig gc = GeneratorConfig();
+  gc.universe_size = 600;
+  gc.num_large_itemsets = 60;
+  QuestGenerator generator(gc);
+  TransactionDatabase db = generator.GenerateDatabase(3000);
+
+  IndexBuildConfig linked;
+  linked.clustering.target_cardinality = 12;
+  SignatureTable correlated = BuildIndex(db, linked);
+
+  IndexBuildConfig blind = linked;
+  blind.use_balanced_partitioner = true;
+  SignatureTable control = BuildIndex(db, blind);
+
+  double activated_correlated = 0.0, activated_control = 0.0;
+  for (TransactionId id = 0; id < db.size(); ++id) {
+    activated_correlated +=
+        ActivatedCount(correlated.CoordinateOfTransaction(id));
+    activated_control += ActivatedCount(control.CoordinateOfTransaction(id));
+  }
+  EXPECT_LT(activated_correlated, activated_control);
+}
+
+}  // namespace
+}  // namespace mbi

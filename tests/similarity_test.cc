@@ -1,0 +1,200 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace mbi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(InverseHammingTest, Values) {
+  InverseHammingSimilarity f;
+  EXPECT_DOUBLE_EQ(f.Evaluate(3, 4), 0.25);
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 1), 1.0);
+  EXPECT_EQ(f.Evaluate(5, 0), kInf);
+  // f is independent of the match count.
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 7), f.Evaluate(100, 7));
+}
+
+TEST(MatchRatioTest, Values) {
+  MatchRatioSimilarity f;
+  EXPECT_DOUBLE_EQ(f.Evaluate(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 9), 0.0);
+  EXPECT_EQ(f.Evaluate(2, 0), kInf);
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 0), 0.0);
+}
+
+TEST(CosineTest, MatchesTransactionCosineOnFeasiblePairs) {
+  // Target T with 4 items, candidate S with 3 items, 2 matches:
+  // x = 2, y = (4-2)+(3-2) = 3.
+  Transaction target({1, 2, 3, 4});
+  Transaction candidate({3, 4, 9});
+  CosineSimilarity f(target.size());
+  size_t x = MatchCount(target, candidate);
+  size_t y = HammingDistance(target, candidate);
+  EXPECT_DOUBLE_EQ(
+      f.Evaluate(static_cast<int>(x), static_cast<int>(y)),
+      CosineBetween(target, candidate));
+}
+
+TEST(CosineTest, IdenticalTransactionsScoreOne) {
+  CosineSimilarity f(5);
+  EXPECT_DOUBLE_EQ(f.Evaluate(5, 0), 1.0);
+}
+
+TEST(CosineTest, ZeroMatchesScoreZero) {
+  CosineSimilarity f(5);
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 12), 0.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(0, 0), 0.0);
+}
+
+TEST(CosineTest, EmptyTargetScoresZero) {
+  CosineSimilarity f(0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(3, 2), 0.0);
+}
+
+TEST(CustomSimilarityTest, WrapsCallable) {
+  CustomSimilarity f("twice_matches",
+                     [](int x, int y) { return 2.0 * x - 0.5 * y; });
+  EXPECT_DOUBLE_EQ(f.Evaluate(3, 2), 5.0);
+  EXPECT_EQ(f.name(), "twice_matches");
+}
+
+TEST(FamilyTest, MakeByName) {
+  Transaction target({1, 2, 3});
+  EXPECT_EQ(MakeSimilarityFamily("hamming")->ForTarget(target)->name(),
+            "hamming");
+  EXPECT_EQ(MakeSimilarityFamily("match_ratio")->ForTarget(target)->name(),
+            "match_ratio");
+  EXPECT_EQ(MakeSimilarityFamily("cosine")->ForTarget(target)->name(),
+            "cosine");
+  EXPECT_DEATH(MakeSimilarityFamily("no_such_family"), "unknown");
+}
+
+TEST(FamilyTest, CosineFamilyBindsTargetSize) {
+  CosineFamily family;
+  Transaction small({1});
+  Transaction large({1, 2, 3, 4});
+  // Same (x, y) scores differently for different target sizes.
+  auto f_small = family.ForTarget(small);
+  auto f_large = family.ForTarget(large);
+  EXPECT_NE(f_small->Evaluate(1, 2), f_large->Evaluate(1, 2));
+}
+
+// --- Property sweep: the monotonicity constraints of paper Section 2 must
+// hold over the full integer domain, because bound evaluation feeds in
+// jointly-infeasible (x, y) pairs.
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(MonotonicityTest, NonDecreasingInMatchesNonIncreasingInHamming) {
+  auto [family_name, target_size] = GetParam();
+  auto family = MakeSimilarityFamily(family_name);
+  std::vector<ItemId> items;
+  for (int i = 0; i < target_size; ++i) items.push_back(i);
+  auto f = family->ForTarget(Transaction(items));
+
+  constexpr int kMaxX = 20;
+  constexpr int kMaxY = 30;
+  for (int x = 0; x <= kMaxX; ++x) {
+    for (int y = 0; y <= kMaxY; ++y) {
+      double here = f->Evaluate(x, y);
+      EXPECT_LE(here, f->Evaluate(x + 1, y))
+          << family_name << " not monotone in x at (" << x << ", " << y << ")";
+      EXPECT_GE(here, f->Evaluate(x, y + 1))
+          << family_name << " not antitone in y at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MonotonicityTest,
+    ::testing::Values(std::make_tuple("hamming", 5),
+                      std::make_tuple("hamming", 12),
+                      std::make_tuple("match_ratio", 5),
+                      std::make_tuple("match_ratio", 12),
+                      std::make_tuple("cosine", 1),
+                      std::make_tuple("cosine", 5),
+                      std::make_tuple("cosine", 12),
+                      std::make_tuple("cosine", 25)));
+
+// --- CheckAdmissibility ---
+
+TEST(AdmissibilityCheckTest, AcceptsThePaperFunctions) {
+  for (const char* name : {"hamming", "match_ratio", "cosine"}) {
+    auto family = MakeSimilarityFamily(name);
+    auto f = family->ForTarget(Transaction({1, 2, 3, 4, 5}));
+    AdmissibilityReport report = CheckAdmissibility(*f, 25, 40);
+    EXPECT_TRUE(report.admissible) << name << ": " << report.ToString();
+    EXPECT_EQ(report.ToString(), "admissible");
+  }
+}
+
+TEST(AdmissibilityCheckTest, RejectsMatchViolations) {
+  // Decreasing in matches.
+  CustomSimilarity bad("bad_x", [](int x, int y) { return -x - y; });
+  AdmissibilityReport report = CheckAdmissibility(bad, 10, 10);
+  EXPECT_FALSE(report.admissible);
+  EXPECT_TRUE(report.match_monotonicity_violated);
+  EXPECT_NE(report.ToString().find("match monotonicity"), std::string::npos);
+}
+
+TEST(AdmissibilityCheckTest, RejectsHammingViolations) {
+  // Increasing in hamming.
+  CustomSimilarity bad("bad_y", [](int x, int y) { return x + y; });
+  AdmissibilityReport report = CheckAdmissibility(bad, 10, 10);
+  EXPECT_FALSE(report.admissible);
+  EXPECT_FALSE(report.match_monotonicity_violated);
+  EXPECT_NE(report.ToString().find("hamming monotonicity"),
+            std::string::npos);
+}
+
+TEST(AdmissibilityCheckTest, PinpointsTheFirstViolation) {
+  // Admissible except for a spike at (3, 2) -> (3, 3).
+  CustomSimilarity tricky("tricky", [](int x, int y) {
+    if (x == 3 && y == 3) return 100.0;
+    return static_cast<double>(x) - static_cast<double>(y);
+  });
+  AdmissibilityReport report = CheckAdmissibility(tricky, 10, 10);
+  EXPECT_FALSE(report.admissible);
+  // First reached in scan order: comparing f(3,2) against f(3,3).
+  EXPECT_EQ(report.x, 3);
+  EXPECT_EQ(report.y, 2);
+}
+
+TEST(AdmissibilityCheckTest, ZeroGridIsTriviallyAdmissible) {
+  CustomSimilarity any("any", [](int x, int y) { return x * 1000.0 - y; });
+  EXPECT_TRUE(CheckAdmissibility(any, 0, 0).admissible);
+}
+
+// Lemma 2.1: for alpha >= x and beta <= y, f(alpha, beta) >= f(x, y).
+class Lemma21Test : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Lemma21Test, UpperBoundProperty) {
+  auto family = MakeSimilarityFamily(GetParam());
+  auto f = family->ForTarget(Transaction({1, 2, 3, 4, 5, 6, 7}));
+  for (int x = 0; x <= 10; ++x) {
+    for (int y = 0; y <= 14; ++y) {
+      double value = f->Evaluate(x, y);
+      for (int alpha = x; alpha <= 12; ++alpha) {
+        for (int beta = 0; beta <= y; ++beta) {
+          EXPECT_GE(f->Evaluate(alpha, beta), value)
+              << GetParam() << " violates Lemma 2.1 at x=" << x << " y=" << y
+              << " alpha=" << alpha << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, Lemma21Test,
+                         ::testing::Values("hamming", "match_ratio",
+                                           "cosine"));
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,166 @@
+#include "core/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+
+namespace mbi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  TransactionDatabase db;
+  SignatureTable table;
+  QuestGenerator generator;
+};
+
+Fixture MakeFixture(uint64_t seed = 401, uint64_t size = 1500) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 70;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(size);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 11;
+  build.table.activation_threshold = 2;
+  SignatureTable table = BuildIndex(db, build);
+  return {std::move(db), std::move(table), std::move(generator)};
+}
+
+TEST(TableIoTest, RoundTripPreservesStructure) {
+  Fixture fixture = MakeFixture();
+  std::string path = TempPath("table_roundtrip.mbst");
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  auto loaded = LoadSignatureTable(path, fixture.db);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->cardinality(), fixture.table.cardinality());
+  EXPECT_EQ(loaded->activation_threshold(),
+            fixture.table.activation_threshold());
+  EXPECT_EQ(loaded->page_size_bytes(), fixture.table.page_size_bytes());
+  ASSERT_EQ(loaded->entries().size(), fixture.table.entries().size());
+  for (size_t e = 0; e < loaded->entries().size(); ++e) {
+    EXPECT_EQ(loaded->entries()[e].coordinate,
+              fixture.table.entries()[e].coordinate);
+    EXPECT_EQ(loaded->entries()[e].transaction_count,
+              fixture.table.entries()[e].transaction_count);
+    IoStats io_a, io_b;
+    EXPECT_EQ(loaded->FetchEntryTransactions(e, &io_a),
+              fixture.table.FetchEntryTransactions(e, &io_b));
+    EXPECT_EQ(io_a.pages_read, io_b.pages_read);
+  }
+  for (TransactionId id = 0; id < fixture.db.size(); ++id) {
+    EXPECT_EQ(loaded->CoordinateOfTransaction(id),
+              fixture.table.CoordinateOfTransaction(id));
+  }
+  for (ItemId item = 0; item < fixture.db.universe_size(); ++item) {
+    EXPECT_EQ(loaded->partition().SignatureOf(item),
+              fixture.table.partition().SignatureOf(item));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, LoadedTableAnswersQueriesIdentically) {
+  Fixture fixture = MakeFixture(409);
+  std::string path = TempPath("table_queries.mbst");
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  auto loaded = LoadSignatureTable(path, fixture.db);
+  ASSERT_TRUE(loaded.has_value());
+
+  BranchAndBoundEngine original(&fixture.db, &fixture.table);
+  BranchAndBoundEngine reopened(&fixture.db, &*loaded);
+  MatchRatioFamily family;
+  for (int q = 0; q < 10; ++q) {
+    Transaction target = fixture.generator.NextTransaction();
+    auto a = original.FindKNearest(target, family, 5);
+    auto b = reopened.FindKNearest(target, family, 5);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id);
+    }
+    EXPECT_EQ(a.stats.transactions_evaluated, b.stats.transactions_evaluated);
+    EXPECT_EQ(a.stats.io.pages_read, b.stats.io.pages_read);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RoundTripSurvivesDynamicInserts) {
+  Fixture fixture = MakeFixture(419, 400);
+  for (int i = 0; i < 200; ++i) {
+    Transaction fresh = fixture.generator.NextTransaction();
+    fixture.table.InsertTransaction(fixture.db.Add(fresh), fresh);
+  }
+  std::string path = TempPath("table_inserts.mbst");
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  auto loaded = LoadSignatureTable(path, fixture.db);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_indexed_transactions(), 600u);
+
+  // And the loaded table accepts further inserts.
+  Transaction fresh = fixture.generator.NextTransaction();
+  loaded->InsertTransaction(fixture.db.Add(fresh), fresh);
+  EXPECT_EQ(loaded->num_indexed_transactions(), 601u);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RejectsDatabaseMismatch) {
+  Fixture fixture = MakeFixture(421);
+  std::string path = TempPath("table_mismatch.mbst");
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+
+  // Wrong transaction count.
+  TransactionDatabase smaller(fixture.db.universe_size());
+  for (TransactionId id = 0; id + 1 < fixture.db.size(); ++id) {
+    smaller.Add(fixture.db.Get(id));
+  }
+  EXPECT_FALSE(LoadSignatureTable(path, smaller).has_value());
+
+  // Wrong universe.
+  TransactionDatabase other_universe(fixture.db.universe_size() + 1);
+  EXPECT_FALSE(LoadSignatureTable(path, other_universe).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RejectsCorruptAndTruncatedFiles) {
+  Fixture fixture = MakeFixture(431, 300);
+  std::string path = TempPath("table_corrupt.mbst");
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+
+  // Truncate the tail.
+  FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fclose(file);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadSignatureTable(path, fixture.db).has_value());
+
+  // Garbage magic.
+  file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("this is not an index", file);
+  std::fclose(file);
+  EXPECT_FALSE(LoadSignatureTable(path, fixture.db).has_value());
+
+  // Missing file.
+  EXPECT_FALSE(
+      LoadSignatureTable(TempPath("no_such.mbst"), fixture.db).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,122 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "txn/database.h"
+
+namespace mbi {
+namespace {
+
+TEST(TransactionTest, SortsAndDeduplicatesOnConstruction) {
+  Transaction t({9, 1, 5, 1, 9});
+  EXPECT_EQ(t.items(), (std::vector<ItemId>{1, 5, 9}));
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(TransactionTest, EmptyTransaction) {
+  Transaction t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Contains(0));
+}
+
+TEST(TransactionTest, Contains) {
+  Transaction t({2, 6, 17, 20});
+  EXPECT_TRUE(t.Contains(2));
+  EXPECT_TRUE(t.Contains(20));
+  EXPECT_FALSE(t.Contains(3));
+}
+
+TEST(TransactionTest, ContainsAll) {
+  Transaction t({2, 6, 17, 20});
+  EXPECT_TRUE(t.ContainsAll(Transaction({6, 20})));
+  EXPECT_TRUE(t.ContainsAll(Transaction{}));
+  EXPECT_FALSE(t.ContainsAll(Transaction({6, 21})));
+}
+
+TEST(TransactionTest, MatchCountIsIntersectionSize) {
+  Transaction a({1, 2, 3, 4});
+  Transaction b({3, 4, 5});
+  EXPECT_EQ(MatchCount(a, b), 2u);
+  EXPECT_EQ(MatchCount(b, a), 2u);
+  EXPECT_EQ(MatchCount(a, a), 4u);
+  EXPECT_EQ(MatchCount(a, Transaction{}), 0u);
+}
+
+TEST(TransactionTest, HammingDistanceIsSymmetricDifferenceSize) {
+  Transaction a({1, 2, 3, 4});
+  Transaction b({3, 4, 5});
+  EXPECT_EQ(HammingDistance(a, b), 3u);  // {1,2} and {5}.
+  EXPECT_EQ(HammingDistance(b, a), 3u);
+  EXPECT_EQ(HammingDistance(a, a), 0u);
+  EXPECT_EQ(HammingDistance(a, Transaction{}), 4u);
+}
+
+TEST(TransactionTest, MatchAndHammingAgreeWithSeparateFunctions) {
+  Transaction a({1, 5, 7, 10, 12});
+  Transaction b({2, 5, 10, 13});
+  size_t match = 0, hamming = 0;
+  MatchAndHamming(a, b, &match, &hamming);
+  EXPECT_EQ(match, MatchCount(a, b));
+  EXPECT_EQ(hamming, HammingDistance(a, b));
+}
+
+TEST(TransactionTest, SetOperations) {
+  Transaction a({1, 2, 3});
+  Transaction b({2, 3, 4});
+  EXPECT_EQ(Intersect(a, b), Transaction({2, 3}));
+  EXPECT_EQ(Union(a, b), Transaction({1, 2, 3, 4}));
+  EXPECT_EQ(Difference(a, b), Transaction({1}));
+  EXPECT_EQ(Difference(b, a), Transaction({4}));
+}
+
+TEST(TransactionTest, CosineMatchesDefinition) {
+  Transaction a({1, 2, 3, 4});
+  Transaction b({3, 4});
+  // x = 2, #a = 4, #b = 2 -> 2 / (2 * sqrt(2)).
+  EXPECT_DOUBLE_EQ(CosineBetween(a, b), 2.0 / (2.0 * std::sqrt(2.0)));
+  EXPECT_DOUBLE_EQ(CosineBetween(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CosineBetween(a, Transaction{}), 0.0);
+}
+
+TEST(TransactionTest, ToStringRendersSortedItems) {
+  EXPECT_EQ(Transaction({3, 1, 2}).ToString(), "{1, 2, 3}");
+  EXPECT_EQ(Transaction{}.ToString(), "{}");
+}
+
+TEST(DatabaseTest, AddAndGet) {
+  TransactionDatabase db(100);
+  TransactionId id0 = db.Add(Transaction({1, 2}));
+  TransactionId id1 = db.Add(Transaction({3}));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.Get(id0), Transaction({1, 2}));
+  EXPECT_EQ(db.Get(id1), Transaction({3}));
+}
+
+TEST(DatabaseTest, RejectsItemsOutsideUniverse) {
+  TransactionDatabase db(10);
+  EXPECT_DEATH(db.Add(Transaction({10})), "universe");
+}
+
+TEST(DatabaseTest, AverageTransactionSize) {
+  TransactionDatabase db(100);
+  EXPECT_DOUBLE_EQ(db.AverageTransactionSize(), 0.0);
+  db.Add(Transaction({1, 2}));
+  db.Add(Transaction({3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(db.AverageTransactionSize(), 3.0);
+  EXPECT_EQ(db.TotalItemOccurrences(), 6u);
+}
+
+TEST(DatabaseTest, DatasetNameFormatting) {
+  EXPECT_EQ(DatasetName(10, 6, 800'000), "T10.I6.D800K");
+  EXPECT_EQ(DatasetName(10, 4, 100'000), "T10.I4.D100K");
+  EXPECT_EQ(DatasetName(5, 6, 2'000'000), "T5.I6.D2M");
+  EXPECT_EQ(DatasetName(12, 6, 1234), "T12.I6.D1234");
+}
+
+}  // namespace
+}  // namespace mbi

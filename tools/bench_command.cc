@@ -1,0 +1,84 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/branch_and_bound.h"
+#include "core/table_io.h"
+#include "gen/quest_generator.h"
+#include "tools/cli_command.h"
+#include "txn/database_io.h"
+#include "util/flags.h"
+#include "util/histogram.h"
+#include "util/stopwatch.h"
+
+namespace mbi::cli {
+
+int RunBench(int argc, char** argv) {
+  FlagParser flags(
+      "mbi bench: replay a query workload against an index and report "
+      "latency / access-volume distributions.");
+  std::string db_path, index_path, similarity;
+  int64_t queries, k, seed;
+  double termination;
+  flags.AddString("db", "data.mbid", "database file", &db_path);
+  flags.AddString("index", "index.mbst", "index file", &index_path);
+  flags.AddString("similarity", "match_ratio",
+                  "hamming | match_ratio | cosine", &similarity);
+  flags.AddInt64("queries", 200, "number of query baskets", &queries);
+  flags.AddInt64("k", 10, "neighbours per query", &k);
+  flags.AddInt64("seed", 99, "workload generator seed", &seed);
+  flags.AddDouble("termination", 1.0,
+                  "early-termination access fraction in (0,1]", &termination);
+  if (!flags.Parse(argc, argv)) return 0;
+
+  auto db = LoadDatabase(db_path);
+  if (!db.has_value()) {
+    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+    return 1;
+  }
+  auto table = LoadSignatureTable(index_path, *db);
+  if (!table.has_value()) {
+    std::fprintf(stderr, "error: cannot read index %s\n", index_path.c_str());
+    return 1;
+  }
+
+  // Workload: fresh baskets from the same kind of generator, seeded
+  // independently of the data.
+  QuestGeneratorConfig gen_config;
+  gen_config.universe_size = db->universe_size();
+  gen_config.avg_transaction_size = std::max(1.0, db->AverageTransactionSize());
+  gen_config.seed = static_cast<uint64_t>(seed);
+  QuestGenerator generator(gen_config);
+  std::vector<Transaction> targets =
+      generator.GenerateQueries(static_cast<uint64_t>(queries));
+
+  auto family = MakeSimilarityFamily(similarity);
+  BranchAndBoundEngine engine(&*db, &*table);
+  SearchOptions options;
+  options.max_access_fraction = termination;
+
+  Histogram latency_ms, access_percent, pages;
+  int certified = 0;
+  Stopwatch total;
+  for (const Transaction& target : targets) {
+    Stopwatch timer;
+    NearestNeighborResult result =
+        engine.FindKNearest(target, *family, static_cast<size_t>(k), options);
+    latency_ms.Add(timer.ElapsedMillis());
+    access_percent.Add(100.0 * result.stats.AccessedFraction());
+    pages.Add(static_cast<double>(result.stats.io.pages_read));
+    certified += result.guaranteed_exact;
+  }
+
+  std::printf("replayed %lld x top-%lld %s queries in %.2fs\n",
+              static_cast<long long>(queries), static_cast<long long>(k),
+              similarity.c_str(), total.ElapsedSeconds());
+  std::printf("latency:  %s\n", latency_ms.Summary("ms").c_str());
+  std::printf("accessed: %s\n", access_percent.Summary("%").c_str());
+  std::printf("pages:    %s\n", pages.Summary("").c_str());
+  std::printf("certified exact: %d/%lld\n", certified,
+              static_cast<long long>(queries));
+  return 0;
+}
+
+}  // namespace mbi::cli

@@ -1,0 +1,43 @@
+#ifndef MBI_TOOLS_CLI_COMMAND_H_
+#define MBI_TOOLS_CLI_COMMAND_H_
+
+#include <string>
+
+/// \file
+/// Subcommand entry points of the `mbi` command-line tool. Each takes the
+/// argv tail after the subcommand name and returns a process exit code.
+///
+///   mbi generate --out data.mbid --transactions 100000 --avg_tx_size 10
+///   mbi build    --db data.mbid --out index.mbst --cardinality 15
+///   mbi query    --db data.mbid --index index.mbst --items 3,17,204 --k 5
+///   mbi stats    --db data.mbid [--index index.mbst]
+///   mbi mine     --db data.mbid --min_support 0.01 --min_confidence 0.5
+///   mbi bench    --db data.mbid --index index.mbst --queries 500
+
+namespace mbi::cli {
+
+/// `mbi generate`: synthesize a Quest-style market-basket database file.
+int RunGenerate(int argc, char** argv);
+
+/// `mbi build`: build a signature table index over a database file and
+/// persist it.
+int RunBuild(int argc, char** argv);
+
+/// `mbi query`: run a k-NN or range query against a database + index.
+int RunQuery(int argc, char** argv);
+
+/// `mbi stats`: print database (and optionally index) statistics.
+int RunStats(int argc, char** argv);
+
+/// `mbi mine`: mine frequent itemsets and association rules.
+int RunMine(int argc, char** argv);
+
+/// `mbi bench`: replay a query workload and report latency distributions.
+int RunBench(int argc, char** argv);
+
+/// Prints the top-level usage text.
+void PrintUsage(const std::string& program);
+
+}  // namespace mbi::cli
+
+#endif  // MBI_TOOLS_CLI_COMMAND_H_

@@ -1,0 +1,54 @@
+// `mbi` — command-line front end for the market-basket similarity index:
+// generate synthetic data, build and persist signature table indexes, run
+// similarity queries, inspect statistics, and mine association rules.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tools/cli_command.h"
+
+namespace mbi::cli {
+
+void PrintUsage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s <command> [flags]\n"
+               "\n"
+               "commands:\n"
+               "  generate   synthesize a Quest-style market-basket database\n"
+               "  build      build and persist a signature table index\n"
+               "  query      k-NN / range similarity query\n"
+               "  stats      database and index statistics\n"
+               "  mine       frequent itemsets and association rules\n"
+               "  bench      replay a query workload, report latencies\n"
+               "\n"
+               "run '%s <command> --help' for command flags\n",
+               program.c_str(), program.c_str());
+}
+
+}  // namespace mbi::cli
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    mbi::cli::PrintUsage(argv[0]);
+    return 2;
+  }
+  std::string command = argv[1];
+  // Hand each subcommand an argv whose [0] is the program name, so flag
+  // parsing starts at its own flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "generate") return mbi::cli::RunGenerate(sub_argc, sub_argv);
+  if (command == "build") return mbi::cli::RunBuild(sub_argc, sub_argv);
+  if (command == "query") return mbi::cli::RunQuery(sub_argc, sub_argv);
+  if (command == "stats") return mbi::cli::RunStats(sub_argc, sub_argv);
+  if (command == "mine") return mbi::cli::RunMine(sub_argc, sub_argv);
+  if (command == "bench") return mbi::cli::RunBench(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h" || command == "help") {
+    mbi::cli::PrintUsage(argv[0]);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  mbi::cli::PrintUsage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,173 @@
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/branch_and_bound.h"
+#include "core/table_io.h"
+#include "tools/cli_command.h"
+#include "txn/database_io.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace mbi::cli {
+namespace {
+
+/// Parses "3,17,204" into item ids; returns false on malformed input.
+bool ParseItems(const std::string& text, std::vector<ItemId>* items) {
+  items->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string token = text.substr(pos, comma - pos);
+    if (token.empty()) return false;
+    char* end = nullptr;
+    unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') return false;
+    items->push_back(static_cast<ItemId>(value));
+    pos = comma + 1;
+  }
+  return !items->empty();
+}
+
+}  // namespace
+
+int RunQuery(int argc, char** argv) {
+  FlagParser flags(
+      "mbi query: k-NN or range similarity query against an index.");
+  std::string db_path, index_path, items_text, similarity;
+  int64_t k, random_target_seed;
+  double termination, range_threshold;
+  flags.AddString("db", "data.mbid", "database file", &db_path);
+  flags.AddString("index", "index.mbst", "index file", &index_path);
+  flags.AddString("items", "",
+                  "target basket as comma-separated item ids; empty draws a "
+                  "random database transaction as the target",
+                  &items_text);
+  flags.AddString("similarity", "match_ratio",
+                  "hamming | match_ratio | cosine", &similarity);
+  flags.AddInt64("k", 5, "neighbours to retrieve", &k);
+  flags.AddDouble("termination", 1.0,
+                  "early-termination access fraction in (0,1]", &termination);
+  flags.AddDouble("range", -1.0,
+                  "if >= 0, run a range query with this threshold instead of "
+                  "k-NN",
+                  &range_threshold);
+  flags.AddInt64("target_seed", 1,
+                 "seed for picking a random target when --items is empty",
+                 &random_target_seed);
+  bool explain;
+  flags.AddBool("explain", false,
+                "print the branch-and-bound's per-entry decisions", &explain);
+  if (!flags.Parse(argc, argv)) return 0;
+
+  auto db = LoadDatabase(db_path);
+  if (!db.has_value()) {
+    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+    return 1;
+  }
+  auto table = LoadSignatureTable(index_path, *db);
+  if (!table.has_value()) {
+    std::fprintf(stderr,
+                 "error: cannot read index %s (or it does not match the "
+                 "database)\n",
+                 index_path.c_str());
+    return 1;
+  }
+
+  Transaction target;
+  if (items_text.empty()) {
+    Rng rng(static_cast<uint64_t>(random_target_seed));
+    target = db->Get(static_cast<TransactionId>(rng.UniformUint64(db->size())));
+  } else {
+    std::vector<ItemId> items;
+    if (!ParseItems(items_text, &items)) {
+      std::fprintf(stderr, "error: cannot parse --items '%s'\n",
+                   items_text.c_str());
+      return 1;
+    }
+    for (ItemId item : items) {
+      if (item >= db->universe_size()) {
+        std::fprintf(stderr, "error: item %u outside the universe [0, %u)\n",
+                     item, db->universe_size());
+        return 1;
+      }
+    }
+    target = Transaction(std::move(items));
+  }
+
+  auto family = MakeSimilarityFamily(similarity);
+  BranchAndBoundEngine engine(&*db, &*table);
+  std::printf("target: %s\n", target.ToString().c_str());
+
+  Stopwatch timer;
+  if (range_threshold >= 0.0) {
+    RangeQueryResult result =
+        engine.FindInRange(target, *family, range_threshold);
+    std::printf(
+        "range query %s >= %.4g: %zu matches in %.1f ms "
+        "(accessed %.2f%%, pruned %llu/%llu entries)\n",
+        similarity.c_str(), range_threshold, result.matches.size(),
+        timer.ElapsedMillis(), 100.0 * result.stats.AccessedFraction(),
+        static_cast<unsigned long long>(result.stats.entries_pruned),
+        static_cast<unsigned long long>(result.stats.entries_total));
+    for (size_t i = 0; i < result.matches.size() && i < 20; ++i) {
+      std::printf("  tx %-10u %-10.4g %s\n", result.matches[i].id,
+                  result.matches[i].similarity,
+                  db->Get(result.matches[i].id).ToString().c_str());
+    }
+    return 0;
+  }
+
+  SearchOptions options;
+  options.max_access_fraction = termination;
+  options.collect_trace = explain;
+  NearestNeighborResult result =
+      engine.FindKNearest(target, *family, static_cast<size_t>(k), options);
+  std::printf(
+      "top-%lld by %s in %.1f ms (accessed %.2f%% of %zu transactions, "
+      "%llu page reads%s)\n",
+      static_cast<long long>(k), similarity.c_str(), timer.ElapsedMillis(),
+      100.0 * result.stats.AccessedFraction(), db->size(),
+      static_cast<unsigned long long>(result.stats.io.pages_read),
+      result.guaranteed_exact ? ", provably exact" : "");
+  for (const Neighbor& neighbor : result.neighbors) {
+    std::printf("  tx %-10u %-10.4g %s\n", neighbor.id, neighbor.similarity,
+                db->Get(neighbor.id).ToString().c_str());
+  }
+  if (!result.guaranteed_exact) {
+    std::printf("unexplored entries could reach %.4g\n",
+                result.unexplored_optimistic_bound);
+  }
+  if (explain) {
+    std::printf("\nbranch-and-bound trace (first 20 entries in visit order,"
+                " K=%u):\n", table->cardinality());
+    size_t shown = 0;
+    size_t pruned = 0, scanned = 0;
+    for (const EntryTrace& entry : result.trace) {
+      const char* action = entry.action == EntryTrace::Action::kScanned
+                               ? "scan "
+                               : entry.action == EntryTrace::Action::kPruned
+                                     ? "prune"
+                                     : "skip ";
+      scanned += entry.action == EntryTrace::Action::kScanned;
+      pruned += entry.action == EntryTrace::Action::kPruned;
+      if (shown < 20) {
+        std::printf("  %s %s  opt=%-9.4g pess=%-9.4g txs=%u\n", action,
+                    SupercoordinateToString(entry.coordinate,
+                                            table->cardinality())
+                        .c_str(),
+                    entry.optimistic_bound, entry.pessimistic_bound,
+                    entry.transaction_count);
+        ++shown;
+      }
+    }
+    std::printf("  ... %zu entries total: %zu scanned, %zu pruned\n",
+                result.trace.size(), scanned, pruned);
+  }
+  return 0;
+}
+
+}  // namespace mbi::cli
