@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activation_threshold.dir/ablation_activation_threshold.cc.o"
+  "CMakeFiles/ablation_activation_threshold.dir/ablation_activation_threshold.cc.o.d"
+  "ablation_activation_threshold"
+  "ablation_activation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

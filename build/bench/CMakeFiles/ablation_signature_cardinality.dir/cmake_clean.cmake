@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signature_cardinality.dir/ablation_signature_cardinality.cc.o"
+  "CMakeFiles/ablation_signature_cardinality.dir/ablation_signature_cardinality.cc.o.d"
+  "ablation_signature_cardinality"
+  "ablation_signature_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sort_order.dir/ablation_sort_order.cc.o"
+  "CMakeFiles/ablation_sort_order.dir/ablation_sort_order.cc.o.d"
+  "ablation_sort_order"
+  "ablation_sort_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sort_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

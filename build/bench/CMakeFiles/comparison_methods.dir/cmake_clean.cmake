@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_methods.dir/comparison_methods.cc.o"
+  "CMakeFiles/comparison_methods.dir/comparison_methods.cc.o.d"
+  "comparison_methods"
+  "comparison_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_minhash.dir/comparison_minhash.cc.o"
+  "CMakeFiles/comparison_minhash.dir/comparison_minhash.cc.o.d"
+  "comparison_minhash"
+  "comparison_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for comparison_minhash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pruning_dbsize_hamming.dir/fig06_pruning_dbsize_hamming.cc.o"
+  "CMakeFiles/fig06_pruning_dbsize_hamming.dir/fig06_pruning_dbsize_hamming.cc.o.d"
+  "fig06_pruning_dbsize_hamming"
+  "fig06_pruning_dbsize_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pruning_dbsize_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

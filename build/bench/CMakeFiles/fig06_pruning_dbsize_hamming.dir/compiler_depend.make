@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_pruning_dbsize_hamming.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_accuracy_termination_hamming.dir/fig07_accuracy_termination_hamming.cc.o"
+  "CMakeFiles/fig07_accuracy_termination_hamming.dir/fig07_accuracy_termination_hamming.cc.o.d"
+  "fig07_accuracy_termination_hamming"
+  "fig07_accuracy_termination_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_accuracy_termination_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_accuracy_txsize_hamming.dir/fig08_accuracy_txsize_hamming.cc.o"
+  "CMakeFiles/fig08_accuracy_txsize_hamming.dir/fig08_accuracy_txsize_hamming.cc.o.d"
+  "fig08_accuracy_txsize_hamming"
+  "fig08_accuracy_txsize_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_accuracy_txsize_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

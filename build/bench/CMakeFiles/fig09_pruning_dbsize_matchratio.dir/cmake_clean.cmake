@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pruning_dbsize_matchratio.dir/fig09_pruning_dbsize_matchratio.cc.o"
+  "CMakeFiles/fig09_pruning_dbsize_matchratio.dir/fig09_pruning_dbsize_matchratio.cc.o.d"
+  "fig09_pruning_dbsize_matchratio"
+  "fig09_pruning_dbsize_matchratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pruning_dbsize_matchratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

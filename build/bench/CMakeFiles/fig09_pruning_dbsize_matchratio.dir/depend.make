@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_pruning_dbsize_matchratio.
+# This may be replaced when dependencies are built.

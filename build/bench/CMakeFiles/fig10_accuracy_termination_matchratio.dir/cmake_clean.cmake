@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_termination_matchratio.dir/fig10_accuracy_termination_matchratio.cc.o"
+  "CMakeFiles/fig10_accuracy_termination_matchratio.dir/fig10_accuracy_termination_matchratio.cc.o.d"
+  "fig10_accuracy_termination_matchratio"
+  "fig10_accuracy_termination_matchratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_termination_matchratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

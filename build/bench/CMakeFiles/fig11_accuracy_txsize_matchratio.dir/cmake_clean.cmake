@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy_txsize_matchratio.dir/fig11_accuracy_txsize_matchratio.cc.o"
+  "CMakeFiles/fig11_accuracy_txsize_matchratio.dir/fig11_accuracy_txsize_matchratio.cc.o.d"
+  "fig11_accuracy_txsize_matchratio"
+  "fig11_accuracy_txsize_matchratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy_txsize_matchratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_pruning_dbsize_cosine.cc" "bench/CMakeFiles/fig12_pruning_dbsize_cosine.dir/fig12_pruning_dbsize_cosine.cc.o" "gcc" "bench/CMakeFiles/fig12_pruning_dbsize_cosine.dir/fig12_pruning_dbsize_cosine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mbi_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mbi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mbi_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/mbi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mbi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mbi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

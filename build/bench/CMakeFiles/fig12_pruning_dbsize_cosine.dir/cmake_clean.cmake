@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pruning_dbsize_cosine.dir/fig12_pruning_dbsize_cosine.cc.o"
+  "CMakeFiles/fig12_pruning_dbsize_cosine.dir/fig12_pruning_dbsize_cosine.cc.o.d"
+  "fig12_pruning_dbsize_cosine"
+  "fig12_pruning_dbsize_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pruning_dbsize_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_pruning_dbsize_cosine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_accuracy_termination_cosine.dir/fig13_accuracy_termination_cosine.cc.o"
+  "CMakeFiles/fig13_accuracy_termination_cosine.dir/fig13_accuracy_termination_cosine.cc.o.d"
+  "fig13_accuracy_termination_cosine"
+  "fig13_accuracy_termination_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_accuracy_termination_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_accuracy_termination_cosine.
+# This may be replaced when dependencies are built.

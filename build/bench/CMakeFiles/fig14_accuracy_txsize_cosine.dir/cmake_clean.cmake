@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_accuracy_txsize_cosine.dir/fig14_accuracy_txsize_cosine.cc.o"
+  "CMakeFiles/fig14_accuracy_txsize_cosine.dir/fig14_accuracy_txsize_cosine.cc.o.d"
+  "fig14_accuracy_txsize_cosine"
+  "fig14_accuracy_txsize_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_accuracy_txsize_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

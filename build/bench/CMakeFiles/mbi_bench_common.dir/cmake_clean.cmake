@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_bench_common.dir/common/harness.cc.o"
+  "CMakeFiles/mbi_bench_common.dir/common/harness.cc.o.d"
+  "libmbi_bench_common.a"
+  "libmbi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

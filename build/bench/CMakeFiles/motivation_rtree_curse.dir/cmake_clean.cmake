@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_rtree_curse.dir/motivation_rtree_curse.cc.o"
+  "CMakeFiles/motivation_rtree_curse.dir/motivation_rtree_curse.cc.o.d"
+  "motivation_rtree_curse"
+  "motivation_rtree_curse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_rtree_curse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_inverted_index_access.dir/table01_inverted_index_access.cc.o"
+  "CMakeFiles/table01_inverted_index_access.dir/table01_inverted_index_access.cc.o.d"
+  "table01_inverted_index_access"
+  "table01_inverted_index_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_inverted_index_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table01_inverted_index_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_basket_analysis.dir/market_basket_analysis.cc.o"
+  "CMakeFiles/market_basket_analysis.dir/market_basket_analysis.cc.o.d"
+  "market_basket_analysis"
+  "market_basket_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_basket_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_target_search.dir/multi_target_search.cc.o"
+  "CMakeFiles/multi_target_search.dir/multi_target_search.cc.o.d"
+  "multi_target_search"
+  "multi_target_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_target_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

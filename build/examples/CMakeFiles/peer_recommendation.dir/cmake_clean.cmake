@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_recommendation.dir/peer_recommendation.cc.o"
+  "CMakeFiles/peer_recommendation.dir/peer_recommendation.cc.o.d"
+  "peer_recommendation"
+  "peer_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

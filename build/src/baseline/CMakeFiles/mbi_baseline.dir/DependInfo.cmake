@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/compressed_postings.cc" "src/baseline/CMakeFiles/mbi_baseline.dir/compressed_postings.cc.o" "gcc" "src/baseline/CMakeFiles/mbi_baseline.dir/compressed_postings.cc.o.d"
+  "/root/repo/src/baseline/inverted_index.cc" "src/baseline/CMakeFiles/mbi_baseline.dir/inverted_index.cc.o" "gcc" "src/baseline/CMakeFiles/mbi_baseline.dir/inverted_index.cc.o.d"
+  "/root/repo/src/baseline/minhash.cc" "src/baseline/CMakeFiles/mbi_baseline.dir/minhash.cc.o" "gcc" "src/baseline/CMakeFiles/mbi_baseline.dir/minhash.cc.o.d"
+  "/root/repo/src/baseline/rtree.cc" "src/baseline/CMakeFiles/mbi_baseline.dir/rtree.cc.o" "gcc" "src/baseline/CMakeFiles/mbi_baseline.dir/rtree.cc.o.d"
+  "/root/repo/src/baseline/sequential_scan.cc" "src/baseline/CMakeFiles/mbi_baseline.dir/sequential_scan.cc.o" "gcc" "src/baseline/CMakeFiles/mbi_baseline.dir/sequential_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mbi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mbi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mbi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/mbi_mining.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_baseline.dir/compressed_postings.cc.o"
+  "CMakeFiles/mbi_baseline.dir/compressed_postings.cc.o.d"
+  "CMakeFiles/mbi_baseline.dir/inverted_index.cc.o"
+  "CMakeFiles/mbi_baseline.dir/inverted_index.cc.o.d"
+  "CMakeFiles/mbi_baseline.dir/minhash.cc.o"
+  "CMakeFiles/mbi_baseline.dir/minhash.cc.o.d"
+  "CMakeFiles/mbi_baseline.dir/rtree.cc.o"
+  "CMakeFiles/mbi_baseline.dir/rtree.cc.o.d"
+  "CMakeFiles/mbi_baseline.dir/sequential_scan.cc.o"
+  "CMakeFiles/mbi_baseline.dir/sequential_scan.cc.o.d"
+  "libmbi_baseline.a"
+  "libmbi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

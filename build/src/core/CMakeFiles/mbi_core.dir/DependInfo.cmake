@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_query.cc" "src/core/CMakeFiles/mbi_core.dir/batch_query.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/batch_query.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/mbi_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/branch_and_bound.cc" "src/core/CMakeFiles/mbi_core.dir/branch_and_bound.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/branch_and_bound.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/mbi_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/index_builder.cc" "src/core/CMakeFiles/mbi_core.dir/index_builder.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/index_builder.cc.o.d"
+  "/root/repo/src/core/partition_io.cc" "src/core/CMakeFiles/mbi_core.dir/partition_io.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/partition_io.cc.o.d"
+  "/root/repo/src/core/signature_partition.cc" "src/core/CMakeFiles/mbi_core.dir/signature_partition.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/signature_partition.cc.o.d"
+  "/root/repo/src/core/signature_table.cc" "src/core/CMakeFiles/mbi_core.dir/signature_table.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/signature_table.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/mbi_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/supercoordinate.cc" "src/core/CMakeFiles/mbi_core.dir/supercoordinate.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/supercoordinate.cc.o.d"
+  "/root/repo/src/core/table_io.cc" "src/core/CMakeFiles/mbi_core.dir/table_io.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/table_io.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/mbi_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/mbi_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/mbi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mbi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mbi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_core.dir/batch_query.cc.o"
+  "CMakeFiles/mbi_core.dir/batch_query.cc.o.d"
+  "CMakeFiles/mbi_core.dir/bounds.cc.o"
+  "CMakeFiles/mbi_core.dir/bounds.cc.o.d"
+  "CMakeFiles/mbi_core.dir/branch_and_bound.cc.o"
+  "CMakeFiles/mbi_core.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/mbi_core.dir/clustering.cc.o"
+  "CMakeFiles/mbi_core.dir/clustering.cc.o.d"
+  "CMakeFiles/mbi_core.dir/index_builder.cc.o"
+  "CMakeFiles/mbi_core.dir/index_builder.cc.o.d"
+  "CMakeFiles/mbi_core.dir/partition_io.cc.o"
+  "CMakeFiles/mbi_core.dir/partition_io.cc.o.d"
+  "CMakeFiles/mbi_core.dir/signature_partition.cc.o"
+  "CMakeFiles/mbi_core.dir/signature_partition.cc.o.d"
+  "CMakeFiles/mbi_core.dir/signature_table.cc.o"
+  "CMakeFiles/mbi_core.dir/signature_table.cc.o.d"
+  "CMakeFiles/mbi_core.dir/similarity.cc.o"
+  "CMakeFiles/mbi_core.dir/similarity.cc.o.d"
+  "CMakeFiles/mbi_core.dir/supercoordinate.cc.o"
+  "CMakeFiles/mbi_core.dir/supercoordinate.cc.o.d"
+  "CMakeFiles/mbi_core.dir/table_io.cc.o"
+  "CMakeFiles/mbi_core.dir/table_io.cc.o.d"
+  "CMakeFiles/mbi_core.dir/tuner.cc.o"
+  "CMakeFiles/mbi_core.dir/tuner.cc.o.d"
+  "libmbi_core.a"
+  "libmbi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

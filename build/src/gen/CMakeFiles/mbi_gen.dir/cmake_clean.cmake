@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_gen.dir/quest_generator.cc.o"
+  "CMakeFiles/mbi_gen.dir/quest_generator.cc.o.d"
+  "libmbi_gen.a"
+  "libmbi_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

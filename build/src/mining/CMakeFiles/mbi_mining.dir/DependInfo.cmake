@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/mbi_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/mbi_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/pcy_counter.cc" "src/mining/CMakeFiles/mbi_mining.dir/pcy_counter.cc.o" "gcc" "src/mining/CMakeFiles/mbi_mining.dir/pcy_counter.cc.o.d"
+  "/root/repo/src/mining/support_counter.cc" "src/mining/CMakeFiles/mbi_mining.dir/support_counter.cc.o" "gcc" "src/mining/CMakeFiles/mbi_mining.dir/support_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/mbi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

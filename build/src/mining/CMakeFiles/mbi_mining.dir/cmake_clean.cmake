@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_mining.dir/apriori.cc.o"
+  "CMakeFiles/mbi_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/mbi_mining.dir/pcy_counter.cc.o"
+  "CMakeFiles/mbi_mining.dir/pcy_counter.cc.o.d"
+  "CMakeFiles/mbi_mining.dir/support_counter.cc.o"
+  "CMakeFiles/mbi_mining.dir/support_counter.cc.o.d"
+  "libmbi_mining.a"
+  "libmbi_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbi_mining.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mbi_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mbi_storage.dir/page_store.cc.o"
+  "CMakeFiles/mbi_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/mbi_storage.dir/transaction_store.cc.o"
+  "CMakeFiles/mbi_storage.dir/transaction_store.cc.o.d"
+  "libmbi_storage.a"
+  "libmbi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_txn.dir/database.cc.o"
+  "CMakeFiles/mbi_txn.dir/database.cc.o.d"
+  "CMakeFiles/mbi_txn.dir/database_io.cc.o"
+  "CMakeFiles/mbi_txn.dir/database_io.cc.o.d"
+  "CMakeFiles/mbi_txn.dir/transaction.cc.o"
+  "CMakeFiles/mbi_txn.dir/transaction.cc.o.d"
+  "libmbi_txn.a"
+  "libmbi_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

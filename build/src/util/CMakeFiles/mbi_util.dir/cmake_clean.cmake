@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_util.dir/alias_sampler.cc.o"
+  "CMakeFiles/mbi_util.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/mbi_util.dir/flags.cc.o"
+  "CMakeFiles/mbi_util.dir/flags.cc.o.d"
+  "CMakeFiles/mbi_util.dir/histogram.cc.o"
+  "CMakeFiles/mbi_util.dir/histogram.cc.o.d"
+  "CMakeFiles/mbi_util.dir/rng.cc.o"
+  "CMakeFiles/mbi_util.dir/rng.cc.o.d"
+  "CMakeFiles/mbi_util.dir/table_printer.cc.o"
+  "CMakeFiles/mbi_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/mbi_util.dir/thread_pool.cc.o"
+  "CMakeFiles/mbi_util.dir/thread_pool.cc.o.d"
+  "libmbi_util.a"
+  "libmbi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_tightness_test.dir/bound_tightness_test.cc.o"
+  "CMakeFiles/bound_tightness_test.dir/bound_tightness_test.cc.o.d"
+  "bound_tightness_test"
+  "bound_tightness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_tightness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_insert_test.dir/dynamic_insert_test.cc.o"
+  "CMakeFiles/dynamic_insert_test.dir/dynamic_insert_test.cc.o.d"
+  "dynamic_insert_test"
+  "dynamic_insert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcy_counter_test.dir/pcy_counter_test.cc.o"
+  "CMakeFiles/pcy_counter_test.dir/pcy_counter_test.cc.o.d"
+  "pcy_counter_test"
+  "pcy_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcy_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_table_test.dir/signature_table_test.cc.o"
+  "CMakeFiles/signature_table_test.dir/signature_table_test.cc.o.d"
+  "signature_table_test"
+  "signature_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

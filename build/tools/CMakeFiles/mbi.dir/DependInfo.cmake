@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/bench_command.cc" "tools/CMakeFiles/mbi.dir/bench_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/bench_command.cc.o.d"
+  "/root/repo/tools/build_command.cc" "tools/CMakeFiles/mbi.dir/build_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/build_command.cc.o.d"
+  "/root/repo/tools/generate_command.cc" "tools/CMakeFiles/mbi.dir/generate_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/generate_command.cc.o.d"
+  "/root/repo/tools/mbi_main.cc" "tools/CMakeFiles/mbi.dir/mbi_main.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/mbi_main.cc.o.d"
+  "/root/repo/tools/mine_command.cc" "tools/CMakeFiles/mbi.dir/mine_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/mine_command.cc.o.d"
+  "/root/repo/tools/query_command.cc" "tools/CMakeFiles/mbi.dir/query_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/query_command.cc.o.d"
+  "/root/repo/tools/stats_command.cc" "tools/CMakeFiles/mbi.dir/stats_command.cc.o" "gcc" "tools/CMakeFiles/mbi.dir/stats_command.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/mbi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mbi_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/mbi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mbi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mbi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

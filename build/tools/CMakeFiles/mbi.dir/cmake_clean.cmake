@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi.dir/bench_command.cc.o"
+  "CMakeFiles/mbi.dir/bench_command.cc.o.d"
+  "CMakeFiles/mbi.dir/build_command.cc.o"
+  "CMakeFiles/mbi.dir/build_command.cc.o.d"
+  "CMakeFiles/mbi.dir/generate_command.cc.o"
+  "CMakeFiles/mbi.dir/generate_command.cc.o.d"
+  "CMakeFiles/mbi.dir/mbi_main.cc.o"
+  "CMakeFiles/mbi.dir/mbi_main.cc.o.d"
+  "CMakeFiles/mbi.dir/mine_command.cc.o"
+  "CMakeFiles/mbi.dir/mine_command.cc.o.d"
+  "CMakeFiles/mbi.dir/query_command.cc.o"
+  "CMakeFiles/mbi.dir/query_command.cc.o.d"
+  "CMakeFiles/mbi.dir/stats_command.cc.o"
+  "CMakeFiles/mbi.dir/stats_command.cc.o.d"
+  "mbi"
+  "mbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
