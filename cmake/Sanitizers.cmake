@@ -1,0 +1,59 @@
+# Sanitizer presets for the whole build tree.
+#
+# Usage:  cmake -B build -S . -DMBI_SANITIZE=address
+#         cmake -B build -S . -DMBI_SANITIZE=address,undefined
+#         cmake -B build -S . -DMBI_SANITIZE=thread
+#
+# The flags are applied with add_compile_options/add_link_options from the
+# top-level CMakeLists.txt *before* any subdirectory is added, so every
+# target in src/, tools/, tests/, bench/, and examples/ is instrumented —
+# partial instrumentation makes ASan/TSan reports unreliable.
+#
+# `thread` cannot be combined with `address` (the runtimes are mutually
+# exclusive); `address,undefined` is the classic CI pairing.
+
+function(mbi_enable_sanitizers preset)
+  if(preset STREQUAL "")
+    return()
+  endif()
+
+  # Accept comma- or semicolon-separated combinations.
+  string(REPLACE "," ";" presets "${preset}")
+
+  set(sanitize_values "")
+  foreach(name IN LISTS presets)
+    if(name STREQUAL "address")
+      list(APPEND sanitize_values "address")
+    elseif(name STREQUAL "undefined")
+      list(APPEND sanitize_values "undefined")
+    elseif(name STREQUAL "thread")
+      list(APPEND sanitize_values "thread")
+    else()
+      message(FATAL_ERROR
+        "MBI_SANITIZE=${name} is not supported; use address, undefined, "
+        "thread, or a comma-separated combination of address,undefined")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST sanitize_values AND "address" IN_LIST sanitize_values)
+    message(FATAL_ERROR
+      "MBI_SANITIZE: thread and address sanitizers cannot be combined")
+  endif()
+
+  list(JOIN sanitize_values "," joined)
+  message(STATUS "Sanitizers enabled: -fsanitize=${joined}")
+
+  add_compile_options(-fsanitize=${joined} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${joined})
+
+  if("undefined" IN_LIST sanitize_values)
+    # Abort on the first UB report instead of logging and continuing, so
+    # ctest fails loudly in CI.
+    add_compile_options(-fno-sanitize-recover=all)
+    add_link_options(-fno-sanitize-recover=all)
+  endif()
+
+  # Sanitized builds exist to find bugs: keep assertions and MBI_DCHECKs on
+  # even when the cached CMAKE_BUILD_TYPE says Release.
+  add_compile_options(-UNDEBUG)
+endfunction()

@@ -99,8 +99,10 @@ int main(int argc, char** argv) {
   std::printf(
       "batch of %zu queries in %.2fs (%.1f ms/query): avg access %.2f%%, "
       "%d/%zu certified exact at 2%% termination\n",
-      batch.size(), elapsed, 1e3 * elapsed / batch.size(),
-      100.0 * avg_access / results.size(), certified, results.size());
+      batch.size(), elapsed,
+      1e3 * elapsed / static_cast<double>(batch.size()),
+      100.0 * avg_access / static_cast<double>(results.size()), certified,
+      results.size());
 
   std::remove(db_path.c_str());
   std::remove(index_path.c_str());

@@ -92,6 +92,11 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
   result.pages_touched = touched.size();
   result.pages_total = sequential_store_.page_store().size();
 
+  // Every page pin taken during phase 2 must have been released, and the
+  // pool's LRU bookkeeping must have survived the scattered access pattern.
+  MBI_CHECK_EQ(pool.total_pins(), 0u);
+  MBI_DCHECK((pool.CheckInvariants(), true));
+
   std::sort(scored.begin(), scored.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.similarity != b.similarity) {
@@ -108,6 +113,47 @@ std::vector<TransactionId> InvertedIndex::PostingsOf(ItemId item) const {
   MBI_CHECK(item < database_->universe_size());
   if (compress_postings_) return compressed_postings_[item].Decode();
   return postings_[item];
+}
+
+void InvertedIndex::CheckInvariants() const {
+  const uint32_t universe = database_->universe_size();
+  const uint64_t num_transactions = database_->size();
+
+  // Sorted postings with in-range ids, and total length equal to the total
+  // item occurrences of the database (each occurrence contributes exactly
+  // one posting). Compressed lists are decoded once up front.
+  std::vector<std::vector<TransactionId>> lists(universe);
+  uint64_t total_postings = 0;
+  for (ItemId item = 0; item < universe; ++item) {
+    lists[item] = PostingsOf(item);
+    const std::vector<TransactionId>& list = lists[item];
+    total_postings += list.size();
+    for (size_t i = 0; i < list.size(); ++i) {
+      MBI_CHECK_LT(list[i], num_transactions);
+      if (i > 0) MBI_CHECK_LT(list[i - 1], list[i]);
+    }
+  }
+  MBI_CHECK_EQ(total_postings, database_->TotalItemOccurrences());
+
+  // Membership: every item occurrence is findable in its posting list.
+  // Together with the length check above this makes the lists *exactly* the
+  // database's transpose — no missing and no phantom postings.
+  for (TransactionId id = 0; id < num_transactions; ++id) {
+    for (ItemId item : database_->Get(id).items()) {
+      MBI_CHECK_LT(item, universe);
+      MBI_CHECK_MSG(
+          std::binary_search(lists[item].begin(), lists[item].end(), id),
+          "transaction missing from its item's posting list");
+    }
+
+    // Sequential layout: the page mapped to this transaction holds it.
+    PageId page = sequential_store_.PageOfTransaction(id);
+    MBI_CHECK_LT(page, sequential_store_.page_store().size());
+    const auto& ids =
+        sequential_store_.page_store().pages()[page].transaction_ids;
+    MBI_CHECK_MSG(std::find(ids.begin(), ids.end(), id) != ids.end(),
+                  "transaction not present on its mapped page");
+  }
 }
 
 uint64_t InvertedIndex::PostingsBytes() const {

@@ -80,6 +80,15 @@ class InvertedIndex {
   /// compression is on).
   uint64_t PostingsBytes() const;
 
+  /// Walks the index and aborts (via MBI_CHECK) on any structural
+  /// inconsistency: every posting list is strictly ascending with in-range
+  /// ids (compressed lists are decoded first), the lists exactly mirror the
+  /// database (transaction t appears in item i's list iff t contains i), and
+  /// the sequential page layout maps every transaction to a page that
+  /// actually holds it. O(total item occurrences · log); meant for tests and
+  /// debug flags, not for query paths.
+  void CheckInvariants() const;
+
  private:
   const TransactionDatabase* database_;
   bool compress_postings_;

@@ -328,4 +328,29 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
   return result;
 }
 
+void BranchAndBoundEngine::CheckBoundDominance(
+    const Transaction& target, const SimilarityFamily& family) const {
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+  BoundCalculator calculator(table_->partition().CountsPerSignature(target),
+                             table_->activation_threshold());
+
+  for (size_t i = 0; i < table_->entries().size(); ++i) {
+    const SignatureTable::Entry& entry = table_->entries()[i];
+    const double optimistic =
+        calculator.OptimisticSimilarity(entry.coordinate, *similarity);
+    std::vector<TransactionId> ids =
+        table_->FetchEntryTransactions(i, /*stats=*/nullptr);
+    for (TransactionId id : ids) {
+      size_t match = 0;
+      size_t hamming = 0;
+      MatchAndHamming(target, database_->Get(id), &match, &hamming);
+      const double actual = similarity->Evaluate(static_cast<int>(match),
+                                                 static_cast<int>(hamming));
+      MBI_CHECK_MSG(actual <= optimistic,
+                    "optimistic bound fails to dominate an indexed "
+                    "transaction (Lemma 2.1 violated)");
+    }
+  }
+}
+
 }  // namespace mbi

@@ -163,6 +163,16 @@ class BranchAndBoundEngine {
   const TransactionDatabase& database() const { return *database_; }
   const SignatureTable& table() const { return *table_; }
 
+  /// Exhaustively verifies Lemma 2.1 for `target`: for every signature table
+  /// entry, the optimistic bound f(M_opt, D_opt) must dominate (be >= than)
+  /// the actual similarity f(x, y) of *every* transaction indexed under that
+  /// entry. This is the property that makes branch-and-bound pruning safe;
+  /// a violation means the index could silently drop true nearest
+  /// neighbours. Aborts (via MBI_CHECK) on the first violation. O(N · |T|);
+  /// meant for tests and the CLI's --check_invariants debug flag.
+  void CheckBoundDominance(const Transaction& target,
+                           const SimilarityFamily& family) const;
+
  private:
   const TransactionDatabase* database_;
   const SignatureTable* table_;

@@ -178,7 +178,8 @@ SignaturePartition BuildSignaturesSingleLinkage(
         signature_of_item[item] = static_cast<uint32_t>(sealed_of_root[root]);
       } else {
         signature_of_item[item] =
-            sealed_count + bin_of[leftover_index_of_root[root]];
+            sealed_count +
+            bin_of[static_cast<size_t>(leftover_index_of_root[root])];
       }
     }
   } else {

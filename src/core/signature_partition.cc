@@ -37,11 +37,37 @@ std::vector<int> SignaturePartition::CountsPerSignature(
   return counts;
 }
 
+void SignaturePartition::CheckInvariants() const {
+  MBI_CHECK_GE(cardinality_, 1u);
+  MBI_CHECK_LE(cardinality_, kMaxCardinality);
+  MBI_CHECK(!signature_of_item_.empty());
+  MBI_CHECK_EQ(items_of_signature_.size(), cardinality_);
+
+  // The inverted lists partition the universe: sorted, duplicate-free, and
+  // consistent with the forward map.
+  size_t total_items = 0;
+  for (uint32_t s = 0; s < cardinality_; ++s) {
+    const std::vector<ItemId>& items = items_of_signature_[s];
+    total_items += items.size();
+    for (size_t i = 0; i < items.size(); ++i) {
+      MBI_CHECK_LT(items[i], signature_of_item_.size());
+      if (i > 0) MBI_CHECK_LT(items[i - 1], items[i]);
+      MBI_CHECK_EQ(signature_of_item_[items[i]], s);
+    }
+  }
+  MBI_CHECK_EQ(total_items, signature_of_item_.size());
+}
+
 std::string SignaturePartition::ToString() const {
   std::string out;
   for (uint32_t s = 0; s < cardinality_; ++s) {
     if (s > 0) out += " ";
-    out += "S" + std::to_string(s) + "={";
+    // Plain appends, not `"S" + std::to_string(s) + ...`: the temporary
+    // concatenation chain trips GCC 12's -Wrestrict false positive
+    // (PR 105651) at -O3.
+    out += "S";
+    out += std::to_string(s);
+    out += "={";
     const auto& items = items_of_signature_[s];
     for (size_t i = 0; i < items.size(); ++i) {
       if (i > 0) out += ",";

@@ -47,6 +47,13 @@ class SignaturePartition {
   /// Renders as "S0={1,4} S1={2,3}" for diagnostics.
   std::string ToString() const;
 
+  /// Walks the structure and aborts (via MBI_CHECK) unless the partition is
+  /// internally consistent: every item belongs to exactly one signature, the
+  /// per-signature item lists are sorted ascending with no duplicates, and
+  /// the forward map (`SignatureOf`) agrees with the inverted lists
+  /// (`ItemsOf`). O(|U|).
+  void CheckInvariants() const;
+
  private:
   uint32_t cardinality_;
   std::vector<uint32_t> signature_of_item_;

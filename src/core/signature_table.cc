@@ -127,6 +127,65 @@ SignatureTable::Stats SignatureTable::ComputeStats() const {
   return stats;
 }
 
+void SignatureTable::CheckInvariants(
+    const TransactionDatabase* database) const {
+  MBI_CHECK_GE(config_.activation_threshold, 1);
+  partition_.CheckInvariants();
+
+  const uint64_t num_transactions = coordinate_of_transaction_.size();
+  MBI_CHECK_EQ(num_transactions, store_.num_transactions());
+  const Supercoordinate directory_size = Supercoordinate{1}
+                                         << partition_.cardinality();
+
+  // Directory shape: strictly sorted coordinates inside the 2^K range,
+  // valid and mutually distinct bucket references.
+  std::vector<bool> bucket_used(store_.num_buckets(), false);
+  uint64_t counted = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (i > 0) MBI_CHECK_LT(entries_[i - 1].coordinate, entry.coordinate);
+    MBI_CHECK_LT(entry.coordinate, directory_size);
+    MBI_CHECK_LT(entry.bucket, store_.num_buckets());
+    MBI_CHECK_MSG(!bucket_used[entry.bucket],
+                  "two directory entries share a bucket");
+    bucket_used[entry.bucket] = true;
+    MBI_CHECK_GT(entry.transaction_count, 0u);
+    counted += entry.transaction_count;
+  }
+  MBI_CHECK_EQ(counted, num_transactions);
+
+  // Bucket contents: each entry's on-disk list holds exactly the
+  // transactions whose supercoordinate equals the entry's coordinate, and
+  // every transaction appears exactly once across all buckets.
+  std::vector<bool> seen(num_transactions, false);
+  for (const Entry& entry : entries_) {
+    std::vector<TransactionId> ids =
+        store_.FetchBucket(entry.bucket, /*stats=*/nullptr);
+    MBI_CHECK_EQ(ids.size(), static_cast<size_t>(entry.transaction_count));
+    for (TransactionId id : ids) {
+      MBI_CHECK_LT(id, num_transactions);
+      MBI_CHECK_MSG(!seen[id], "transaction indexed in two buckets");
+      seen[id] = true;
+      MBI_CHECK_EQ(coordinate_of_transaction_[id], entry.coordinate);
+    }
+  }
+
+  // Activation counts match the supercoordinate decomposition: recomputing
+  // each transaction's coordinate from the raw items must reproduce the
+  // stored assignment (paper §3 — bit j set iff |T ∩ S_j| >= r).
+  if (database != nullptr) {
+    MBI_CHECK_EQ(static_cast<uint64_t>(database->size()), num_transactions);
+    MBI_CHECK_EQ(partition_.universe_size(), database->universe_size());
+    for (TransactionId id = 0; id < num_transactions; ++id) {
+      const Transaction& transaction = database->Get(id);
+      std::vector<int> counts = partition_.CountsPerSignature(transaction);
+      Supercoordinate recomputed =
+          SupercoordinateFromCounts(counts, config_.activation_threshold);
+      MBI_CHECK_EQ(coordinate_of_transaction_[id], recomputed);
+    }
+  }
+}
+
 SignatureTable SignatureTable::Assemble(
     SignaturePartition partition, SignatureTableConfig config,
     std::vector<Entry> entries,

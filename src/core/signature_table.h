@@ -100,6 +100,18 @@ class SignatureTable {
 
   Stats ComputeStats() const;
 
+  /// Walks the whole index and aborts (via MBI_CHECK) on any structural
+  /// corruption: directory entries strictly sorted by supercoordinate and
+  /// within the 2^K range, bucket references valid and mutually disjoint,
+  /// per-entry activation counts equal to the bucket contents, every indexed
+  /// transaction present in exactly the bucket its supercoordinate selects.
+  /// When `database` is non-null, additionally recomputes each transaction's
+  /// supercoordinate from the item partition and activation threshold and
+  /// verifies it matches the stored decomposition. O(N + occupied entries);
+  /// meant for tests and the CLI's --check_invariants debug flag, not for
+  /// query paths.
+  void CheckInvariants(const TransactionDatabase* database = nullptr) const;
+
   /// Main-memory footprint of the full 2^K directory under the paper's cost
   /// model (one pointer-sized slot per possible supercoordinate).
   uint64_t MemoryFootprintBytes() const;

@@ -45,7 +45,9 @@ void QuestGenerator::BuildLargeItemsets() {
                         static_cast<int>(previous.size()));
       std::vector<ItemId> pool = previous;
       rng_.Shuffle(&pool);
-      for (int j = 0; j < inherit; ++j) chosen.insert(pool[j]);
+      for (size_t j = 0; j < static_cast<size_t>(inherit); ++j) {
+        chosen.insert(pool[j]);
+      }
     }
     // Fill the remainder with uniform random items.
     while (static_cast<int>(chosen.size()) < size) {

@@ -93,9 +93,13 @@ void TransactionStore::FetchTransaction(TransactionId id, BufferPool* pool,
   PageId page = PageOfTransaction(id);
   if (pool != nullptr) {
     pool->Read(page, stats);
-  } else {
-    page_store_.Read(page, stats);
+    // Hold the page while the record is copied out of it, so the frame
+    // cannot be evicted mid-copy once reads become concurrent.
+    PinGuard guard(pool, page);
+    if (stats != nullptr) ++stats->transactions_fetched;
+    return;
   }
+  page_store_.Read(page, stats);
   if (stats != nullptr) ++stats->transactions_fetched;
 }
 

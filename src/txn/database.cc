@@ -51,8 +51,15 @@ std::string DatasetName(int avg_transaction_size, int avg_itemset_size,
   } else {
     size_text = std::to_string(num_transactions);
   }
-  return "T" + std::to_string(avg_transaction_size) + ".I" +
-         std::to_string(avg_itemset_size) + ".D" + size_text;
+  // Built with plain appends, not a `"T" + ... + ...` chain: the temporary
+  // concatenations trip GCC 12's -Wrestrict false positive (PR 105651) at -O2+.
+  std::string name = "T";
+  name += std::to_string(avg_transaction_size);
+  name += ".I";
+  name += std::to_string(avg_itemset_size);
+  name += ".D";
+  name += size_text;
+  return name;
 }
 
 }  // namespace mbi

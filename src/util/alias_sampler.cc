@@ -26,7 +26,9 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   // below 1 (small) and at least 1 (large); each small bucket borrows the
   // remainder from a large one.
   std::vector<double> scaled(n);
-  for (size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * n;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
 
   std::vector<uint32_t> small, large;
   small.reserve(n);

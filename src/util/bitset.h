@@ -49,7 +49,9 @@ class Bitset {
   /// Number of set bits.
   size_t Count() const {
     size_t count = 0;
-    for (uint64_t word : words_) count += std::popcount(word);
+    for (uint64_t word : words_) {
+      count += static_cast<size_t>(std::popcount(word));
+    }
     return count;
   }
 
@@ -98,7 +100,7 @@ inline size_t Bitset::AndCount(const Bitset& a, const Bitset& b) {
   MBI_CHECK(a.size_ == b.size_);
   size_t count = 0;
   for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += std::popcount(a.words_[w] & b.words_[w]);
+    count += static_cast<size_t>(std::popcount(a.words_[w] & b.words_[w]));
   }
   return count;
 }
@@ -107,7 +109,7 @@ inline size_t Bitset::AndNotCount(const Bitset& a, const Bitset& b) {
   MBI_CHECK(a.size_ == b.size_);
   size_t count = 0;
   for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += std::popcount(a.words_[w] & ~b.words_[w]);
+    count += static_cast<size_t>(std::popcount(a.words_[w] & ~b.words_[w]));
   }
   return count;
 }
@@ -116,7 +118,7 @@ inline size_t Bitset::XorCount(const Bitset& a, const Bitset& b) {
   MBI_CHECK(a.size_ == b.size_);
   size_t count = 0;
   for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += std::popcount(a.words_[w] ^ b.words_[w]);
+    count += static_cast<size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
   }
   return count;
 }

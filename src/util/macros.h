@@ -3,15 +3,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 /// \file
 /// Lightweight runtime-check macros.
 ///
 /// The library does not throw exceptions across its public API; programmer
-/// errors (precondition violations) abort with a diagnostic instead. These
-/// checks are active in all build modes: the costs are negligible next to the
-/// index operations they guard, and silent corruption of an index is far more
-/// expensive than the branch.
+/// errors (precondition violations) abort with a diagnostic instead.
+///
+/// Two tiers:
+///
+///  * `MBI_CHECK*` — active in all build modes. The costs are negligible next
+///    to the index operations they guard, and silent corruption of an index
+///    is far more expensive than the branch.
+///  * `MBI_DCHECK*` — debug-only (compiled out under NDEBUG unless
+///    MBI_FORCE_DCHECKS is defined). For checks on hot paths or O(n) walks —
+///    notably the `CheckInvariants()` sweeps — whose cost is not negligible.
+///    Sanitizer builds re-enable them (cmake/Sanitizers.cmake passes
+///    -UNDEBUG) so instrumented CI runs get both the sanitizer and the
+///    structural checks.
+///
+/// The comparison forms (`MBI_CHECK_EQ(a, b)` etc.) print both operand
+/// values on failure, which turns "check failed" into an actionable message
+/// when an invariant sweep trips deep inside a structure walk.
+
+namespace mbi::internal {
+
+/// Renders a failed comparison's operands, e.g. "(3 vs. 7)". Works for any
+/// ostream-printable type; used only on the failure path.
+template <typename A, typename B>
+std::string FormatCheckOperands(const A& a, const B& b) {
+  std::ostringstream out;
+  out << "(" << a << " vs. " << b << ")";
+  return out.str();
+}
+
+}  // namespace mbi::internal
 
 /// Aborts the process with a formatted message if `condition` is false.
 #define MBI_CHECK(condition)                                              \
@@ -33,5 +61,69 @@
       std::abort();                                                          \
     }                                                                        \
   } while (0)
+
+/// Binary comparison check that prints both operand values on failure.
+/// Operands are evaluated exactly once.
+#define MBI_CHECK_OP(op, a, b)                                              \
+  do {                                                                      \
+    const auto& mbi_check_a_ = (a);                                         \
+    const auto& mbi_check_b_ = (b);                                         \
+    if (!(mbi_check_a_ op mbi_check_b_)) {                                  \
+      std::fprintf(stderr, "MBI_CHECK failed at %s:%d: %s %s %s %s\n",      \
+                   __FILE__, __LINE__, #a, #op, #b,                         \
+                   ::mbi::internal::FormatCheckOperands(mbi_check_a_,       \
+                                                        mbi_check_b_)       \
+                       .c_str());                                           \
+      std::abort();                                                        \
+    }                                                                       \
+  } while (0)
+
+#define MBI_CHECK_EQ(a, b) MBI_CHECK_OP(==, a, b)
+#define MBI_CHECK_NE(a, b) MBI_CHECK_OP(!=, a, b)
+#define MBI_CHECK_LT(a, b) MBI_CHECK_OP(<, a, b)
+#define MBI_CHECK_LE(a, b) MBI_CHECK_OP(<=, a, b)
+#define MBI_CHECK_GT(a, b) MBI_CHECK_OP(>, a, b)
+#define MBI_CHECK_GE(a, b) MBI_CHECK_OP(>=, a, b)
+
+/// Debug checks: compiled out under NDEBUG (unless MBI_FORCE_DCHECKS) so
+/// expensive structure walks can live on hot paths.
+#if !defined(NDEBUG) || defined(MBI_FORCE_DCHECKS)
+#define MBI_DCHECKS_ENABLED 1
+#else
+#define MBI_DCHECKS_ENABLED 0
+#endif
+
+#if MBI_DCHECKS_ENABLED
+#define MBI_DCHECK(condition) MBI_CHECK(condition)
+#define MBI_DCHECK_MSG(condition, message) MBI_CHECK_MSG(condition, message)
+#define MBI_DCHECK_EQ(a, b) MBI_CHECK_EQ(a, b)
+#define MBI_DCHECK_NE(a, b) MBI_CHECK_NE(a, b)
+#define MBI_DCHECK_LT(a, b) MBI_CHECK_LT(a, b)
+#define MBI_DCHECK_LE(a, b) MBI_CHECK_LE(a, b)
+#define MBI_DCHECK_GT(a, b) MBI_CHECK_GT(a, b)
+#define MBI_DCHECK_GE(a, b) MBI_CHECK_GE(a, b)
+#else
+// Swallow the condition unevaluated but keep it compiled (sizeof) so dead
+// debug checks cannot rot.
+#define MBI_DCHECK(condition) \
+  do {                        \
+    if (false) {              \
+      (void)(condition);      \
+    }                         \
+  } while (0)
+#define MBI_DCHECK_MSG(condition, message) \
+  do {                                     \
+    if (false) {                           \
+      (void)(condition);                   \
+      (void)(message);                     \
+    }                                      \
+  } while (0)
+#define MBI_DCHECK_EQ(a, b) MBI_DCHECK((a) == (b))
+#define MBI_DCHECK_NE(a, b) MBI_DCHECK((a) != (b))
+#define MBI_DCHECK_LT(a, b) MBI_DCHECK((a) < (b))
+#define MBI_DCHECK_LE(a, b) MBI_DCHECK((a) <= (b))
+#define MBI_DCHECK_GT(a, b) MBI_DCHECK((a) > (b))
+#define MBI_DCHECK_GE(a, b) MBI_DCHECK((a) >= (b))
+#endif
 
 #endif  // MBI_UTIL_MACROS_H_

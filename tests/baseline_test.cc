@@ -69,6 +69,7 @@ TEST(InvertedIndexTest, PostingsAreExact) {
     EXPECT_EQ(postings.size(), expected.size());
     for (TransactionId id : postings) EXPECT_TRUE(expected.count(id));
   }
+  index.CheckInvariants();
 }
 
 TEST(InvertedIndexTest, CandidatesAreUnionOfPostings) {

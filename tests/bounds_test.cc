@@ -18,9 +18,9 @@ TEST(SupercoordinateTest, PaperSection3Example) {
   // Q = {3,5,7,9,10,16,20}, R = {12,13,14,15,17,19}; transaction
   // T = {2,6,17,20} activates P, Q, R at r = 1 and only P at r = 2.
   std::vector<uint32_t> signature_of_item(21, 0);  // Index 0 unused.
-  for (ItemId i : {1, 2, 4, 6, 8, 11, 18}) signature_of_item[i] = 0;
-  for (ItemId i : {3, 5, 7, 9, 10, 16, 20}) signature_of_item[i] = 1;
-  for (ItemId i : {12, 13, 14, 15, 17, 19}) signature_of_item[i] = 2;
+  for (ItemId i : {1u, 2u, 4u, 6u, 8u, 11u, 18u}) signature_of_item[i] = 0;
+  for (ItemId i : {3u, 5u, 7u, 9u, 10u, 16u, 20u}) signature_of_item[i] = 1;
+  for (ItemId i : {12u, 13u, 14u, 15u, 17u, 19u}) signature_of_item[i] = 2;
   SignaturePartition partition(3, signature_of_item);
 
   Transaction t({2, 6, 17, 20});

@@ -128,7 +128,7 @@ TEST(BranchAndBoundTest, PrunesSubstantiallyOnCorrelatedData) {
     auto result = engine.FindNearest(target, family);
     total_pruning += result.stats.PruningEfficiencyPercent();
   }
-  EXPECT_GT(total_pruning / fixture.queries.size(), 50.0);
+  EXPECT_GT(total_pruning / static_cast<double>(fixture.queries.size()), 50.0);
 }
 
 TEST(BranchAndBoundTest, DeterministicAcrossRuns) {
@@ -169,7 +169,8 @@ TEST(BranchAndBoundTest, EarlyTerminationRespectsBudget) {
   InverseHammingFamily family;
   SearchOptions options;
   options.max_access_fraction = 0.02;
-  uint64_t budget = static_cast<uint64_t>(0.02 * fixture.db.size());
+  uint64_t budget =
+      static_cast<uint64_t>(0.02 * static_cast<double>(fixture.db.size()));
   // The budget check runs at entry granularity, so allow one max-bucket
   // overshoot.
   uint64_t max_bucket = 0;
@@ -250,7 +251,7 @@ TEST(BranchAndBoundTest, RangeQueryMatchesScanOracle) {
   SequentialScanner scanner(&fixture.db);
   MatchRatioFamily family;
   for (double threshold : {0.25, 0.5, 1.0}) {
-    for (int q = 0; q < 5; ++q) {
+    for (size_t q = 0; q < 5; ++q) {
       auto result = engine.FindInRange(fixture.queries[q], family, threshold);
       auto oracle = scanner.FindInRange(fixture.queries[q], family, threshold);
       EXPECT_TRUE(result.guaranteed_complete);
@@ -289,7 +290,7 @@ TEST(BranchAndBoundTest, MultiRangeQueryIsConjunctive) {
                                                    &neg_hamming_family};
   std::vector<double> thresholds = {min_matches, -max_hamming};
 
-  for (int q = 0; q < 5; ++q) {
+  for (size_t q = 0; q < 5; ++q) {
     const Transaction& target = fixture.queries[q];
     auto result = engine.FindInRangeMulti(target, families, thresholds);
     EXPECT_TRUE(result.guaranteed_complete);

@@ -75,6 +75,20 @@ TEST(CliTest, FullPipeline) {
   EXPECT_NE(explicit_target.output.find("target: {1, 2, 3}"),
             std::string::npos);
 
+  CommandResult checked_build = RunCli("build --db " + db + " --out " + index +
+                                       " --cardinality 10 --check_invariants");
+  ASSERT_EQ(checked_build.exit_code, 0) << checked_build.output;
+  EXPECT_NE(checked_build.output.find("index invariants verified"),
+            std::string::npos);
+
+  CommandResult checked_query =
+      RunCli("query --db " + db + " --index " + index +
+             " --k 3 --similarity match_ratio --check_invariants");
+  ASSERT_EQ(checked_query.exit_code, 0) << checked_query.output;
+  EXPECT_NE(
+      checked_query.output.find("index invariants and bound dominance"),
+      std::string::npos);
+
   CommandResult stats = RunCli("stats --db " + db + " --index " + index);
   ASSERT_EQ(stats.exit_code, 0) << stats.output;
   EXPECT_NE(stats.output.find("signature cardinality K: 10"),

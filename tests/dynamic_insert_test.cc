@@ -88,6 +88,7 @@ TEST(DynamicInsertTest, EntriesStaySortedAndBucketsStayExclusive) {
           << "page shared between entries after inserts";
     }
   }
+  table.CheckInvariants(&db);
 }
 
 TEST(DynamicInsertTest, QueriesStayExactAfterInserts) {

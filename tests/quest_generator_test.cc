@@ -76,7 +76,7 @@ TEST(QuestGeneratorTest, LargeItemsetsHaveConfiguredMeanSize) {
   double total = 0.0;
   for (const auto& itemset : generator.large_itemsets()) {
     EXPECT_GE(itemset.size(), 1u);
-    total += itemset.size();
+    total += static_cast<double>(itemset.size());
   }
   EXPECT_NEAR(total / config.num_large_itemsets, config.avg_itemset_size,
               config.avg_itemset_size * 0.15);
@@ -121,7 +121,7 @@ TEST(QuestGeneratorTest, DataIsCorrelatedNotUniform) {
   // Average pair support among pairs inside the first planted itemsets.
   double planted_pair_support = 0.0;
   int planted_pairs = 0;
-  for (int s = 0; s < 10; ++s) {
+  for (size_t s = 0; s < 10; ++s) {
     const auto& items = generator.large_itemsets()[s].items();
     for (size_t i = 0; i < items.size(); ++i) {
       for (size_t j = i + 1; j < items.size(); ++j) {

@@ -56,6 +56,7 @@ TEST(SignatureTableTest, EntriesPartitionTheDatabase) {
     }
   }
   EXPECT_EQ(counted, db.size());
+  table.CheckInvariants(&db);
 }
 
 TEST(SignatureTableTest, EntriesSortedAndUnique) {

@@ -96,7 +96,9 @@ TEST_P(MonotonicityTest, NonDecreasingInMatchesNonIncreasingInHamming) {
   auto [family_name, target_size] = GetParam();
   auto family = MakeSimilarityFamily(family_name);
   std::vector<ItemId> items;
-  for (int i = 0; i < target_size; ++i) items.push_back(i);
+  for (int i = 0; i < target_size; ++i) {
+    items.push_back(static_cast<ItemId>(i));
+  }
   auto f = family->ForTarget(Transaction(items));
 
   constexpr int kMaxX = 20;

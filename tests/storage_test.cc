@@ -91,6 +91,7 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
                          // reading 2, cache {0,2}; reading 1 evicts 0.
   EXPECT_EQ(stats.pages_read, 5u);
   EXPECT_EQ(stats.pages_cached, 1u);
+  pool.CheckInvariants();
 }
 
 TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
@@ -102,6 +103,7 @@ TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
   pool.Read(0, &stats);
   EXPECT_EQ(stats.pages_read, 2u);
   EXPECT_EQ(stats.pages_cached, 0u);
+  pool.CheckInvariants();
 }
 
 TEST(BufferPoolTest, ClearDropsCache) {
@@ -148,7 +150,7 @@ TEST(TransactionStoreTest, BucketedLayoutGroupsByBucket) {
 TEST(TransactionStoreTest, BucketsNeverSharePages) {
   TransactionDatabase db = MakeDatabase(100, 5);
   std::vector<uint32_t> bucket_of(100);
-  for (size_t i = 0; i < 100; ++i) bucket_of[i] = i % 7;
+  for (size_t i = 0; i < 100; ++i) bucket_of[i] = static_cast<uint32_t>(i % 7);
   TransactionStore store =
       TransactionStore::BuildBucketed(db, bucket_of, 7, 128);
 
@@ -203,7 +205,7 @@ TEST(TransactionStoreTest, FetchTransactionChargesPointRead) {
 TEST(TransactionStoreTest, PageOfTransactionConsistentWithBuckets) {
   TransactionDatabase db = MakeDatabase(30, 4);
   std::vector<uint32_t> bucket_of(30);
-  for (size_t i = 0; i < 30; ++i) bucket_of[i] = i % 3;
+  for (size_t i = 0; i < 30; ++i) bucket_of[i] = static_cast<uint32_t>(i % 3);
   TransactionStore store =
       TransactionStore::BuildBucketed(db, bucket_of, 3, 128);
   for (TransactionId id = 0; id < 30; ++id) {

@@ -1,0 +1,217 @@
+// Concurrency stress tests aimed at the thread sanitizer build
+// (-DMBI_SANITIZE=thread): they hammer the ThreadPool's Submit / ParallelFor /
+// Wait surface from many threads at once and drive the read-only batch-query
+// path against one shared engine. The assertions are deliberately simple
+// (exact task counts, result equality with a sequential run) — the point is
+// to give TSan interleavings to object to, not to re-test functionality.
+//
+// Sizes are kept modest: TSan slows execution ~5-15x and CI may be
+// single-core, so each test targets well under a second uninstrumented.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/batch_query.h"
+#include "core/index_builder.h"
+#include "gen/quest_generator.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+TEST(ThreadPoolStressTest, InterleavedSubmitAndWaitFromOwnerThread) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolStressTest, ProducersRaceAgainstWait) {
+  // External producers keep submitting while the owner repeatedly calls
+  // Wait(); Wait must observe a consistent in-flight count each time and the
+  // final Wait (after join) must cover everything.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  producers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&pool, &counter, &stop] {
+      while (!stop.load()) {
+        for (int i = 0; i < 10; ++i) {
+          pool.Submit([&counter] { counter.fetch_add(1); });
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    pool.Wait();
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& producer : producers) producer.join();
+  pool.Wait();
+  // Every task submitted before the final Wait must have run; the exact count
+  // depends on scheduling but the pool must end idle and consistent.
+  int after_wait = counter.load();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), after_wait);
+}
+
+TEST(ThreadPoolStressTest, BackToBackParallelFors) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  for (int round = 0; round < 25; ++round) {
+    pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 25) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForInterleavedWithSubmits) {
+  // Mixing the two entry points stresses the shared in_flight_ accounting:
+  // ParallelFor's internal Wait must not return while unrelated Submit tasks
+  // are still running, and vice versa nothing may be lost.
+  ThreadPool pool(4);
+  std::atomic<int> submits{0};
+  std::atomic<int> loops{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&submits] { submits.fetch_add(1); });
+    }
+    pool.ParallelFor(32, [&loops](size_t) { loops.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(submits.load(), 20 * 8);
+  EXPECT_EQ(loops.load(), 20 * 32);
+}
+
+struct SharedCorpus {
+  TransactionDatabase db;
+  SignatureTable table;
+  std::vector<Transaction> targets;
+};
+
+SharedCorpus MakeSharedCorpus() {
+  QuestGeneratorConfig config;
+  config.universe_size = 200;
+  config.num_large_itemsets = 50;
+  config.avg_transaction_size = 8.0;
+  config.seed = 7101;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(1500);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 8;
+  SignatureTable table = BuildIndex(db, build);
+  std::vector<Transaction> targets = generator.GenerateQueries(24);
+  return {std::move(db), std::move(table), std::move(targets)};
+}
+
+class SharedEngineStressTest : public ::testing::Test {
+ protected:
+  // One corpus for the whole suite: index construction is the expensive part
+  // and these tests only ever read it (that read-only sharing is itself what
+  // TSan is here to check).
+  static const SharedCorpus& corpus() {
+    static const SharedCorpus* shared = new SharedCorpus(MakeSharedCorpus());
+    return *shared;
+  }
+
+  const TransactionDatabase& db_ = corpus().db;
+  const SignatureTable& table_ = corpus().table;
+  const std::vector<Transaction>& targets_ = corpus().targets;
+};
+
+TEST_F(SharedEngineStressTest, ConcurrentBatchesMatchSequentialAnswers) {
+  BranchAndBoundEngine engine(&db_, &table_);
+  MatchRatioFamily family;
+
+  std::vector<NearestNeighborResult> sequential;
+  sequential.reserve(targets_.size());
+  for (const Transaction& target : targets_) {
+    sequential.push_back(engine.FindKNearest(target, family, 5));
+  }
+
+  // Two batch runs race over the same engine, table, and simulated disk.
+  std::vector<NearestNeighborResult> a, b;
+  std::thread other([&] {
+    b = FindKNearestBatch(engine, targets_, family, 5, {}, /*num_threads=*/3);
+  });
+  a = FindKNearestBatch(engine, targets_, family, 5, {}, /*num_threads=*/3);
+  other.join();
+
+  for (const auto* batch : {&a, &b}) {
+    ASSERT_EQ(batch->size(), sequential.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      ASSERT_EQ((*batch)[i].neighbors.size(), sequential[i].neighbors.size());
+      for (size_t j = 0; j < sequential[i].neighbors.size(); ++j) {
+        EXPECT_EQ((*batch)[i].neighbors[j].id, sequential[i].neighbors[j].id);
+        EXPECT_EQ((*batch)[i].neighbors[j].similarity,
+                  sequential[i].neighbors[j].similarity);
+      }
+    }
+  }
+}
+
+TEST_F(SharedEngineStressTest, MixedFamiliesShareOneEngine) {
+  BranchAndBoundEngine engine(&db_, &table_);
+  MatchRatioFamily match_ratio;
+  CosineFamily cosine;
+
+  // Different similarity families concurrently against one table: the table
+  // is similarity-agnostic, so nothing may be mutated per family.
+  std::vector<NearestNeighborResult> a, b;
+  std::thread other([&] {
+    b = FindKNearestBatch(engine, targets_, cosine, 3, {}, 2);
+  });
+  a = FindKNearestBatch(engine, targets_, match_ratio, 3, {}, 2);
+  other.join();
+
+  ASSERT_EQ(a.size(), targets_.size());
+  ASSERT_EQ(b.size(), targets_.size());
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    auto expect_a = engine.FindKNearest(targets_[i], match_ratio, 3);
+    auto expect_b = engine.FindKNearest(targets_[i], cosine, 3);
+    ASSERT_EQ(a[i].neighbors.size(), expect_a.neighbors.size());
+    ASSERT_EQ(b[i].neighbors.size(), expect_b.neighbors.size());
+    for (size_t j = 0; j < expect_a.neighbors.size(); ++j) {
+      EXPECT_EQ(a[i].neighbors[j].id, expect_a.neighbors[j].id);
+    }
+    for (size_t j = 0; j < expect_b.neighbors.size(); ++j) {
+      EXPECT_EQ(b[i].neighbors[j].id, expect_b.neighbors[j].id);
+    }
+  }
+}
+
+TEST_F(SharedEngineStressTest, ParallelForDrivesAdHocQueries) {
+  // Skip the batch helper entirely: raw ParallelFor over query indices, each
+  // worker calling into the engine directly.
+  BranchAndBoundEngine engine(&db_, &table_);
+  MatchRatioFamily family;
+  ThreadPool pool(3);
+  std::vector<NearestNeighborResult> results(targets_.size());
+  pool.ParallelFor(targets_.size(), [&](size_t i) {
+    results[i] = engine.FindKNearest(targets_[i], family, 4);
+  });
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    auto expected = engine.FindKNearest(targets_[i], family, 4);
+    ASSERT_EQ(results[i].neighbors.size(), expected.neighbors.size());
+    for (size_t j = 0; j < expected.neighbors.size(); ++j) {
+      EXPECT_EQ(results[i].neighbors[j].id, expected.neighbors[j].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbi

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "core/batch_query.h"
@@ -58,6 +59,65 @@ TEST(ThreadPoolTest, DestructorDrainsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorRunsQueuedButUnstartedTasks) {
+  // No Wait() before destruction: the destructor contract is that every
+  // submitted task still runs before the workers join.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerIsVisibleToWait) {
+  // A task that submits follow-up work is itself in flight while it enqueues,
+  // so Wait() cannot return between the parent finishing and the children
+  // being counted.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&pool, &counter] {
+      for (int j = 0; j < 5; ++j) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitFromManyExternalThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesTaskEffects) {
+  // One worker forces full serialization through the queue; the sum must
+  // still come out exact (catches lost-task bugs without needing atomics).
+  ThreadPool pool(1);
+  int sum = 0;  // Intentionally non-atomic: only the one worker touches it.
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum, 5050);
 }
 
 TEST(BatchQueryTest, MatchesSequentialResults) {

@@ -29,6 +29,11 @@ int RunBuild(int argc, char** argv) {
                 "use the correlation-blind balanced partitioner "
                 "(ablation control)",
                 &balanced);
+  bool check_invariants;
+  flags.AddBool("check_invariants", false,
+                "walk the built index and verify its structural invariants "
+                "before writing it (debug; O(N) extra work)",
+                &check_invariants);
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
@@ -46,6 +51,14 @@ int RunBuild(int argc, char** argv) {
   config.use_balanced_partitioner = balanced;
   SignatureTable table = BuildIndex(*db, config);
   double build_seconds = timer.ElapsedSeconds();
+
+  if (check_invariants) {
+    table.CheckInvariants(&*db);
+    std::printf("index invariants verified (%llu transactions, %zu entries)\n",
+                static_cast<unsigned long long>(
+                    table.num_indexed_transactions()),
+                table.entries().size());
+  }
 
   if (!SaveSignatureTable(table, out)) {
     std::fprintf(stderr, "error: cannot write index %s\n", out.c_str());

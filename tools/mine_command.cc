@@ -61,8 +61,8 @@ int RunMine(int argc, char** argv) {
             [](const FrequentItemset* a, const FrequentItemset* b) {
               return a->count > b->count;
             });
-  for (int64_t i = 0; i < show && i < static_cast<int64_t>(interesting.size());
-       ++i) {
+  const size_t show_limit = show > 0 ? static_cast<size_t>(show) : 0;
+  for (size_t i = 0; i < show_limit && i < interesting.size(); ++i) {
     std::printf("  %-28s support %.4f\n",
                 ItemsToString(interesting[i]->items).c_str(),
                 interesting[i]->Support(db->size()));
@@ -78,8 +78,7 @@ int RunMine(int argc, char** argv) {
               }
               return a.support > b.support;
             });
-  for (int64_t i = 0; i < show && i < static_cast<int64_t>(rules.size());
-       ++i) {
+  for (size_t i = 0; i < show_limit && i < rules.size(); ++i) {
     std::printf("  %s => %s (conf %.3f, supp %.4f)\n",
                 ItemsToString(rules[i].antecedent).c_str(),
                 ItemsToString(rules[i].consequent).c_str(),

@@ -61,6 +61,12 @@ int RunQuery(int argc, char** argv) {
   bool explain;
   flags.AddBool("explain", false,
                 "print the branch-and-bound's per-entry decisions", &explain);
+  bool check_invariants;
+  flags.AddBool("check_invariants", false,
+                "verify the loaded index's structural invariants and the "
+                "bound dominance (Lemma 2.1) for this target before querying "
+                "(debug; O(N) extra work)",
+                &check_invariants);
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
@@ -101,6 +107,12 @@ int RunQuery(int argc, char** argv) {
   auto family = MakeSimilarityFamily(similarity);
   BranchAndBoundEngine engine(&*db, &*table);
   std::printf("target: %s\n", target.ToString().c_str());
+
+  if (check_invariants) {
+    table->CheckInvariants(&*db);
+    engine.CheckBoundDominance(target, *family);
+    std::printf("index invariants and bound dominance verified\n");
+  }
 
   Stopwatch timer;
   if (range_threshold >= 0.0) {

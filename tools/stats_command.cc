@@ -46,7 +46,8 @@ int RunStats(int argc, char** argv) {
     return supports.ItemCount(a) > supports.ItemCount(b);
   });
   std::printf("  top items by support:\n");
-  for (int64_t i = 0; i < top_items && i < db->universe_size(); ++i) {
+  const size_t top_limit = top_items > 0 ? static_cast<size_t>(top_items) : 0;
+  for (size_t i = 0; i < top_limit && i < order.size(); ++i) {
     std::printf("    item %-6u support %.4f\n", order[i],
                 supports.ItemSupport(order[i]));
   }
