@@ -1,0 +1,206 @@
+// Perf-regression smoke harness for the query hot path.
+//
+// Every scenario is measured twice against the same data and must return
+// bit-identical results (oracle_equivalence_test.cc proves that):
+//
+//   *_Before  — the frozen pre-overhaul implementation
+//               (FindKNearest*Reference: full entry sort, fresh allocations
+//               per query, merge-scan candidate kernel; batch mode spawning
+//               a pool per call),
+//   *_After   — the overhauled path (lazy heap ordering, reused
+//               QueryContext, packed-bitmap kernel; batch mode on a
+//               caller-owned pool).
+//
+// Run from the repo root with no arguments to (re)generate BENCH_core.json:
+//
+//   ./build/bench/perf_smoke
+//
+// CI runs it with --benchmark_min_time=0.05 as a build-and-run smoke test
+// and uploads the JSON; numbers are recorded, not gated.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/batch_query.h"
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "core/query_context.h"
+#include "gen/quest_generator.h"
+#include "txn/packed_target.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+/// One shared dataset + index for every benchmark: T10-style baskets over a
+/// 1000-item universe, cardinality-11 signatures (a well-populated
+/// directory, so entry ordering is a visible share of query cost).
+struct SharedData {
+  TransactionDatabase db;
+  std::vector<Transaction> queries;
+  // Must be declared after db/queries: its initializer populates both.
+  SignatureTable table;
+
+  static const SharedData& Get() {
+    static const SharedData& instance = *new SharedData();
+    return instance;
+  }
+
+ private:
+  SharedData() : db(1000), table([this] {
+    QuestGeneratorConfig config;
+    config.universe_size = 1000;
+    config.num_large_itemsets = 2000;
+    config.avg_itemset_size = 6.0;
+    config.avg_transaction_size = 10.0;
+    config.seed = 42;
+    QuestGenerator generator(config);
+    db = generator.GenerateDatabase(50'000);
+    queries = generator.GenerateQueries(64);
+    IndexBuildConfig build;
+    build.clustering.target_cardinality = 11;
+    return BuildIndex(db, build);
+  }()) {}
+};
+
+// --- Single-query latency: repeated k-NN queries, the context-reuse micro
+// path the overhaul targets. "Before" pays the full entry sort and fresh
+// allocations on every call. ---
+
+void BM_SingleQuery_Before(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  BranchAndBoundEngine engine(&data.db, &data.table);
+  MatchRatioFamily family;
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.FindKNearestReference(
+        data.queries[i % data.queries.size()], family, k));
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleQuery_Before)->Arg(1)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleQuery_After(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  BranchAndBoundEngine engine(&data.db, &data.table);
+  MatchRatioFamily family;
+  const auto k = static_cast<size_t>(state.range(0));
+  QueryContext context;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.FindKNearest(
+        data.queries[i % data.queries.size()], family, k, {}, &context));
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleQuery_After)->Arg(1)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+// --- Batch throughput: 64 queries per call. "Before" mirrors the old
+// FindKNearestBatch, which constructed a ThreadPool per call and ran every
+// query through reference-path allocations; "after" reuses one caller-owned
+// pool and per-shard contexts. ---
+
+void BM_BatchThroughput_Before(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  BranchAndBoundEngine engine(&data.db, &data.table);
+  MatchRatioFamily family;
+  for (auto _ : state) {
+    ThreadPool pool(4);  // The old per-call spawn, made explicit.
+    std::vector<NearestNeighborResult> results(data.queries.size());
+    for (size_t i = 0; i < data.queries.size(); ++i) {
+      pool.Submit([&, i] {
+        results[i] = engine.FindKNearestReference(data.queries[i], family, 10);
+      });
+    }
+    pool.Wait();
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.queries.size()));
+}
+BENCHMARK(BM_BatchThroughput_Before)->Unit(benchmark::kMillisecond);
+
+void BM_BatchThroughput_After(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  BranchAndBoundEngine engine(&data.db, &data.table);
+  MatchRatioFamily family;
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindKNearestBatch(engine, data.queries, family,
+                                               10, {}, /*num_threads=*/0,
+                                               &pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.queries.size()));
+}
+BENCHMARK(BM_BatchThroughput_After)->Unit(benchmark::kMillisecond);
+
+// --- Candidate kernel: score one target against the whole database,
+// merge-scan vs packed-bitmap probing. ---
+
+void BM_CandidateKernel_Before(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  const Transaction& target = data.queries[0];
+  for (auto _ : state) {
+    size_t total = 0;
+    for (TransactionId id = 0; id < data.db.size(); ++id) {
+      size_t match = 0, hamming = 0;
+      MatchAndHamming(target, data.db.Get(id), &match, &hamming);
+      total += match + hamming;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.db.size()));
+}
+BENCHMARK(BM_CandidateKernel_Before)->Unit(benchmark::kMillisecond);
+
+void BM_CandidateKernel_After(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  PackedTarget packed;
+  packed.Assign(data.queries[0], data.db.universe_size());
+  for (auto _ : state) {
+    size_t total = 0;
+    for (TransactionId id = 0; id < data.db.size(); ++id) {
+      size_t match = 0, hamming = 0;
+      packed.MatchAndHamming(data.db.Get(id), &match, &hamming);
+      total += match + hamming;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.db.size()));
+}
+BENCHMARK(BM_CandidateKernel_After)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mbi
+
+/// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_core.json
+/// (JSON format) so a bare `./build/bench/perf_smoke` from the repo root
+/// regenerates the committed numbers. Any explicit --benchmark_out wins.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_core.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

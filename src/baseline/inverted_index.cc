@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "txn/packed_target.h"
 #include "util/macros.h"
 
 namespace mbi {
@@ -75,7 +76,10 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
       similarity->Evaluate(0, 0) == 0.0;
 
   // Phase 2: fetch candidates in id order through an optional buffer pool,
-  // tracking the distinct pages the scattered fetches touch.
+  // tracking the distinct pages the scattered fetches touch. Re-ranking
+  // probes the packed target bitmap (bit-identical to the merge scan).
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size());
   BufferPool pool(&sequential_store_.page_store(), buffer_pool_pages_);
   std::unordered_set<PageId> touched;
   std::vector<Neighbor> scored;
@@ -85,7 +89,7 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
     sequential_store_.FetchTransaction(
         id, buffer_pool_pages_ > 0 ? &pool : nullptr, &result.io);
     size_t match = 0, hamming = 0;
-    MatchAndHamming(target, database_->Get(id), &match, &hamming);
+    packed.MatchAndHamming(database_->Get(id), &match, &hamming);
     scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
                                                static_cast<int>(hamming))});
   }

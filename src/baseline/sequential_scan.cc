@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "storage/page_store.h"
+#include "txn/packed_target.h"
 #include "util/macros.h"
 
 namespace mbi {
@@ -32,6 +33,8 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
   MBI_CHECK(k >= 1);
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
 
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size());
   uint64_t page_bytes_used = 0;
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
@@ -48,7 +51,7 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
       page_bytes_used += need;
     }
     size_t match = 0, hamming = 0;
-    MatchAndHamming(target, candidate, &match, &hamming);
+    packed.MatchAndHamming(candidate, &match, &hamming);
     scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
                                                static_cast<int>(hamming))});
   }
@@ -63,9 +66,11 @@ std::vector<Neighbor> SequentialScanner::FindKNearestMultiTarget(
   MBI_CHECK(k >= 1);
   MBI_CHECK(!targets.empty());
   std::vector<std::unique_ptr<SimilarityFunction>> functions;
+  std::vector<PackedTarget> packed(targets.size());
   functions.reserve(targets.size());
-  for (const Transaction& target : targets) {
-    functions.push_back(family.ForTarget(target));
+  for (size_t t = 0; t < targets.size(); ++t) {
+    functions.push_back(family.ForTarget(targets[t]));
+    packed[t].Assign(targets[t], database_->universe_size());
   }
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
@@ -74,7 +79,7 @@ std::vector<Neighbor> SequentialScanner::FindKNearestMultiTarget(
     double sum = 0.0;
     for (size_t t = 0; t < targets.size(); ++t) {
       size_t match = 0, hamming = 0;
-      MatchAndHamming(targets[t], candidate, &match, &hamming);
+      packed[t].MatchAndHamming(candidate, &match, &hamming);
       sum += functions[t]->Evaluate(static_cast<int>(match),
                                     static_cast<int>(hamming));
     }
@@ -89,10 +94,12 @@ std::vector<Neighbor> SequentialScanner::FindInRange(
     const Transaction& target, const SimilarityFamily& family,
     double threshold) const {
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size());
   std::vector<Neighbor> matches;
   for (TransactionId id = 0; id < database_->size(); ++id) {
     size_t match = 0, hamming = 0;
-    MatchAndHamming(target, database_->Get(id), &match, &hamming);
+    packed.MatchAndHamming(database_->Get(id), &match, &hamming);
     double value = similarity->Evaluate(static_cast<int>(match),
                                         static_cast<int>(hamming));
     if (value >= threshold) matches.push_back({id, value});

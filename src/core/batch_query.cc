@@ -1,34 +1,69 @@
 #include "core/batch_query.h"
 
 #include <algorithm>
+#include <atomic>
+#include <latch>
+#include <optional>
 #include <thread>
 
-#include "util/thread_pool.h"
+#include "core/query_context.h"
 
 namespace mbi {
 
 std::vector<NearestNeighborResult> FindKNearestBatch(
     const BranchAndBoundEngine& engine,
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
-    size_t k, const SearchOptions& options, size_t num_threads) {
+    size_t k, const SearchOptions& options, size_t num_threads,
+    ThreadPool* pool) {
   std::vector<NearestNeighborResult> results(targets.size());
   if (targets.empty()) return results;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, targets.size());
 
-  if (num_threads == 1) {
+  size_t shards;
+  if (pool != nullptr) {
+    shards = pool->num_threads();
+    if (num_threads != 0) shards = std::min(shards, num_threads);
+  } else if (num_threads != 0) {
+    shards = num_threads;
+  } else {
+    shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  shards = std::min(shards, targets.size());
+
+  if (shards == 1) {
+    QueryContext context;
     for (size_t i = 0; i < targets.size(); ++i) {
-      results[i] = engine.FindKNearest(targets[i], family, k, options);
+      results[i] = engine.FindKNearest(targets[i], family, k, options,
+                                       &context);
     }
     return results;
   }
 
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(targets.size(), [&](size_t i) {
-    results[i] = engine.FindKNearest(targets[i], family, k, options);
-  });
+  // Fall back to a call-local pool only when the caller didn't provide one.
+  std::optional<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(shards);
+    pool = &*owned_pool;
+  }
+
+  // One reusable context per shard; targets are claimed off a shared cursor
+  // so uneven query costs balance dynamically. A std::latch (rather than
+  // ThreadPool::Wait) scopes the wait to this batch's own tasks, so a pool
+  // shared between concurrent batches works.
+  std::vector<QueryContext> contexts(shards);
+  std::atomic<size_t> cursor{0};
+  std::latch done(static_cast<std::ptrdiff_t>(shards));
+  for (size_t s = 0; s < shards; ++s) {
+    pool->Submit([&, s] {
+      while (true) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= targets.size()) break;
+        results[i] =
+            engine.FindKNearest(targets[i], family, k, options, &contexts[s]);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
   return results;
 }
 

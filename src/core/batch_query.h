@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/branch_and_bound.h"
+#include "util/thread_pool.h"
 
 namespace mbi {
 
@@ -13,11 +14,24 @@ namespace mbi {
 /// Queries against a built SignatureTable are read-only (the engine keeps no
 /// per-query state and the simulated disk reads are const), so a batch can
 /// fan out across a thread pool without any locking. Results are returned in
-/// target order. `num_threads` of 0 uses the hardware concurrency.
+/// target order and are identical to running each query alone.
+///
+/// Each worker shard reuses one QueryContext across all the queries it
+/// answers, so the steady state of a large batch allocates only the result
+/// vectors.
+///
+/// Threading: when `pool` is non-null the batch runs on that caller-owned
+/// pool — construct it once and pass it to every call; nothing is spawned
+/// per batch. `num_threads` then only caps the shard count (0 = use every
+/// pool worker). When `pool` is null a temporary pool of `num_threads`
+/// workers (0 = hardware concurrency) is created for the call. A shared pool
+/// may serve concurrent batches; each call returns when its own queries are
+/// done.
 std::vector<NearestNeighborResult> FindKNearestBatch(
     const BranchAndBoundEngine& engine,
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
-    size_t k, const SearchOptions& options = {}, size_t num_threads = 0);
+    size_t k, const SearchOptions& options = {}, size_t num_threads = 0,
+    ThreadPool* pool = nullptr);
 
 }  // namespace mbi
 

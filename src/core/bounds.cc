@@ -8,6 +8,11 @@ namespace mbi {
 
 BoundCalculator::BoundCalculator(const std::vector<int>& target_counts,
                                  int activation_threshold) {
+  Reset(target_counts, activation_threshold);
+}
+
+void BoundCalculator::Reset(const std::vector<int>& target_counts,
+                            int activation_threshold) {
   MBI_CHECK(activation_threshold >= 1);
   MBI_CHECK(target_counts.size() <= SignaturePartition::kMaxCardinality);
   const int r = activation_threshold;

@@ -32,10 +32,20 @@ struct OptimisticBounds {
 ///            D += max(0, r - r_j), M += r_j.
 class BoundCalculator {
  public:
+  /// An unbound calculator; call Reset before use. Exists so reusable query
+  /// workspaces can hold a vector of calculators and rebind them per query
+  /// without reallocating the per-signature tables.
+  BoundCalculator() = default;
+
   /// `target_counts` is r_j per signature (SignaturePartition::
   /// CountsPerSignature); `activation_threshold` is the table's r.
   BoundCalculator(const std::vector<int>& target_counts,
                   int activation_threshold);
+
+  /// Rebinds the calculator to a new target. Equivalent to constructing a
+  /// fresh calculator, but reuses the internal tables (no allocation when
+  /// the signature cardinality is unchanged).
+  void Reset(const std::vector<int>& target_counts, int activation_threshold);
 
   /// Evaluates the bounds for one entry's supercoordinate. O(K).
   OptimisticBounds Compute(Supercoordinate coordinate) const;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <memory>
+#include <numeric>
 
 #include "core/bounds.h"
+#include "core/query_context.h"
+#include "txn/packed_target.h"
 #include "util/macros.h"
 
 namespace mbi {
@@ -25,7 +29,7 @@ struct BetterThan {
   }
 };
 
-/// Bookkeeping shared by all query variants.
+/// Bookkeeping used by the frozen reference implementation.
 struct EntryOrder {
   std::vector<uint32_t> indices;  // Entry indices in visit order.
   std::vector<double> optimistic;  // Optimistic bound per entry index.
@@ -58,10 +62,265 @@ NearestNeighborResult BranchAndBoundEngine::FindNearest(
 NearestNeighborResult BranchAndBoundEngine::FindKNearest(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     const SearchOptions& options) const {
-  return FindKNearestMultiTarget({target}, family, k, options);
+  QueryContext context;
+  return RunKNearest(&target, 1, family, k, options, &context);
+}
+
+NearestNeighborResult BranchAndBoundEngine::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const SearchOptions& options, QueryContext* context) const {
+  return RunKNearest(&target, 1, family, k, options, context);
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTarget(
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options) const {
+  QueryContext context;
+  return RunKNearest(targets.data(), targets.size(), family, k, options,
+                     &context);
+}
+
+NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTarget(
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options, QueryContext* context) const {
+  return RunKNearest(targets.data(), targets.size(), family, k, options,
+                     context);
+}
+
+NearestNeighborResult BranchAndBoundEngine::RunKNearest(
+    const Transaction* targets, size_t num_targets,
+    const SimilarityFamily& family, size_t k, const SearchOptions& options,
+    QueryContext* context) const {
+  MBI_CHECK(context != nullptr);
+  MBI_CHECK(num_targets >= 1);
+  MBI_CHECK(k >= 1);
+  MBI_CHECK_MSG(options.optimality_gap >= 0.0,
+                "optimality_gap must be non-negative");
+  QueryContext& ctx = *context;
+
+  // Bind the similarity function, bound calculator, and packed bitmap to
+  // each target, reusing the context's buffers. The ForTarget binding is the
+  // one steady-state allocation left on this path (a small polymorphic
+  // object per target; the family API is an extension point).
+  ctx.functions_.clear();
+  if (ctx.calculators_.size() < num_targets) {
+    ctx.calculators_.resize(num_targets);
+  }
+  if (ctx.packed_targets_.size() < num_targets) {
+    ctx.packed_targets_.resize(num_targets);
+  }
+  for (size_t t = 0; t < num_targets; ++t) {
+    ctx.functions_.push_back(family.ForTarget(targets[t]));
+    table_->partition().CountsPerSignature(targets[t], &ctx.counts_scratch_);
+    ctx.calculators_[t].Reset(ctx.counts_scratch_,
+                              table_->activation_threshold());
+    ctx.packed_targets_[t].Assign(targets[t], database_->universe_size());
+  }
+  const double target_count = static_cast<double>(num_targets);
+
+  // FindOptimisticBound for every occupied entry: the average over targets
+  // of f_t(M_opt, D_opt) (paper §4.3 for the multi-target case; with a single
+  // target this is exactly Figure 3's FindOptimisticBound). Chunks write
+  // disjoint slots of the output array, so the parallel fan-out is
+  // deterministic: identical bounds for any thread count.
+  const auto& entries = table_->entries();
+  const size_t num_entries = entries.size();
+  ctx.optimistic_.resize(num_entries);
+  auto compute_bounds = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double sum = 0.0;
+      for (size_t t = 0; t < num_targets; ++t) {
+        sum += ctx.calculators_[t].OptimisticSimilarity(entries[i].coordinate,
+                                                        *ctx.functions_[t]);
+      }
+      ctx.optimistic_[i] = sum / target_count;
+    }
+  };
+  if (ctx.bound_pool_ != nullptr &&
+      num_entries >= ctx.parallel_bound_min_entries_) {
+    const size_t chunk = std::max<size_t>(1, ctx.parallel_bound_chunk_);
+    const size_t num_chunks = (num_entries + chunk - 1) / chunk;
+    ctx.bound_pool_->ParallelFor(
+        num_chunks,
+        [&](size_t c) {
+          compute_bounds(c * chunk, std::min(num_entries, (c + 1) * chunk));
+        },
+        /*chunk=*/1);
+  } else {
+    compute_bounds(0, num_entries);
+  }
+
+  // Visit-order keys (paper §4): either the optimistic bounds themselves or
+  // the similarity between supercoordinates; pruning always uses the bounds.
+  if (options.sort_order == EntrySortOrder::kSupercoordinateSimilarity) {
+    ctx.order_keys_.resize(num_entries);
+    // Use the first target's supercoordinate and function as the ranking key.
+    table_->partition().CountsPerSignature(targets[0], &ctx.counts_scratch_);
+    Supercoordinate target_coordinate = SupercoordinateFromCounts(
+        ctx.counts_scratch_, table_->activation_threshold());
+    for (size_t i = 0; i < num_entries; ++i) {
+      int match = 0, hamming = 0;
+      SupercoordinateMatchAndHamming(entries[i].coordinate, target_coordinate,
+                                     &match, &hamming);
+      ctx.order_keys_[i] = ctx.functions_[0]->Evaluate(match, hamming);
+    }
+  }
+  const std::vector<double>& keys =
+      options.sort_order == EntrySortOrder::kOptimisticBound ? ctx.optimistic_
+                                                             : ctx.order_keys_;
+
+  // Lazy entry ordering: a max-heap over entry indices replaces the full
+  // sort. The comparator is a total order (key, then index), so the pop
+  // sequence is exactly the fully-sorted visit order — but a query that
+  // prunes or terminates after m pops pays O(n + m log n) instead of
+  // O(n log n).
+  auto visit_after = [&keys](uint32_t a, uint32_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a > b;
+  };
+  std::vector<uint32_t>& order_heap = ctx.entry_heap_;
+  order_heap.resize(num_entries);
+  std::iota(order_heap.begin(), order_heap.end(), 0u);
+  std::make_heap(order_heap.begin(), order_heap.end(), visit_after);
+  size_t remaining = num_entries;
+  auto pop_next = [&]() {
+    std::pop_heap(order_heap.begin(),
+                  order_heap.begin() + static_cast<ptrdiff_t>(remaining),
+                  visit_after);
+    return order_heap[--remaining];
+  };
+
+  NearestNeighborResult result;
+  result.stats.database_size = database_->size();
+  result.stats.entries_total = num_entries;
+  const uint64_t budget =
+      AccessBudget(options.max_access_fraction, database_->size());
+
+  // Min-heap of the k best candidates; front is the pessimistic bound once
+  // the heap is full.
+  std::vector<Neighbor>& knn_heap = ctx.knn_heap_;
+  knn_heap.clear();
+  auto pessimistic = [&]() {
+    return knn_heap.size() == k ? knn_heap.front().similarity : kNegInfinity;
+  };
+  auto evaluate_candidate = [&](TransactionId id) {
+    const Transaction& candidate = database_->Get(id);
+    double sum = 0.0;
+    for (size_t t = 0; t < num_targets; ++t) {
+      size_t match = 0, hamming = 0;
+      // Packed probe kernel; bit-identical to the merge-scan MatchAndHamming.
+      ctx.packed_targets_[t].MatchAndHamming(candidate, &match, &hamming);
+      sum += ctx.functions_[t]->Evaluate(static_cast<int>(match),
+                                         static_cast<int>(hamming));
+    }
+    // Divide (not multiply by a reciprocal) so the value is bit-identical to
+    // an oracle computing sum / n — ties then compare exactly.
+    double similarity = sum / target_count;
+    ++result.stats.transactions_evaluated;
+    Neighbor incoming{id, similarity};
+    if (knn_heap.size() < k) {
+      knn_heap.push_back(incoming);
+      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+    } else if (BetterThan()(incoming, knn_heap.front())) {
+      std::pop_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+      knn_heap.back() = incoming;
+      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+    }
+  };
+
+  auto record_trace = [&](uint32_t entry_index, EntryTrace::Action action) {
+    if (!options.collect_trace) return;
+    EntryTrace entry_trace;
+    entry_trace.coordinate = entries[entry_index].coordinate;
+    entry_trace.optimistic_bound = ctx.optimistic_[entry_index];
+    entry_trace.transaction_count = entries[entry_index].transaction_count;
+    entry_trace.action = action;
+    entry_trace.pessimistic_bound = pessimistic();
+    result.trace.push_back(entry_trace);
+  };
+
+  bool terminated_early = false;
+  double max_pruned_bound = kNegInfinity;
+  while (remaining > 0) {
+    uint32_t entry_index = pop_next();
+    double optimistic = ctx.optimistic_[entry_index];
+    if (knn_heap.size() == k &&
+        optimistic <= pessimistic() + options.optimality_gap) {
+      max_pruned_bound = std::max(max_pruned_bound, optimistic);
+      record_trace(entry_index, EntryTrace::Action::kPruned);
+      if (options.sort_order == EntrySortOrder::kOptimisticBound) {
+        // Entries are visited in decreasing optimistic bound, so everything
+        // still in the heap is prunable too; it only has to be popped when a
+        // trace wants the per-entry records in visit order.
+        result.stats.entries_pruned += remaining + 1;
+        if (options.collect_trace) {
+          while (remaining > 0) {
+            record_trace(pop_next(), EntryTrace::Action::kPruned);
+          }
+        }
+        remaining = 0;
+        break;
+      }
+      ++result.stats.entries_pruned;
+      continue;
+    }
+    record_trace(entry_index, EntryTrace::Action::kScanned);
+    table_->FetchEntryTransactions(entry_index, &result.stats.io,
+                                   &ctx.candidate_ids_);
+    ++result.stats.entries_scanned;
+    for (TransactionId id : ctx.candidate_ids_) evaluate_candidate(id);
+    if (result.stats.transactions_evaluated >= budget && remaining > 0) {
+      terminated_early = true;
+      break;
+    }
+  }
+
+  // Early-termination certificate (paper §4.2): the best similarity any
+  // unexplored entry could still hold. Without a trace the max is computed
+  // directly over the heap's remaining elements (order is irrelevant for a
+  // max); with a trace the entries are popped so the records appear in visit
+  // order, exactly as a full sort would have produced them.
+  double unexplored_bound = kNegInfinity;
+  if (terminated_early) {
+    result.stats.entries_unexplored = remaining;
+    if (options.collect_trace) {
+      while (remaining > 0) {
+        uint32_t entry_index = pop_next();
+        unexplored_bound =
+            std::max(unexplored_bound, ctx.optimistic_[entry_index]);
+        record_trace(entry_index, EntryTrace::Action::kUnexplored);
+      }
+    } else {
+      for (size_t i = 0; i < remaining; ++i) {
+        unexplored_bound =
+            std::max(unexplored_bound, ctx.optimistic_[order_heap[i]]);
+      }
+    }
+  }
+  result.unexplored_optimistic_bound = unexplored_bound;
+  result.best_unscanned_bound = std::max(max_pruned_bound, unexplored_bound);
+  result.guaranteed_exact =
+      knn_heap.size() == std::min<size_t>(k, database_->size()) &&
+      result.best_unscanned_bound <= pessimistic();
+
+  std::sort(knn_heap.begin(), knn_heap.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  result.neighbors.assign(knn_heap.begin(), knn_heap.end());
+  return result;
+}
+
+NearestNeighborResult BranchAndBoundEngine::FindKNearestReference(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const SearchOptions& options) const {
+  return FindKNearestMultiTargetReference({target}, family, k, options);
+}
+
+NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTargetReference(
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
     size_t k, const SearchOptions& options) const {
   MBI_CHECK(!targets.empty());
@@ -79,9 +338,6 @@ NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTarget(
   }
   const double target_count = static_cast<double>(targets.size());
 
-  // FindOptimisticBound for every occupied entry: the average over targets
-  // of f_t(M_opt, D_opt) (paper §4.3 for the multi-target case; with a single
-  // target this is exactly Figure 3's FindOptimisticBound).
   const auto& entries = table_->entries();
   EntryOrder order;
   order.indices.resize(entries.size());
@@ -262,6 +518,8 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
   }
   BoundCalculator calculator(table_->partition().CountsPerSignature(target),
                              table_->activation_threshold());
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size());
 
   RangeQueryResult result;
   result.stats.database_size = database_->size();
@@ -271,6 +529,7 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
 
   bool terminated_early = false;
   const auto& entries = table_->entries();
+  std::vector<TransactionId> ids;
   for (uint32_t i = 0; i < entries.size(); ++i) {
     if (terminated_early) {
       ++result.stats.entries_unexplored;
@@ -290,13 +549,12 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
       ++result.stats.entries_pruned;
       continue;
     }
-    std::vector<TransactionId> ids =
-        table_->FetchEntryTransactions(i, &result.stats.io);
+    table_->FetchEntryTransactions(i, &result.stats.io, &ids);
     ++result.stats.entries_scanned;
     for (TransactionId id : ids) {
       const Transaction& candidate = database_->Get(id);
       size_t match = 0, hamming = 0;
-      MatchAndHamming(target, candidate, &match, &hamming);
+      packed.MatchAndHamming(candidate, &match, &hamming);
       ++result.stats.transactions_evaluated;
       bool qualifies = true;
       double primary_similarity = 0.0;

@@ -12,6 +12,8 @@
 
 namespace mbi {
 
+class QueryContext;
+
 /// One retrieved transaction and its similarity to the target (for
 /// multi-target queries: the aggregate similarity).
 struct Neighbor {
@@ -120,6 +122,16 @@ struct RangeQueryResult {
 /// per query (as a SimilarityFamily, so target-dependent functions like
 /// cosine bind to each target), which is the paper's headline flexibility:
 /// one index, any admissible f(x, y).
+///
+/// Hot-path structure (see DESIGN.md "Query hot path"): entries are visited
+/// through a lazy max-heap keyed by the sort order, so only the prefix of
+/// the visit order a query actually consumes is materialized; per-query
+/// scratch lives in a caller-suppliable QueryContext so repeated queries
+/// allocate nothing on the steady state; and candidate evaluation probes a
+/// word-packed target bitmap instead of merge-scanning item vectors. All of
+/// it is bit-identical to the straightforward sort-everything merge-scan
+/// implementation, which is retained as FindKNearest*Reference and pinned by
+/// oracle_equivalence_test.cc.
 class BranchAndBoundEngine {
  public:
   BranchAndBoundEngine(const TransactionDatabase* database,
@@ -136,10 +148,39 @@ class BranchAndBoundEngine {
                                      const SimilarityFamily& family, size_t k,
                                      const SearchOptions& options = {}) const;
 
+  /// Context-reusing variant: identical results, but all per-query scratch
+  /// comes from `context`, so a caller issuing many queries through one
+  /// context reaches a zero-allocation steady state. `context` must not be
+  /// shared between concurrent queries.
+  NearestNeighborResult FindKNearest(const Transaction& target,
+                                     const SimilarityFamily& family, size_t k,
+                                     const SearchOptions& options,
+                                     QueryContext* context) const;
+
   /// Multi-target variant (paper §4.3): maximizes the *average* similarity
   /// to `targets`; an entry's optimistic bound is the average of its
   /// per-target optimistic bounds.
   NearestNeighborResult FindKNearestMultiTarget(
+      const std::vector<Transaction>& targets, const SimilarityFamily& family,
+      size_t k, const SearchOptions& options = {}) const;
+
+  /// Context-reusing multi-target variant.
+  NearestNeighborResult FindKNearestMultiTarget(
+      const std::vector<Transaction>& targets, const SimilarityFamily& family,
+      size_t k, const SearchOptions& options, QueryContext* context) const;
+
+  /// Frozen pre-overhaul implementation: full std::sort of all occupied
+  /// entries, fresh allocations per query, merge-scan MatchAndHamming.
+  /// Kept as the semantic reference — oracle_equivalence_test.cc asserts the
+  /// overhauled path returns bit-identical results, and bench/perf_smoke.cc
+  /// uses it as the "before" measurement. Do not optimize.
+  NearestNeighborResult FindKNearestReference(
+      const Transaction& target, const SimilarityFamily& family, size_t k,
+      const SearchOptions& options = {}) const;
+
+  /// Frozen pre-overhaul multi-target implementation (see
+  /// FindKNearestReference).
+  NearestNeighborResult FindKNearestMultiTargetReference(
       const std::vector<Transaction>& targets, const SimilarityFamily& family,
       size_t k, const SearchOptions& options = {}) const;
 
@@ -174,6 +215,15 @@ class BranchAndBoundEngine {
                            const SimilarityFamily& family) const;
 
  private:
+  /// Shared implementation of the k-NN variants. `targets` is a borrowed
+  /// span (pointer + count) so the single-target entry point doesn't have to
+  /// materialize a one-element vector per call.
+  NearestNeighborResult RunKNearest(const Transaction* targets,
+                                    size_t num_targets,
+                                    const SimilarityFamily& family, size_t k,
+                                    const SearchOptions& options,
+                                    QueryContext* context) const;
+
   const TransactionDatabase* database_;
   const SignatureTable* table_;
 };

@@ -1,0 +1,94 @@
+#ifndef MBI_CORE_QUERY_CONTEXT_H_
+#define MBI_CORE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/branch_and_bound.h"
+#include "core/similarity.h"
+#include "txn/packed_target.h"
+#include "txn/transaction.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+
+/// Reusable per-query workspace for BranchAndBoundEngine.
+///
+/// The engine itself is stateless and read-only; everything a query needs at
+/// runtime — bound-calculator tables, the entry-order heap, the candidate-id
+/// scratch buffer, the k-nearest heap, the packed target bitmaps — lives
+/// here. A caller that answers many queries (batch mode, benchmarks, the
+/// `mbi query` CLI loop) constructs one context and passes it to every call;
+/// after the first few queries have grown the buffers, the steady state
+/// allocates nothing beyond the returned result vectors and the per-target
+/// similarity binding (one small SimilarityFamily::ForTarget object per
+/// target, an extension-point API that returns by unique_ptr).
+///
+/// A context carries no semantic state between queries: every buffer is
+/// rebound or cleared at query entry, so results are bit-identical to using
+/// a fresh context (query_context_test.cc asserts this, including across
+/// changes of target, k, similarity family, and sort order).
+///
+/// Not thread-safe: one context per concurrent query. FindKNearestBatch
+/// keeps one per worker shard.
+class QueryContext {
+ public:
+  QueryContext() = default;
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Optional caller-owned pool for parallel per-entry bound computation on
+  /// large directories (deterministic chunking: identical bounds regardless
+  /// of thread count). The pool must not be the pool executing the query
+  /// itself — a worker waiting on its own pool deadlocks — so batch mode
+  /// leaves this unset on its per-shard contexts.
+  void set_bound_pool(ThreadPool* pool) { bound_pool_ = pool; }
+  ThreadPool* bound_pool() const { return bound_pool_; }
+
+  /// Directory size at which bound computation fans out to bound_pool();
+  /// below it the fork/join overhead beats the O(entries · K) loop.
+  /// Tunable mostly so tests can force the parallel path on small tables.
+  void set_parallel_bound_min_entries(size_t n) {
+    parallel_bound_min_entries_ = n;
+  }
+  size_t parallel_bound_min_entries() const {
+    return parallel_bound_min_entries_;
+  }
+
+  /// Entries per chunk when bounds are computed in parallel. Chunks map to
+  /// disjoint output slots, so the values are deterministic by construction.
+  void set_parallel_bound_chunk(size_t n) { parallel_bound_chunk_ = n; }
+  size_t parallel_bound_chunk() const { return parallel_bound_chunk_; }
+
+  static constexpr size_t kDefaultParallelBoundMinEntries = 4096;
+  static constexpr size_t kDefaultParallelBoundChunk = 1024;
+
+ private:
+  friend class BranchAndBoundEngine;
+
+  // --- Per-target bindings (rebound at query entry). ---
+  std::vector<std::unique_ptr<SimilarityFunction>> functions_;
+  std::vector<BoundCalculator> calculators_;
+  std::vector<PackedTarget> packed_targets_;
+  std::vector<int> counts_scratch_;  // r_j scratch for calculator rebinding.
+
+  // --- Entry ordering (lazy max-heap over entry indices). ---
+  std::vector<uint32_t> entry_heap_;
+  std::vector<double> optimistic_;  // Optimistic bound per entry index.
+  std::vector<double> order_keys_;  // Sort keys for the alternative order.
+
+  // --- Candidate evaluation scratch. ---
+  std::vector<TransactionId> candidate_ids_;
+  std::vector<Neighbor> knn_heap_;
+
+  ThreadPool* bound_pool_ = nullptr;
+  size_t parallel_bound_min_entries_ = kDefaultParallelBoundMinEntries;
+  size_t parallel_bound_chunk_ = kDefaultParallelBoundChunk;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_QUERY_CONTEXT_H_

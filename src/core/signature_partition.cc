@@ -30,11 +30,17 @@ const std::vector<ItemId>& SignaturePartition::ItemsOf(uint32_t s) const {
 
 std::vector<int> SignaturePartition::CountsPerSignature(
     const Transaction& transaction) const {
-  std::vector<int> counts(cardinality_, 0);
-  for (ItemId item : transaction.items()) {
-    ++counts[SignatureOf(item)];
-  }
+  std::vector<int> counts;
+  CountsPerSignature(transaction, &counts);
   return counts;
+}
+
+void SignaturePartition::CountsPerSignature(const Transaction& transaction,
+                                            std::vector<int>* counts) const {
+  counts->assign(cardinality_, 0);
+  for (ItemId item : transaction.items()) {
+    ++(*counts)[SignatureOf(item)];
+  }
 }
 
 void SignaturePartition::CheckInvariants() const {

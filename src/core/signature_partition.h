@@ -44,6 +44,12 @@ class SignaturePartition {
   /// bound computation. O(|T|).
   std::vector<int> CountsPerSignature(const Transaction& transaction) const;
 
+  /// Scratch-output variant for per-query reuse: resizes `*counts` to the
+  /// cardinality and overwrites it (no allocation once the buffer has grown
+  /// to K). Result is identical to the returning overload.
+  void CountsPerSignature(const Transaction& transaction,
+                          std::vector<int>* counts) const;
+
   /// Renders as "S0={1,4} S1={2,3}" for diagnostics.
   std::string ToString() const;
 

@@ -76,6 +76,12 @@ std::vector<TransactionId> SignatureTable::FetchEntryTransactions(
   return store_.FetchBucket(entries_[entry_index].bucket, stats);
 }
 
+void SignatureTable::FetchEntryTransactions(
+    size_t entry_index, IoStats* stats, std::vector<TransactionId>* ids) const {
+  MBI_CHECK(entry_index < entries_.size());
+  store_.FetchBucket(entries_[entry_index].bucket, stats, ids);
+}
+
 const std::vector<PageId>& SignatureTable::PagesOfEntry(
     size_t entry_index) const {
   MBI_CHECK(entry_index < entries_.size());

@@ -95,6 +95,13 @@ class SignatureTable {
   std::vector<TransactionId> FetchEntryTransactions(size_t entry_index,
                                                     IoStats* stats) const;
 
+  /// Scratch-output variant for the query hot path: clears `*ids` and fills
+  /// it with the entry's transaction ids. A buffer reused across entry scans
+  /// allocates nothing once grown to the largest bucket; ids and I/O
+  /// accounting are identical to the returning overload.
+  void FetchEntryTransactions(size_t entry_index, IoStats* stats,
+                              std::vector<TransactionId>* ids) const;
+
   /// Pages backing one entry (for I/O-shape assertions in tests).
   const std::vector<PageId>& PagesOfEntry(size_t entry_index) const;
 

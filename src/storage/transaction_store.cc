@@ -79,13 +79,19 @@ const std::vector<PageId>& TransactionStore::PagesOfBucket(
 std::vector<TransactionId> TransactionStore::FetchBucket(
     uint32_t bucket, IoStats* stats) const {
   std::vector<TransactionId> ids;
+  FetchBucket(bucket, stats, &ids);
+  return ids;
+}
+
+void TransactionStore::FetchBucket(uint32_t bucket, IoStats* stats,
+                                   std::vector<TransactionId>* ids) const {
+  ids->clear();
   for (PageId page : PagesOfBucket(bucket)) {
     const Page& loaded = page_store_.Read(page, stats);
-    ids.insert(ids.end(), loaded.transaction_ids.begin(),
-               loaded.transaction_ids.end());
+    ids->insert(ids->end(), loaded.transaction_ids.begin(),
+                loaded.transaction_ids.end());
   }
-  if (stats != nullptr) stats->transactions_fetched += ids.size();
-  return ids;
+  if (stats != nullptr) stats->transactions_fetched += ids->size();
 }
 
 void TransactionStore::FetchTransaction(TransactionId id, BufferPool* pool,

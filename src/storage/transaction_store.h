@@ -51,6 +51,13 @@ class TransactionStore {
   std::vector<TransactionId> FetchBucket(uint32_t bucket,
                                          IoStats* stats) const;
 
+  /// Scratch-output variant: clears `*ids` and fills it with the bucket's
+  /// transaction ids in layout order. Repeated scans through a reused buffer
+  /// allocate nothing once the buffer has grown to the largest bucket.
+  /// I/O accounting and contents are identical to the returning overload.
+  void FetchBucket(uint32_t bucket, IoStats* stats,
+                   std::vector<TransactionId>* ids) const;
+
   /// Reads the page holding one transaction (point fetch; models the random
   /// access of the inverted-index baseline). Charges one page read — or a
   /// cache hit when `pool` is non-null — plus one transaction fetch.

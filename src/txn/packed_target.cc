@@ -1,0 +1,21 @@
+#include "txn/packed_target.h"
+
+#include "util/macros.h"
+
+namespace mbi {
+
+void PackedTarget::Assign(const Transaction& target, size_t universe_size) {
+  if (bits_.size() != universe_size) {
+    bits_ = Bitset(universe_size);
+  } else {
+    bits_.ClearAll();
+  }
+  for (ItemId item : target.items()) {
+    MBI_CHECK(item < universe_size);
+    bits_.Set(item);
+  }
+  target_size_ = target.size();
+  bound_ = true;
+}
+
+}  // namespace mbi

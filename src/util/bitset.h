@@ -27,6 +27,14 @@ class Bitset {
     return (words_[index >> 6] >> (index & 63)) & 1u;
   }
 
+  /// Get() without the range check (debug builds still assert). For probe
+  /// loops on query hot paths where the caller already guarantees the index
+  /// is in range (e.g. item ids validated at database insert time).
+  bool GetUnchecked(size_t index) const {
+    MBI_DCHECK(index < size_);
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+
   void Set(size_t index) {
     MBI_CHECK(index < size_);
     words_[index >> 6] |= uint64_t{1} << (index & 63);

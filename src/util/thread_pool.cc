@@ -39,18 +39,25 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                             size_t chunk) {
   if (count == 0) return;
-  // Shard by an atomic cursor so uneven task costs balance dynamically.
+  if (chunk == 0) {
+    // Default: ~8 grabs per worker, so dynamic balancing survives uneven
+    // costs but one-index-per-grab lock traffic never dominates tiny bodies.
+    chunk = std::max<size_t>(1, count / (workers_.size() * 8));
+  }
+  // Shard by an atomic cursor so uneven task costs balance dynamically; each
+  // grab claims `chunk` consecutive indices.
   auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  size_t shards = std::min(count, workers_.size());
+  size_t shards = std::min((count + chunk - 1) / chunk, workers_.size());
   for (size_t s = 0; s < shards; ++s) {
-    Submit([cursor, count, &fn] {
+    Submit([cursor, count, chunk, &fn] {
       while (true) {
-        size_t index = cursor->fetch_add(1, std::memory_order_relaxed);
-        if (index >= count) break;
-        fn(index);
+        size_t begin = cursor->fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count) break;
+        size_t end = std::min(count, begin + chunk);
+        for (size_t index = begin; index < end; ++index) fn(index);
       }
     });
   }

@@ -1,0 +1,245 @@
+// QueryContext reuse semantics: a context carries buffers between queries
+// but never *state* — every query answered through a reused context must be
+// bit-identical to one answered through a fresh context, across changes of
+// target, k, similarity family, sort order, and target count, and under
+// concurrent batch execution on shared pools. Also covers the deterministic
+// parallel bound computation (bound_pool) and the caller-owned-pool batch
+// overload.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_query.h"
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "core/query_context.h"
+#include "gen/quest_generator.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+struct Fixture {
+  TransactionDatabase db;
+  SignatureTable table;
+  std::vector<Transaction> queries;
+};
+
+Fixture MakeFixture(uint64_t seed, uint32_t cardinality, uint64_t db_size,
+                    uint64_t num_queries) {
+  QuestGeneratorConfig config;
+  config.universe_size = 300;
+  config.num_large_itemsets = 70;
+  config.avg_itemset_size = 5.0;
+  config.avg_transaction_size = 9.0;
+  config.seed = seed;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(db_size);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = cardinality;
+  SignatureTable table = BuildIndex(db, build);
+  auto queries = generator.GenerateQueries(num_queries);
+  return {std::move(db), std::move(table), std::move(queries)};
+}
+
+void ExpectSameResult(const NearestNeighborResult& a,
+                      const NearestNeighborResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << label;
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << label;
+    EXPECT_EQ(a.neighbors[i].similarity, b.neighbors[i].similarity) << label;
+  }
+  EXPECT_EQ(a.guaranteed_exact, b.guaranteed_exact) << label;
+  EXPECT_EQ(a.unexplored_optimistic_bound, b.unexplored_optimistic_bound)
+      << label;
+  EXPECT_EQ(a.best_unscanned_bound, b.best_unscanned_bound) << label;
+  EXPECT_EQ(a.stats.entries_scanned, b.stats.entries_scanned) << label;
+  EXPECT_EQ(a.stats.entries_pruned, b.stats.entries_pruned) << label;
+  EXPECT_EQ(a.stats.transactions_evaluated, b.stats.transactions_evaluated)
+      << label;
+  EXPECT_EQ(a.stats.io.pages_read, b.stats.io.pages_read) << label;
+}
+
+/// Interleaves queries of different shape through ONE context and checks
+/// each against a context-free call: any state leaking from a previous
+/// query (stale heap entries, oversized calculator tables, leftover packed
+/// bits from a larger target) would surface as a mismatch.
+TEST(QueryContextTest, InterleavedShapesMatchFreshContexts) {
+  Fixture fixture = MakeFixture(101, 9, 1200, 8);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto hamming = MakeSimilarityFamily("hamming");
+  auto match_ratio = MakeSimilarityFamily("match_ratio");
+  auto cosine = MakeSimilarityFamily("cosine");
+  const SimilarityFamily* families[] = {hamming.get(), match_ratio.get(),
+                                        cosine.get()};
+  const size_t ks[] = {1, 3, 9, 2};
+  const EntrySortOrder orders[] = {EntrySortOrder::kOptimisticBound,
+                                   EntrySortOrder::kSupercoordinateSimilarity};
+
+  QueryContext reused;
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t q = 0; q < fixture.queries.size(); ++q) {
+      const SimilarityFamily& family = *families[(round + q) % 3];
+      SearchOptions options;
+      options.sort_order = orders[q % 2];
+      options.max_access_fraction = (q % 3 == 2) ? 0.1 : 1.0;
+      size_t k = ks[(round + q) % 4];
+      NearestNeighborResult with_context = engine.FindKNearest(
+          fixture.queries[q], family, k, options, &reused);
+      NearestNeighborResult fresh =
+          engine.FindKNearest(fixture.queries[q], family, k, options);
+      ExpectSameResult(with_context, fresh,
+                       "round " + std::to_string(round) + " q " +
+                           std::to_string(q));
+    }
+  }
+}
+
+/// Shrinking the target count (3 targets, then 1) must not leave the two
+/// stale per-target bindings participating in the next query.
+TEST(QueryContextTest, MultiTargetToSingleTargetDoesNotLeak) {
+  Fixture fixture = MakeFixture(202, 8, 900, 6);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto family = MakeSimilarityFamily("cosine");
+
+  QueryContext context;
+  std::vector<Transaction> many(fixture.queries.begin(),
+                                fixture.queries.begin() + 3);
+  engine.FindKNearestMultiTarget(many, *family, 4, {}, &context);
+
+  NearestNeighborResult with_context =
+      engine.FindKNearest(fixture.queries[4], *family, 4, {}, &context);
+  NearestNeighborResult fresh =
+      engine.FindKNearest(fixture.queries[4], *family, 4);
+  ExpectSameResult(with_context, fresh, "after multi-target");
+
+  // And back up to multi-target, which must match the reference path.
+  NearestNeighborResult multi =
+      engine.FindKNearestMultiTarget(many, *family, 4, {}, &context);
+  NearestNeighborResult multi_ref =
+      engine.FindKNearestMultiTargetReference(many, *family, 4);
+  ExpectSameResult(multi, multi_ref, "multi-target after single");
+}
+
+/// Parallel bound computation through a bound_pool must be deterministic and
+/// bit-identical to the serial path, for any thread count and chunk size.
+/// The thresholds are lowered so the parallel path actually runs on this
+/// small test table.
+TEST(QueryContextTest, ParallelBoundComputationIsDeterministic) {
+  Fixture fixture = MakeFixture(303, 10, 1500, 6);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto family = MakeSimilarityFamily("match_ratio");
+
+  for (size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    for (size_t chunk : {1u, 7u, 64u, 100000u}) {
+      QueryContext context;
+      context.set_bound_pool(&pool);
+      context.set_parallel_bound_min_entries(1);
+      context.set_parallel_bound_chunk(chunk);
+      for (const Transaction& target : fixture.queries) {
+        SearchOptions options;
+        options.collect_trace = true;
+        NearestNeighborResult parallel =
+            engine.FindKNearest(target, *family, 5, options, &context);
+        NearestNeighborResult serial =
+            engine.FindKNearest(target, *family, 5, options);
+        ExpectSameResult(parallel, serial,
+                         "threads=" + std::to_string(threads) +
+                             " chunk=" + std::to_string(chunk));
+        ASSERT_EQ(parallel.trace.size(), serial.trace.size());
+        for (size_t i = 0; i < parallel.trace.size(); ++i) {
+          EXPECT_EQ(parallel.trace[i].optimistic_bound,
+                    serial.trace[i].optimistic_bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryContextTest, BatchMatchesSerialWithAndWithoutCallerPool) {
+  Fixture fixture = MakeFixture(404, 9, 1000, 24);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto family = MakeSimilarityFamily("hamming");
+  SearchOptions options;
+  options.max_access_fraction = 0.5;
+
+  std::vector<NearestNeighborResult> serial;
+  for (const Transaction& target : fixture.queries) {
+    serial.push_back(engine.FindKNearest(target, *family, 6, options));
+  }
+
+  std::vector<NearestNeighborResult> owned_pool_batch =
+      FindKNearestBatch(engine, fixture.queries, *family, 6, options,
+                        /*num_threads=*/4);
+  ASSERT_EQ(owned_pool_batch.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameResult(owned_pool_batch[i], serial[i],
+                     "temp pool, query " + std::to_string(i));
+  }
+
+  ThreadPool pool(4);
+  std::vector<NearestNeighborResult> caller_pool_batch = FindKNearestBatch(
+      engine, fixture.queries, *family, 6, options, /*num_threads=*/0, &pool);
+  ASSERT_EQ(caller_pool_batch.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameResult(caller_pool_batch[i], serial[i],
+                     "caller pool, query " + std::to_string(i));
+  }
+}
+
+/// Several batches in flight on one shared pool (stress_concurrency_test
+/// style): per-shard contexts must not interfere across batches, and every
+/// batch must return the same results as its serial run.
+TEST(QueryContextTest, ConcurrentBatchesShareOnePool) {
+  Fixture fixture = MakeFixture(505, 8, 800, 12);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto hamming = MakeSimilarityFamily("hamming");
+  auto cosine = MakeSimilarityFamily("cosine");
+
+  std::vector<NearestNeighborResult> serial_hamming, serial_cosine;
+  for (const Transaction& target : fixture.queries) {
+    serial_hamming.push_back(engine.FindKNearest(target, *hamming, 3));
+    serial_cosine.push_back(engine.FindKNearest(target, *cosine, 5));
+  }
+
+  ThreadPool batch_pool(6);
+  constexpr size_t kLaunchers = 4;
+  std::vector<std::vector<NearestNeighborResult>> outputs(kLaunchers);
+  std::atomic<int> failures{0};
+  {
+    // Launch the batches themselves from separate threads so they contend
+    // for the shared pool simultaneously.
+    std::vector<std::thread> launchers;
+    launchers.reserve(kLaunchers);
+    for (size_t b = 0; b < kLaunchers; ++b) {
+      launchers.emplace_back([&, b] {
+        const SimilarityFamily& family = (b % 2 == 0) ? *hamming : *cosine;
+        size_t k = (b % 2 == 0) ? 3 : 5;
+        outputs[b] = FindKNearestBatch(engine, fixture.queries, family, k, {},
+                                       /*num_threads=*/0, &batch_pool);
+        if (outputs[b].size() != fixture.queries.size()) failures.fetch_add(1);
+      });
+    }
+    for (auto& t : launchers) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (size_t b = 0; b < kLaunchers; ++b) {
+    const auto& expected = (b % 2 == 0) ? serial_hamming : serial_cosine;
+    ASSERT_EQ(outputs[b].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ExpectSameResult(outputs[b][i], expected[i],
+                       "batch " + std::to_string(b) + " query " +
+                           std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbi

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "txn/database.h"
+#include "txn/packed_target.h"
+#include "util/rng.h"
 
 namespace mbi {
 namespace {
@@ -84,6 +88,128 @@ TEST(TransactionTest, CosineMatchesDefinition) {
 TEST(TransactionTest, ToStringRendersSortedItems) {
   EXPECT_EQ(Transaction({3, 1, 2}).ToString(), "{1, 2, 3}");
   EXPECT_EQ(Transaction{}.ToString(), "{}");
+}
+
+// --- PackedTarget: the bitmap-probing candidate kernel must agree with the
+// merge-scan MatchAndHamming on *every* input. The query engine, the
+// sequential-scan oracle, and the inverted index all score candidates
+// through it, so this equivalence carries the correctness of the whole
+// retrieval stack.
+
+Transaction FromMask(uint32_t mask) {
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < 32; ++i) {
+    if (mask & (1u << i)) items.push_back(i);
+  }
+  return Transaction(std::move(items));
+}
+
+TEST(PackedTargetTest, ExhaustiveOverTenItemUniverse) {
+  // All 1024 x 1024 (target, candidate) subset pairs of a 10-item universe.
+  constexpr uint32_t kUniverse = 10;
+  constexpr uint32_t kMasks = 1u << kUniverse;
+  std::vector<Transaction> transactions;
+  transactions.reserve(kMasks);
+  for (uint32_t mask = 0; mask < kMasks; ++mask) {
+    transactions.push_back(FromMask(mask));
+  }
+  PackedTarget packed;
+  for (uint32_t t = 0; t < kMasks; ++t) {
+    packed.Assign(transactions[t], kUniverse);
+    ASSERT_EQ(packed.target_size(), transactions[t].size());
+    for (uint32_t c = 0; c < kMasks; ++c) {
+      size_t packed_match = 0, packed_hamming = 0;
+      packed.MatchAndHamming(transactions[c], &packed_match, &packed_hamming);
+      size_t merge_match = 0, merge_hamming = 0;
+      MatchAndHamming(transactions[t], transactions[c], &merge_match,
+                      &merge_hamming);
+      ASSERT_EQ(packed_match, merge_match)
+          << "target mask " << t << ", candidate mask " << c;
+      ASSERT_EQ(packed_hamming, merge_hamming)
+          << "target mask " << t << ", candidate mask " << c;
+    }
+  }
+}
+
+TEST(PackedTargetTest, RandomizedLargeUniverse) {
+  // Sizes straddling the Bitset word boundary (64) catch masking bugs.
+  constexpr uint32_t kUniverse = 300;
+  Rng rng(0xfeedbeef);
+  PackedTarget packed;
+  for (int round = 0; round < 200; ++round) {
+    auto draw = [&](double density) {
+      std::vector<ItemId> items;
+      for (ItemId i = 0; i < kUniverse; ++i) {
+        if (rng.UniformDouble() < density) items.push_back(i);
+      }
+      return Transaction(std::move(items));
+    };
+    Transaction target = draw(round % 2 == 0 ? 0.03 : 0.4);
+    Transaction candidate = draw(round % 3 == 0 ? 0.03 : 0.2);
+    packed.Assign(target, kUniverse);
+    size_t packed_match = 0, packed_hamming = 0;
+    packed.MatchAndHamming(candidate, &packed_match, &packed_hamming);
+    size_t merge_match = 0, merge_hamming = 0;
+    MatchAndHamming(target, candidate, &merge_match, &merge_hamming);
+    ASSERT_EQ(packed_match, merge_match) << "round " << round;
+    ASSERT_EQ(packed_hamming, merge_hamming) << "round " << round;
+  }
+}
+
+TEST(PackedTargetTest, EdgeCases) {
+  PackedTarget packed;
+  size_t match = 0, hamming = 0;
+
+  // Empty target vs non-empty candidate.
+  packed.Assign(Transaction{}, 50);
+  packed.MatchAndHamming(Transaction({3, 7, 49}), &match, &hamming);
+  EXPECT_EQ(match, 0u);
+  EXPECT_EQ(hamming, 3u);
+
+  // Empty vs empty.
+  packed.MatchAndHamming(Transaction{}, &match, &hamming);
+  EXPECT_EQ(match, 0u);
+  EXPECT_EQ(hamming, 0u);
+
+  // Identical sets: full match, zero hamming.
+  Transaction t({0, 31, 32, 63, 64, 99});
+  packed.Assign(t, 100);
+  packed.MatchAndHamming(t, &match, &hamming);
+  EXPECT_EQ(match, t.size());
+  EXPECT_EQ(hamming, 0u);
+
+  // Disjoint sets: zero match, hamming = sum of sizes.
+  packed.MatchAndHamming(Transaction({1, 2, 65}), &match, &hamming);
+  EXPECT_EQ(match, 0u);
+  EXPECT_EQ(hamming, t.size() + 3);
+}
+
+TEST(PackedTargetTest, AssignRebindsAcrossTargetsAndUniverseSizes) {
+  PackedTarget packed;
+  size_t match = 0, hamming = 0;
+
+  packed.Assign(Transaction({1, 2, 3}), 10);
+  packed.MatchAndHamming(Transaction({2, 3, 4}), &match, &hamming);
+  EXPECT_EQ(match, 2u);
+  EXPECT_EQ(hamming, 2u);
+
+  // Rebind to a different target in the same universe: no stale bits.
+  packed.Assign(Transaction({7}), 10);
+  packed.MatchAndHamming(Transaction({1, 2, 3}), &match, &hamming);
+  EXPECT_EQ(match, 0u);
+  EXPECT_EQ(hamming, 4u);
+
+  // Grow the universe, then shrink it back; each Assign must leave exactly
+  // the target's bits set.
+  packed.Assign(Transaction({100, 200}), 300);
+  packed.MatchAndHamming(Transaction({100, 250}), &match, &hamming);
+  EXPECT_EQ(match, 1u);
+  EXPECT_EQ(hamming, 2u);
+
+  packed.Assign(Transaction({0}), 4);
+  packed.MatchAndHamming(Transaction({0, 1}), &match, &hamming);
+  EXPECT_EQ(match, 1u);
+  EXPECT_EQ(hamming, 1u);
 }
 
 TEST(DatabaseTest, AddAndGet) {
