@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
   std::printf("built index over %zu transactions in %.2fs\n", db.size(),
               timer.ElapsedSeconds());
 
-  if (!mbi::SaveDatabase(db, db_path) ||
-      !mbi::SaveSignatureTable(built, index_path)) {
+  if (!mbi::SaveDatabase(db, db_path).ok() ||
+      !mbi::SaveSignatureTable(built, index_path).ok()) {
     std::fprintf(stderr, "error: cannot write to %s\n", dir.c_str());
     return 1;
   }
@@ -61,9 +61,13 @@ int main(int argc, char** argv) {
   // Day 1: reopen without re-mining or re-clustering.
   timer.Reset();
   auto reopened_db = mbi::LoadDatabase(db_path);
+  if (!reopened_db.ok()) {
+    std::fprintf(stderr, "error: %s\n", reopened_db.status().ToString().c_str());
+    return 1;
+  }
   auto table = mbi::LoadSignatureTable(index_path, *reopened_db);
-  if (!table.has_value()) {
-    std::fprintf(stderr, "error: reopen failed\n");
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
     return 1;
   }
   std::printf("reopened in %.2fs (no support mining, no clustering)\n",

@@ -1,0 +1,121 @@
+#include "core/artifact_verify.h"
+
+#include "core/partition_io.h"
+#include "core/table_io.h"
+#include "storage/format.h"
+#include "storage/page_store.h"
+#include "txn/database_io.h"
+
+namespace mbi {
+namespace {
+
+const char* TypeName(uint32_t magic) {
+  switch (magic) {
+    case kDatabaseMagic: return "database";
+    case kPartitionMagic: return "partition";
+    case kTableMagic: return "signature table";
+    case kPageSpillMagic: return "page spill";
+    default: return "unknown";
+  }
+}
+
+/// Human name for a (magic, section id) pair, matching the loaders' section
+/// layouts. Unknown ids (possible on corrupt frames) print as "id <n>".
+std::string SectionName(uint32_t magic, uint32_t id) {
+  switch (magic) {
+    case kDatabaseMagic:
+      if (id == 1) return "meta";
+      if (id == 2) return "transactions";
+      break;
+    case kPartitionMagic:
+      if (id == 1) return "meta";
+      if (id == 2) return "assignment";
+      break;
+    case kTableMagic:
+      switch (id) {
+        case 1: return "meta";
+        case 2: return "partition";
+        case 3: return "coordinates";
+        case 4: return "directory";
+        case 5: return "buckets";
+        case 6: return "pages";
+        case 7: return "page_map";
+        default: break;
+      }
+      break;
+    case kPageSpillMagic:
+      if (id == 1) return "meta";
+      if (id == 2) return "pages";
+      break;
+    default:
+      break;
+  }
+  return "id " + std::to_string(id);
+}
+
+Status DeepCheck(const std::string& path, uint32_t magic, Env* env) {
+  switch (magic) {
+    case kDatabaseMagic: {
+      StatusOr<TransactionDatabase> database = LoadDatabase(path, env);
+      return database.ok() ? Status::Ok() : database.status();
+    }
+    case kPartitionMagic: {
+      StatusOr<SignaturePartition> partition = LoadPartition(path, env);
+      return partition.ok() ? Status::Ok() : partition.status();
+    }
+    case kTableMagic:
+      return VerifySignatureTableFile(path, env);
+    case kPageSpillMagic: {
+      StatusOr<PageStore> store = PageStore::LoadSpillFile(path, env);
+      return store.ok() ? Status::Ok() : store.status();
+    }
+    default:
+      return Status::Corruption(path + ": unrecognized artifact magic");
+  }
+}
+
+}  // namespace
+
+Status ArtifactReport::Overall() const {
+  for (const SectionReport& section : sections) {
+    if (!section.crc_ok) {
+      return Status::Corruption(path + ": section '" + section.name +
+                                "': checksum mismatch");
+    }
+  }
+  return deep_check;
+}
+
+StatusOr<ArtifactReport> VerifyArtifact(const std::string& path,
+                                        bool checksums_only, Env* env) {
+  MBI_ASSIGN_OR_RETURN(ArtifactReader reader,
+                       ArtifactReader::Open(env, path, /*expected_magic=*/0));
+  ArtifactReport report;
+  report.path = path;
+  report.magic = reader.magic();
+  report.version = reader.version();
+  report.file_size = reader.file_size();
+  report.type_name = TypeName(reader.magic());
+
+  if (reader.version() == kFormatVersionDurable) {
+    while (reader.remaining() > 0) {
+      MBI_ASSIGN_OR_RETURN(ArtifactReader::RawSection section,
+                           reader.NextSection());
+      SectionReport entry;
+      entry.id = section.id;
+      entry.name = SectionName(reader.magic(), section.id);
+      entry.bytes = section.payload.size();
+      entry.crc_ok = section.crc_ok;
+      report.sections.push_back(std::move(entry));
+    }
+  }
+  // Legacy v1 files carry no frames: nothing to checksum, the deep parse is
+  // the only evidence of health.
+
+  if (!checksums_only) {
+    report.deep_check = DeepCheck(path, reader.magic(), env);
+  }
+  return report;
+}
+
+}  // namespace mbi

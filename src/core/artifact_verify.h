@@ -1,0 +1,54 @@
+#ifndef MBI_CORE_ARTIFACT_VERIFY_H_
+#define MBI_CORE_ARTIFACT_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace mbi {
+
+/// Per-section health of one artifact, as reported by `mbi verify`.
+struct SectionReport {
+  uint32_t id = 0;
+  std::string name;
+  uint64_t bytes = 0;
+  bool crc_ok = false;
+};
+
+/// Everything VerifyArtifact learned about a file.
+struct ArtifactReport {
+  std::string path;
+  /// "database" / "partition" / "signature table" / "page spill".
+  std::string type_name;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  /// One entry per section walked (empty for legacy v1 artifacts, which
+  /// carry no section frames or checksums).
+  std::vector<SectionReport> sections;
+  /// Result of fully parsing and structurally validating the artifact with
+  /// its real loader (contents, cross-references, invariants) — strictly
+  /// stronger than the checksum walk. Skipped (OK) in checksums-only mode.
+  Status deep_check;
+
+  /// First failure, if any: a section with a bad checksum wins over the deep
+  /// check so the diagnostic names the corrupt section.
+  Status Overall() const;
+};
+
+/// Inspects the artifact at `path`: identifies its type by magic, walks the
+/// section frames verifying each CRC32C, and (unless `checksums_only`)
+/// re-parses it with the type's loader for full structural validation.
+/// Returns a report even when sections are corrupt; returns an error Status
+/// only when the file cannot be walked at all (missing, bad magic, torn
+/// framing).
+StatusOr<ArtifactReport> VerifyArtifact(const std::string& path,
+                                        bool checksums_only = false,
+                                        Env* env = Env::Default());
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_ARTIFACT_VERIFY_H_

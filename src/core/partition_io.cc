@@ -1,66 +1,108 @@
 #include "core/partition_io.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 #include <vector>
+
+#include "storage/format.h"
 
 namespace mbi {
 namespace {
 
-constexpr uint32_t kMagic = 0x4D425350;  // "MBSP"
-constexpr uint32_t kVersion = 1;
+// v2 section ids.
+constexpr uint32_t kSectionMeta = 1;        // cardinality u32, universe u32
+constexpr uint32_t kSectionAssignment = 2;  // u32 span: signature per item
 
-struct FileCloser {
-  void operator()(FILE* file) const {
-    if (file != nullptr) std::fclose(file);
+/// Shared structural validation; rejects what SignaturePartition's
+/// constructor would abort on.
+Status ValidatePartition(const std::string& path, uint32_t cardinality,
+                         uint32_t universe,
+                         const std::vector<uint32_t>& signature_of_item) {
+  if (cardinality == 0 || cardinality > SignaturePartition::kMaxCardinality) {
+    return Status::Corruption(path + ": cardinality " +
+                              std::to_string(cardinality) +
+                              " outside [1, " +
+                              std::to_string(SignaturePartition::kMaxCardinality) +
+                              "]");
   }
-};
-using FileHandle = std::unique_ptr<FILE, FileCloser>;
+  if (universe == 0) return Status::Corruption(path + ": zero universe size");
+  if (signature_of_item.size() != universe) {
+    return Status::Corruption(path + ": assignment covers " +
+                              std::to_string(signature_of_item.size()) +
+                              " items, header declares " +
+                              std::to_string(universe));
+  }
+  for (uint32_t signature : signature_of_item) {
+    if (signature >= cardinality) {
+      return Status::Corruption(path + ": item assigned to signature " +
+                                std::to_string(signature) + " >= cardinality " +
+                                std::to_string(cardinality));
+    }
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
-bool SavePartition(const SignaturePartition& partition,
-                   const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return false;
-  const uint32_t header[4] = {kMagic, kVersion, partition.cardinality(),
-                              partition.universe_size()};
-  if (std::fwrite(header, sizeof(uint32_t), 4, file.get()) != 4) return false;
+Status SavePartition(const SignaturePartition& partition,
+                     const std::string& path, Env* env) {
+  ArtifactWriter writer(env, path, kPartitionMagic);
+  MBI_RETURN_IF_ERROR(writer.Open());
+
+  writer.BeginSection(kSectionMeta);
+  writer.PutU32(partition.cardinality());
+  writer.PutU32(partition.universe_size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
   std::vector<uint32_t> signature_of_item(partition.universe_size());
   for (ItemId item = 0; item < partition.universe_size(); ++item) {
     signature_of_item[item] = partition.SignatureOf(item);
   }
-  if (std::fwrite(signature_of_item.data(), sizeof(uint32_t),
-                  signature_of_item.size(),
-                  file.get()) != signature_of_item.size()) {
-    return false;
-  }
-  return std::fflush(file.get()) == 0;
+  writer.BeginSection(kSectionAssignment);
+  writer.PutU32Span(signature_of_item.data(), signature_of_item.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  return writer.Commit();
 }
 
-std::optional<SignaturePartition> LoadPartition(const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return std::nullopt;
-  uint32_t header[4];
-  if (std::fread(header, sizeof(uint32_t), 4, file.get()) != 4) {
-    return std::nullopt;
+StatusOr<SignaturePartition> LoadPartition(const std::string& path, Env* env) {
+  MBI_ASSIGN_OR_RETURN(ArtifactReader reader,
+                       ArtifactReader::Open(env, path, kPartitionMagic));
+
+  uint32_t cardinality = 0, universe = 0;
+  std::vector<uint32_t> signature_of_item;
+  if (reader.version() == kFormatVersionDurable) {
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> meta,
+                         reader.ReadSection(kSectionMeta, "meta"));
+    SectionParser meta_parser(meta, path + ": section 'meta'");
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&cardinality));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&universe));
+    MBI_RETURN_IF_ERROR(meta_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                         reader.ReadSection(kSectionAssignment, "assignment"));
+    MBI_RETURN_IF_ERROR(reader.ExpectEnd());
+    SectionParser parser(body, path + ": section 'assignment'");
+    MBI_RETURN_IF_ERROR(parser.ReadU32Vector(universe, &signature_of_item));
+    MBI_RETURN_IF_ERROR(parser.ExpectConsumed());
+  } else {
+    // Legacy v1: cardinality u32, universe u32, then `universe` raw u32s with
+    // no count prefix.
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> body, reader.ReadRemainder());
+    SectionParser parser(body, path);
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&cardinality));
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&universe));
+    if (universe == 0) return Status::Corruption(path + ": zero universe size");
+    if (parser.remaining() < uint64_t{universe} * sizeof(uint32_t)) {
+      return Status::Corruption(path + ": assignment truncated");
+    }
+    signature_of_item.resize(universe);
+    MBI_RETURN_IF_ERROR(parser.ReadBytes(signature_of_item.data(),
+                                         universe * sizeof(uint32_t)));
+    MBI_RETURN_IF_ERROR(parser.ExpectConsumed());
   }
-  if (header[0] != kMagic || header[1] != kVersion) return std::nullopt;
-  const uint32_t cardinality = header[2];
-  const uint32_t universe = header[3];
-  if (cardinality == 0 || cardinality > SignaturePartition::kMaxCardinality ||
-      universe == 0) {
-    return std::nullopt;
-  }
-  std::vector<uint32_t> signature_of_item(universe);
-  if (std::fread(signature_of_item.data(), sizeof(uint32_t), universe,
-                 file.get()) != universe) {
-    return std::nullopt;
-  }
-  for (uint32_t s : signature_of_item) {
-    if (s >= cardinality) return std::nullopt;
-  }
+
+  MBI_RETURN_IF_ERROR(
+      ValidatePartition(path, cardinality, universe, signature_of_item));
   return SignaturePartition(cardinality, std::move(signature_of_item));
 }
 

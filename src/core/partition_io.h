@@ -1,10 +1,11 @@
 #ifndef MBI_CORE_PARTITION_IO_H_
 #define MBI_CORE_PARTITION_IO_H_
 
-#include <optional>
 #include <string>
 
 #include "core/signature_partition.h"
+#include "storage/env.h"
+#include "util/status.h"
 
 namespace mbi {
 
@@ -12,13 +13,17 @@ namespace mbi {
 /// phase of index construction (it needs the pair-support mine); persisting
 /// the partition lets deployments rebuild the fast part of the table (the
 /// supercoordinate mapping) without re-mining, and lets several processes
-/// share one partition.
-bool SavePartition(const SignaturePartition& partition,
-                   const std::string& path);
+/// share one partition. Written in the durable artifact container (magic
+/// "MBSP", checksummed sections, atomic rename — see storage/format.h).
+[[nodiscard]] Status SavePartition(const SignaturePartition& partition,
+                                   const std::string& path,
+                                   Env* env = Env::Default());
 
-/// Loads a partition written by SavePartition. Returns nullopt on I/O
-/// failure or malformed input.
-std::optional<SignaturePartition> LoadPartition(const std::string& path);
+/// Loads a partition written by SavePartition (v2 container or the unframed
+/// v1 seed format). Errors: kNotFound, kCorruption (bad magic / checksum /
+/// truncation / out-of-range signature), kIoError.
+[[nodiscard]] StatusOr<SignaturePartition> LoadPartition(
+    const std::string& path, Env* env = Env::Default());
 
 }  // namespace mbi
 

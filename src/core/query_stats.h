@@ -30,6 +30,11 @@ struct QueryStats {
   /// Simulated-disk I/O incurred by the query.
   IoStats io;
 
+  /// Times this query was answered by the SequentialScanner fallback because
+  /// the index was quarantined (SignatureTableEngine; 0 on the healthy
+  /// path). Results are still exact — only the speed degrades.
+  uint64_t sequential_fallbacks = 0;
+
   /// The paper's pruning-efficiency metric: the percentage of the database
   /// *not* accessed when the algorithm runs to completion.
   double PruningEfficiencyPercent() const {

@@ -1,234 +1,432 @@
 #include "core/table_io.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
+#include <utility>
 #include <vector>
+
+#include "storage/format.h"
 
 namespace mbi {
 namespace {
 
-constexpr uint32_t kMagic = 0x4D425354;  // "MBST"
-constexpr uint32_t kVersion = 1;
-
-struct FileCloser {
-  void operator()(FILE* file) const {
-    if (file != nullptr) std::fclose(file);
-  }
-};
-using FileHandle = std::unique_ptr<FILE, FileCloser>;
-
-bool WriteU32(FILE* file, uint32_t value) {
-  return std::fwrite(&value, sizeof(value), 1, file) == 1;
-}
-
-bool WriteU64(FILE* file, uint64_t value) {
-  return std::fwrite(&value, sizeof(value), 1, file) == 1;
-}
-
-bool WriteU32Vector(FILE* file, const std::vector<uint32_t>& values) {
-  if (!WriteU64(file, values.size())) return false;
-  return values.empty() ||
-         std::fwrite(values.data(), sizeof(uint32_t), values.size(), file) ==
-             values.size();
-}
-
-bool ReadU32(FILE* file, uint32_t* value) {
-  return std::fread(value, sizeof(*value), 1, file) == 1;
-}
-
-bool ReadU64(FILE* file, uint64_t* value) {
-  return std::fread(value, sizeof(*value), 1, file) == 1;
-}
-
-bool ReadU32Vector(FILE* file, uint64_t max_size,
-                   std::vector<uint32_t>* values) {
-  uint64_t size = 0;
-  if (!ReadU64(file, &size) || size > max_size) return false;
-  values->resize(size);
-  return size == 0 ||
-         std::fread(values->data(), sizeof(uint32_t), size, file) == size;
-}
+// v2 section ids, in file order.
+constexpr uint32_t kSectionMeta = 1;       // cardinality, universe, activation,
+                                           // page_size (u32 each), num_tx u64
+constexpr uint32_t kSectionPartition = 2;  // u32 span: signature per item
+constexpr uint32_t kSectionCoordinates = 3;  // u32 span: coordinate per tx
+constexpr uint32_t kSectionDirectory = 4;  // u64 count, then 3 u32 per entry
+constexpr uint32_t kSectionBuckets = 5;    // u64 count, then a u32 span each
+constexpr uint32_t kSectionPages = 6;      // u64 count, then used u32 + span
+constexpr uint32_t kSectionPageMap = 7;    // u32 span: page per tx
 
 // Hard caps against corrupt headers allocating absurd buffers.
 constexpr uint64_t kMaxReasonableCount = 1ULL << 33;
 
-}  // namespace
+/// Everything LoadSignatureTable reads off disk before assembly.
+struct TableParts {
+  uint32_t cardinality = 0;
+  uint32_t universe = 0;
+  uint32_t activation_threshold = 0;
+  uint32_t page_size = 0;
+  uint64_t num_transactions = 0;
+  std::vector<uint32_t> signature_of_item;
+  std::vector<Supercoordinate> coordinates;
+  std::vector<SignatureTable::Entry> entries;
+  std::vector<std::vector<PageId>> buckets;
+  std::vector<Page> pages;
+  std::vector<PageId> page_of_transaction;
+};
 
-bool SaveSignatureTable(const SignatureTable& table, const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return false;
-  FILE* out = file.get();
+Status ParseDirectory(SectionParser* parser, uint64_t max_entries,
+                      std::vector<SignatureTable::Entry>* entries) {
+  uint64_t num_entries = 0;
+  MBI_RETURN_IF_ERROR(parser->ReadU64(&num_entries));
+  if (num_entries > max_entries) {
+    return Status::Corruption("directory declares " +
+                              std::to_string(num_entries) +
+                              " entries for " + std::to_string(max_entries) +
+                              " transactions");
+  }
+  entries->resize(static_cast<size_t>(num_entries));
+  for (auto& entry : *entries) {
+    MBI_RETURN_IF_ERROR(parser->ReadU32(&entry.coordinate));
+    MBI_RETURN_IF_ERROR(parser->ReadU32(&entry.transaction_count));
+    MBI_RETURN_IF_ERROR(parser->ReadU32(&entry.bucket));
+  }
+  return Status::Ok();
+}
 
-  const SignaturePartition& partition = table.partition();
-  if (!WriteU32(out, kMagic) || !WriteU32(out, kVersion) ||
-      !WriteU32(out, partition.cardinality()) ||
-      !WriteU32(out, partition.universe_size()) ||
-      !WriteU32(out, static_cast<uint32_t>(table.activation_threshold())) ||
-      !WriteU32(out, table.page_size_bytes())) {
-    return false;
+Status ParseBuckets(SectionParser* parser, uint64_t max_buckets,
+                    std::vector<std::vector<PageId>>* buckets) {
+  uint64_t num_buckets = 0;
+  MBI_RETURN_IF_ERROR(parser->ReadU64(&num_buckets));
+  if (num_buckets > max_buckets) {
+    return Status::Corruption("bucket count " + std::to_string(num_buckets) +
+                              " exceeds the transaction count");
+  }
+  buckets->resize(static_cast<size_t>(num_buckets));
+  for (auto& bucket : *buckets) {
+    MBI_RETURN_IF_ERROR(parser->ReadU32Vector(kMaxReasonableCount, &bucket));
+  }
+  return Status::Ok();
+}
+
+Status ParsePages(SectionParser* parser, std::vector<Page>* pages) {
+  uint64_t num_pages = 0;
+  MBI_RETURN_IF_ERROR(parser->ReadU64(&num_pages));
+  if (num_pages > kMaxReasonableCount) {
+    return Status::Corruption("implausible page count " +
+                              std::to_string(num_pages));
+  }
+  pages->resize(static_cast<size_t>(num_pages));
+  for (auto& page : *pages) {
+    MBI_RETURN_IF_ERROR(parser->ReadU32(&page.used_bytes));
+    MBI_RETURN_IF_ERROR(
+        parser->ReadU32Vector(kMaxReasonableCount, &page.transaction_ids));
+  }
+  return Status::Ok();
+}
+
+/// The full cross-section invariant walk. Rejects, as kCorruption, every
+/// condition that SignatureTable::Assemble, TransactionStore::FromParts, or
+/// PageStore::FromPages would abort on, plus the referential checks (page
+/// membership, id ranges) that would otherwise crash a later query. When
+/// `database` is non-null the table must index exactly that database; a
+/// sound file over different data is kInvalidArgument, not corruption.
+Status ValidateParts(const std::string& path, const TableParts& parts,
+                     const TransactionDatabase* database) {
+  if (parts.cardinality == 0 ||
+      parts.cardinality > SignaturePartition::kMaxCardinality) {
+    return Status::Corruption(
+        path + ": cardinality " + std::to_string(parts.cardinality) +
+        " outside [1, " + std::to_string(SignaturePartition::kMaxCardinality) +
+        "]");
+  }
+  if (parts.universe == 0) {
+    return Status::Corruption(path + ": zero universe size");
+  }
+  if (parts.activation_threshold == 0) {
+    return Status::Corruption(path + ": zero activation threshold");
+  }
+  if (parts.page_size < 64) {
+    return Status::Corruption(path + ": page size " +
+                              std::to_string(parts.page_size) +
+                              " below the 64-byte minimum");
+  }
+  if (parts.num_transactions > kMaxReasonableCount) {
+    return Status::Corruption(path + ": implausible transaction count");
+  }
+  if (database != nullptr && (parts.universe != database->universe_size() ||
+                              parts.num_transactions != database->size())) {
+    return Status::InvalidArgument(
+        path + ": index is over " + std::to_string(parts.num_transactions) +
+        " transactions / universe " + std::to_string(parts.universe) +
+        ", database has " + std::to_string(database->size()) +
+        " / universe " + std::to_string(database->universe_size()));
   }
 
-  // Partition: signature index per item.
+  if (parts.signature_of_item.size() != parts.universe) {
+    return Status::Corruption(path + ": partition covers " +
+                              std::to_string(parts.signature_of_item.size()) +
+                              " items, header declares " +
+                              std::to_string(parts.universe));
+  }
+  for (uint32_t signature : parts.signature_of_item) {
+    if (signature >= parts.cardinality) {
+      return Status::Corruption(path + ": item assigned to signature " +
+                                std::to_string(signature) +
+                                " >= cardinality");
+    }
+  }
+
+  const Supercoordinate coordinate_limit = Supercoordinate{1}
+                                           << parts.cardinality;
+  if (parts.coordinates.size() != parts.num_transactions) {
+    return Status::Corruption(path + ": coordinate list covers " +
+                              std::to_string(parts.coordinates.size()) +
+                              " transactions, header declares " +
+                              std::to_string(parts.num_transactions));
+  }
+  for (Supercoordinate coordinate : parts.coordinates) {
+    if (coordinate >= coordinate_limit) {
+      return Status::Corruption(path +
+                                ": transaction coordinate outside [0, 2^K)");
+    }
+  }
+
+  const uint64_t num_buckets = parts.buckets.size();
+  const uint64_t num_pages = parts.pages.size();
+  uint64_t entry_total = 0;
+  for (size_t i = 0; i < parts.entries.size(); ++i) {
+    const SignatureTable::Entry& entry = parts.entries[i];
+    if (entry.coordinate >= coordinate_limit) {
+      return Status::Corruption(path + ": directory coordinate outside "
+                                       "[0, 2^K)");
+    }
+    if (i > 0 && parts.entries[i - 1].coordinate >= entry.coordinate) {
+      return Status::Corruption(path + ": directory entries not strictly "
+                                       "sorted by coordinate");
+    }
+    if (entry.bucket >= num_buckets) {
+      return Status::Corruption(path + ": directory entry references bucket " +
+                                std::to_string(entry.bucket) + " of " +
+                                std::to_string(num_buckets));
+    }
+    entry_total += entry.transaction_count;
+  }
+  if (entry_total != parts.num_transactions) {
+    return Status::Corruption(path + ": directory counts sum to " +
+                              std::to_string(entry_total) + ", expected " +
+                              std::to_string(parts.num_transactions));
+  }
+
+  for (const Page& page : parts.pages) {
+    if (page.used_bytes > parts.page_size) {
+      return Status::Corruption(path + ": page claims " +
+                                std::to_string(page.used_bytes) +
+                                " used bytes of a " +
+                                std::to_string(parts.page_size) +
+                                "-byte page");
+    }
+    for (TransactionId id : page.transaction_ids) {
+      if (id >= parts.num_transactions) {
+        return Status::Corruption(path + ": page lists transaction " +
+                                  std::to_string(id) + " beyond the " +
+                                  std::to_string(parts.num_transactions) +
+                                  " indexed");
+      }
+    }
+  }
+  for (const auto& bucket : parts.buckets) {
+    for (PageId page : bucket) {
+      if (page >= num_pages) {
+        return Status::Corruption(path + ": bucket references page " +
+                                  std::to_string(page) + " of " +
+                                  std::to_string(num_pages));
+      }
+    }
+  }
+  if (parts.page_of_transaction.size() != parts.num_transactions) {
+    return Status::Corruption(path + ": page map covers " +
+                              std::to_string(parts.page_of_transaction.size()) +
+                              " transactions, header declares " +
+                              std::to_string(parts.num_transactions));
+  }
+  for (TransactionId id = 0; id < parts.num_transactions; ++id) {
+    const PageId page = parts.page_of_transaction[id];
+    if (page >= num_pages) {
+      return Status::Corruption(path + ": page map references page " +
+                                std::to_string(page) + " of " +
+                                std::to_string(num_pages));
+    }
+    // FromParts aborts unless every transaction really is on its mapped
+    // page; replicate that membership check gracefully here.
+    bool found = false;
+    for (TransactionId resident : parts.pages[page].transaction_ids) {
+      if (resident == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Corruption(path + ": transaction " + std::to_string(id) +
+                                " is mapped to page " + std::to_string(page) +
+                                " but the page does not hold it");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Loads and validates `path`, against `database` when non-null. The core of
+/// both LoadSignatureTable and VerifySignatureTableFile.
+StatusOr<SignatureTable> LoadTableImpl(const std::string& path,
+                                       const TransactionDatabase* database,
+                                       Env* env) {
+  MBI_ASSIGN_OR_RETURN(ArtifactReader reader,
+                       ArtifactReader::Open(env, path, kTableMagic));
+  TableParts parts;
+
+  if (reader.version() == kFormatVersionDurable) {
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> meta,
+                         reader.ReadSection(kSectionMeta, "meta"));
+    SectionParser meta_parser(meta, path + ": section 'meta'");
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&parts.cardinality));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&parts.universe));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&parts.activation_threshold));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&parts.page_size));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU64(&parts.num_transactions));
+    MBI_RETURN_IF_ERROR(meta_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> partition,
+                         reader.ReadSection(kSectionPartition, "partition"));
+    SectionParser partition_parser(partition, path + ": section 'partition'");
+    MBI_RETURN_IF_ERROR(partition_parser.ReadU32Vector(
+        parts.universe, &parts.signature_of_item));
+    MBI_RETURN_IF_ERROR(partition_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> coordinates,
+        reader.ReadSection(kSectionCoordinates, "coordinates"));
+    SectionParser coordinate_parser(coordinates,
+                                    path + ": section 'coordinates'");
+    MBI_RETURN_IF_ERROR(coordinate_parser.ReadU32Vector(kMaxReasonableCount,
+                                                        &parts.coordinates));
+    MBI_RETURN_IF_ERROR(coordinate_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> directory,
+                         reader.ReadSection(kSectionDirectory, "directory"));
+    SectionParser directory_parser(directory, path + ": section 'directory'");
+    MBI_RETURN_IF_ERROR(ParseDirectory(&directory_parser,
+                                       parts.num_transactions, &parts.entries));
+    MBI_RETURN_IF_ERROR(directory_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> buckets,
+                         reader.ReadSection(kSectionBuckets, "buckets"));
+    SectionParser bucket_parser(buckets, path + ": section 'buckets'");
+    MBI_RETURN_IF_ERROR(
+        ParseBuckets(&bucket_parser, parts.num_transactions, &parts.buckets));
+    MBI_RETURN_IF_ERROR(bucket_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> pages,
+                         reader.ReadSection(kSectionPages, "pages"));
+    SectionParser page_parser(pages, path + ": section 'pages'");
+    MBI_RETURN_IF_ERROR(ParsePages(&page_parser, &parts.pages));
+    MBI_RETURN_IF_ERROR(page_parser.ExpectConsumed());
+
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> page_map,
+                         reader.ReadSection(kSectionPageMap, "page_map"));
+    SectionParser page_map_parser(page_map, path + ": section 'page_map'");
+    MBI_RETURN_IF_ERROR(page_map_parser.ReadU32Vector(
+        kMaxReasonableCount, &parts.page_of_transaction));
+    MBI_RETURN_IF_ERROR(page_map_parser.ExpectConsumed());
+    MBI_RETURN_IF_ERROR(reader.ExpectEnd());
+  } else {
+    // Legacy v1: one unframed body, fields in the seed's order.
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> body, reader.ReadRemainder());
+    SectionParser parser(body, path);
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&parts.cardinality));
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&parts.universe));
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&parts.activation_threshold));
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&parts.page_size));
+    MBI_RETURN_IF_ERROR(
+        parser.ReadU32Vector(parts.universe, &parts.signature_of_item));
+    MBI_RETURN_IF_ERROR(parser.ReadU64(&parts.num_transactions));
+    if (parts.num_transactions > kMaxReasonableCount) {
+      return Status::Corruption(path + ": implausible transaction count");
+    }
+    if (parser.remaining() <
+        parts.num_transactions * sizeof(Supercoordinate)) {
+      return Status::Corruption(path + ": coordinate list truncated");
+    }
+    parts.coordinates.resize(static_cast<size_t>(parts.num_transactions));
+    MBI_RETURN_IF_ERROR(
+        parser.ReadBytes(parts.coordinates.data(),
+                         parts.coordinates.size() * sizeof(Supercoordinate)));
+    MBI_RETURN_IF_ERROR(
+        ParseDirectory(&parser, parts.num_transactions, &parts.entries));
+    MBI_RETURN_IF_ERROR(
+        ParseBuckets(&parser, parts.num_transactions, &parts.buckets));
+    MBI_RETURN_IF_ERROR(ParsePages(&parser, &parts.pages));
+    MBI_RETURN_IF_ERROR(parser.ReadU32Vector(kMaxReasonableCount,
+                                             &parts.page_of_transaction));
+    MBI_RETURN_IF_ERROR(parser.ExpectConsumed());
+  }
+
+  MBI_RETURN_IF_ERROR(ValidateParts(path, parts, database));
+
+  SignatureTableConfig config;
+  config.activation_threshold = static_cast<int>(parts.activation_threshold);
+  config.page_size_bytes = parts.page_size;
+  return SignatureTable::Assemble(
+      SignaturePartition(parts.cardinality, std::move(parts.signature_of_item)),
+      config, std::move(parts.entries), std::move(parts.coordinates),
+      TransactionStore::FromParts(
+          PageStore::FromPages(parts.page_size, std::move(parts.pages)),
+          std::move(parts.buckets), std::move(parts.page_of_transaction)));
+}
+
+}  // namespace
+
+Status SaveSignatureTable(const SignatureTable& table, const std::string& path,
+                          Env* env) {
+  ArtifactWriter writer(env, path, kTableMagic);
+  MBI_RETURN_IF_ERROR(writer.Open());
+
+  const SignaturePartition& partition = table.partition();
+  const uint64_t num_transactions = table.num_indexed_transactions();
+
+  writer.BeginSection(kSectionMeta);
+  writer.PutU32(partition.cardinality());
+  writer.PutU32(partition.universe_size());
+  writer.PutU32(static_cast<uint32_t>(table.activation_threshold()));
+  writer.PutU32(table.page_size_bytes());
+  writer.PutU64(num_transactions);
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
   std::vector<uint32_t> signature_of_item(partition.universe_size());
   for (ItemId item = 0; item < partition.universe_size(); ++item) {
     signature_of_item[item] = partition.SignatureOf(item);
   }
-  if (!WriteU32Vector(out, signature_of_item)) return false;
+  writer.BeginSection(kSectionPartition);
+  writer.PutU32Span(signature_of_item.data(), signature_of_item.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
 
-  // Per-transaction supercoordinates.
-  const uint64_t num_transactions = table.num_indexed_transactions();
-  if (!WriteU64(out, num_transactions)) return false;
+  std::vector<Supercoordinate> coordinates(
+      static_cast<size_t>(num_transactions));
   for (TransactionId id = 0; id < num_transactions; ++id) {
-    if (!WriteU32(out, table.CoordinateOfTransaction(id))) return false;
+    coordinates[id] = table.CoordinateOfTransaction(id);
   }
+  writer.BeginSection(kSectionCoordinates);
+  writer.PutU32Span(coordinates.data(), coordinates.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
 
-  // Directory entries.
-  if (!WriteU64(out, table.entries().size())) return false;
+  writer.BeginSection(kSectionDirectory);
+  writer.PutU64(table.entries().size());
   for (const SignatureTable::Entry& entry : table.entries()) {
-    if (!WriteU32(out, entry.coordinate) ||
-        !WriteU32(out, entry.transaction_count) ||
-        !WriteU32(out, entry.bucket)) {
-      return false;
-    }
+    writer.PutU32(entry.coordinate);
+    writer.PutU32(entry.transaction_count);
+    writer.PutU32(entry.bucket);
   }
+  MBI_RETURN_IF_ERROR(writer.EndSection());
 
-  // Disk layout: buckets then pages.
   const TransactionStore& store = table.store();
-  if (!WriteU64(out, store.num_buckets())) return false;
+  writer.BeginSection(kSectionBuckets);
+  writer.PutU64(store.num_buckets());
   for (uint32_t bucket = 0; bucket < store.num_buckets(); ++bucket) {
-    if (!WriteU32Vector(out, store.PagesOfBucket(bucket))) return false;
+    const std::vector<PageId>& pages = store.PagesOfBucket(bucket);
+    writer.PutU32Span(pages.data(), pages.size());
   }
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
   const PageStore& pages = store.page_store();
-  if (!WriteU64(out, pages.size())) return false;
+  writer.BeginSection(kSectionPages);
+  writer.PutU64(pages.size());
   for (const Page& page : pages.pages()) {
-    if (!WriteU32(out, page.used_bytes) ||
-        !WriteU32Vector(out, page.transaction_ids)) {
-      return false;
-    }
+    writer.PutU32(page.used_bytes);
+    writer.PutU32Span(page.transaction_ids.data(), page.transaction_ids.size());
   }
-  std::vector<uint32_t> page_of_transaction(num_transactions);
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  std::vector<uint32_t> page_of_transaction(
+      static_cast<size_t>(num_transactions));
   for (TransactionId id = 0; id < num_transactions; ++id) {
     page_of_transaction[id] = store.PageOfTransaction(id);
   }
-  if (!WriteU32Vector(out, page_of_transaction)) return false;
-  return std::fflush(out) == 0;
+  writer.BeginSection(kSectionPageMap);
+  writer.PutU32Span(page_of_transaction.data(), page_of_transaction.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  return writer.Commit();
 }
 
-std::optional<SignatureTable> LoadSignatureTable(
-    const std::string& path, const TransactionDatabase& database) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return std::nullopt;
-  FILE* in = file.get();
+StatusOr<SignatureTable> LoadSignatureTable(
+    const std::string& path, const TransactionDatabase& database, Env* env) {
+  return LoadTableImpl(path, &database, env);
+}
 
-  uint32_t magic = 0, version = 0, cardinality = 0, universe = 0;
-  uint32_t activation_threshold = 0, page_size = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic || !ReadU32(in, &version) ||
-      version != kVersion || !ReadU32(in, &cardinality) ||
-      !ReadU32(in, &universe) || !ReadU32(in, &activation_threshold) ||
-      !ReadU32(in, &page_size)) {
-    return std::nullopt;
-  }
-  if (cardinality == 0 || cardinality > SignaturePartition::kMaxCardinality ||
-      universe == 0 || activation_threshold == 0 || page_size < 64) {
-    return std::nullopt;
-  }
-  if (universe != database.universe_size()) return std::nullopt;
-
-  std::vector<uint32_t> signature_of_item;
-  if (!ReadU32Vector(in, universe, &signature_of_item) ||
-      signature_of_item.size() != universe) {
-    return std::nullopt;
-  }
-  for (uint32_t s : signature_of_item) {
-    if (s >= cardinality) return std::nullopt;
-  }
-
-  uint64_t num_transactions = 0;
-  if (!ReadU64(in, &num_transactions) ||
-      num_transactions != database.size() ||
-      num_transactions > kMaxReasonableCount) {
-    return std::nullopt;
-  }
-  std::vector<Supercoordinate> coordinates(num_transactions);
-  if (num_transactions > 0 &&
-      std::fread(coordinates.data(), sizeof(uint32_t), num_transactions, in) !=
-          num_transactions) {
-    return std::nullopt;
-  }
-
-  uint64_t num_entries = 0;
-  if (!ReadU64(in, &num_entries) || num_entries > num_transactions) {
-    return std::nullopt;
-  }
-  std::vector<SignatureTable::Entry> entries(num_entries);
-  for (auto& entry : entries) {
-    if (!ReadU32(in, &entry.coordinate) ||
-        !ReadU32(in, &entry.transaction_count) || !ReadU32(in, &entry.bucket)) {
-      return std::nullopt;
-    }
-  }
-
-  uint64_t num_buckets = 0;
-  if (!ReadU64(in, &num_buckets) || num_buckets > num_transactions) {
-    return std::nullopt;
-  }
-  std::vector<std::vector<PageId>> buckets(num_buckets);
-  for (auto& bucket : buckets) {
-    if (!ReadU32Vector(in, kMaxReasonableCount, &bucket)) return std::nullopt;
-  }
-
-  uint64_t num_pages = 0;
-  if (!ReadU64(in, &num_pages) || num_pages > kMaxReasonableCount) {
-    return std::nullopt;
-  }
-  std::vector<Page> pages(num_pages);
-  for (auto& page : pages) {
-    if (!ReadU32(in, &page.used_bytes) ||
-        !ReadU32Vector(in, kMaxReasonableCount, &page.transaction_ids)) {
-      return std::nullopt;
-    }
-    if (page.used_bytes > page_size) return std::nullopt;
-  }
-  std::vector<PageId> page_of_transaction;
-  if (!ReadU32Vector(in, kMaxReasonableCount, &page_of_transaction) ||
-      page_of_transaction.size() != num_transactions) {
-    return std::nullopt;
-  }
-  for (PageId page : page_of_transaction) {
-    if (page >= num_pages) return std::nullopt;
-  }
-  for (const auto& bucket : buckets) {
-    for (PageId page : bucket) {
-      if (page >= num_pages) return std::nullopt;
-    }
-  }
-  for (const auto& entry : entries) {
-    if (entry.bucket >= num_buckets) return std::nullopt;
-    if (entry.coordinate >= (Supercoordinate{1} << cardinality)) {
-      return std::nullopt;
-    }
-  }
-  // Entry counts must sum to the transaction count; ordering is validated by
-  // Assemble (which aborts on programmer error — here we reject gracefully).
-  uint64_t total = 0;
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (i > 0 && entries[i - 1].coordinate >= entries[i].coordinate) {
-      return std::nullopt;
-    }
-    total += entries[i].transaction_count;
-  }
-  if (total != num_transactions) return std::nullopt;
-
-  SignatureTableConfig config;
-  config.activation_threshold = static_cast<int>(activation_threshold);
-  config.page_size_bytes = page_size;
-  return SignatureTable::Assemble(
-      SignaturePartition(cardinality, std::move(signature_of_item)), config,
-      std::move(entries), std::move(coordinates),
-      TransactionStore::FromParts(
-          PageStore::FromPages(page_size, std::move(pages)),
-          std::move(buckets), std::move(page_of_transaction)));
+Status VerifySignatureTableFile(const std::string& path, Env* env) {
+  StatusOr<SignatureTable> table = LoadTableImpl(path, nullptr, env);
+  return table.ok() ? Status::Ok() : table.status();
 }
 
 }  // namespace mbi

@@ -1,30 +1,44 @@
 #ifndef MBI_CORE_TABLE_IO_H_
 #define MBI_CORE_TABLE_IO_H_
 
-#include <optional>
 #include <string>
 
 #include "core/signature_table.h"
+#include "storage/env.h"
 #include "txn/database.h"
+#include "util/status.h"
 
 namespace mbi {
 
 /// Persists a fully built signature table — partition, directory entries,
 /// per-transaction supercoordinates, and the complete on-disk page layout —
 /// so an index over a large database can be reopened without re-mining
-/// supports, re-clustering, or re-bucketing. Returns false on I/O failure.
+/// supports, re-clustering, or re-bucketing. Written in the durable artifact
+/// container (magic "MBST", per-section CRC32C, atomic rename — see
+/// storage/format.h).
 ///
 /// The transaction *contents* are not duplicated into the index file; pair a
 /// table file with the database file (SaveDatabase / LoadDatabase) or with
 /// whatever system owns the rows.
-bool SaveSignatureTable(const SignatureTable& table, const std::string& path);
+[[nodiscard]] Status SaveSignatureTable(const SignatureTable& table,
+                                        const std::string& path,
+                                        Env* env = Env::Default());
 
-/// Loads a table written by SaveSignatureTable and validates it against
-/// `database` (universe size and transaction count must match — the table
-/// indexes exactly that database). Returns nullopt on I/O failure, malformed
-/// input, or a database mismatch.
-std::optional<SignatureTable> LoadSignatureTable(
-    const std::string& path, const TransactionDatabase& database);
+/// Loads a table written by SaveSignatureTable (v2 container or the unframed
+/// v1 seed format) and validates it against `database` (universe size and
+/// transaction count must match — the table indexes exactly that database).
+/// Errors: kNotFound, kCorruption (checksum / truncation / any structural
+/// invariant the assembled table would violate), kInvalidArgument (the file
+/// is sound but indexes a different database), kIoError.
+[[nodiscard]] StatusOr<SignatureTable> LoadSignatureTable(
+    const std::string& path, const TransactionDatabase& database,
+    Env* env = Env::Default());
+
+/// Structural verification without a database: parses, checksums, and
+/// cross-checks every section of a table file, then discards the result.
+/// Used by `mbi verify`, where only the artifact is at hand.
+[[nodiscard]] Status VerifySignatureTableFile(const std::string& path,
+                                              Env* env = Env::Default());
 
 }  // namespace mbi
 

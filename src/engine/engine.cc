@@ -1,0 +1,82 @@
+#include "engine/engine.h"
+
+#include <limits>
+#include <utility>
+
+namespace mbi {
+
+SignatureTableEngine::SignatureTableEngine(const TransactionDatabase* database)
+    : database_(database), scanner_(database) {}
+
+Status SignatureTableEngine::OpenIndex(const std::string& path, Env* env) {
+  StatusOr<SignatureTable> loaded = LoadSignatureTable(path, *database_, env);
+  if (loaded.ok()) {
+    AdoptTable(std::move(loaded).value());
+    return Status::Ok();
+  }
+  if (loaded.status().code() == StatusCode::kCorruption) {
+    engine_.reset();
+    table_.reset();
+    quarantined_ = true;
+    quarantine_reason_ = loaded.status();
+  }
+  return loaded.status();
+}
+
+void SignatureTableEngine::AdoptTable(SignatureTable table) {
+  engine_.reset();  // Points into the old table; drop it first.
+  table_.emplace(std::move(table));
+  engine_.emplace(database_, &*table_);
+  quarantined_ = false;
+  quarantine_reason_ = Status::Ok();
+}
+
+NearestNeighborResult SignatureTableEngine::SequentialKNearest(
+    const Transaction& target, const SimilarityFamily& family,
+    size_t k) const {
+  fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  NearestNeighborResult result;
+  IoStats io;
+  result.neighbors = scanner_.FindKNearest(target, family, k, &io);
+  result.guaranteed_exact = true;  // The scan evaluated every transaction.
+  result.unexplored_optimistic_bound =
+      -std::numeric_limits<double>::infinity();
+  result.best_unscanned_bound = -std::numeric_limits<double>::infinity();
+  result.stats.database_size = database_->size();
+  result.stats.transactions_evaluated = database_->size();
+  result.stats.io = io;
+  result.stats.sequential_fallbacks = 1;
+  return result;
+}
+
+RangeQueryResult SignatureTableEngine::SequentialInRange(
+    const Transaction& target, const SimilarityFamily& family,
+    double threshold) const {
+  fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  RangeQueryResult result;
+  result.matches = scanner_.FindInRange(target, family, threshold);
+  result.guaranteed_complete = true;
+  result.stats.database_size = database_->size();
+  result.stats.transactions_evaluated = database_->size();
+  result.stats.sequential_fallbacks = 1;
+  return result;
+}
+
+NearestNeighborResult SignatureTableEngine::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const SearchOptions& options, QueryContext* context) const {
+  if (!healthy()) return SequentialKNearest(target, family, k);
+  if (context != nullptr) {
+    return engine_->FindKNearest(target, family, k, options, context);
+  }
+  return engine_->FindKNearest(target, family, k, options);
+}
+
+RangeQueryResult SignatureTableEngine::FindInRange(
+    const Transaction& target, const SimilarityFamily& family,
+    double threshold, const SearchOptions& options) const {
+  if (!healthy()) return SequentialInRange(target, family, threshold);
+  return engine_->FindInRange(target, family, threshold, options);
+}
+
+}  // namespace mbi

@@ -1,0 +1,102 @@
+#ifndef MBI_ENGINE_ENGINE_H_
+#define MBI_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baseline/sequential_scan.h"
+#include "core/branch_and_bound.h"
+#include "core/signature_table.h"
+#include "core/table_io.h"
+#include "storage/env.h"
+#include "txn/database.h"
+#include "util/status.h"
+
+namespace mbi {
+
+/// Query front end with graceful degradation: owns the loaded SignatureTable
+/// (when one loads cleanly) and answers queries through BranchAndBoundEngine;
+/// when the index artifact fails its checksum or invariant verification at
+/// open time, the engine *quarantines* the index and serves every query via
+/// SequentialScanner instead — correct (exact) answers at degraded speed,
+/// with the fallback counted in QueryStats::sequential_fallbacks.
+///
+/// This is the paper's availability story for a disk-resident index: the
+/// directory is derived data, the database is the source of truth, so a
+/// corrupt index file should cost throughput, never correctness or uptime.
+/// Rebuild the index (`mbi build`) to leave quarantine.
+class SignatureTableEngine {
+ public:
+  /// `database` must outlive the engine and is always trusted (its own
+  /// loader has already validated it).
+  explicit SignatureTableEngine(const TransactionDatabase* database);
+
+  SignatureTableEngine(const SignatureTableEngine&) = delete;
+  SignatureTableEngine& operator=(const SignatureTableEngine&) = delete;
+
+  /// Loads the index at `path`. On kCorruption the engine enters quarantine
+  /// (queries keep working through the sequential fallback) and the status
+  /// describing the damage is returned *and* retained as
+  /// quarantine_reason(). Other failures (kNotFound, kIoError,
+  /// kInvalidArgument) do not quarantine: there is no artifact to degrade
+  /// around, so the caller must decide.
+  Status OpenIndex(const std::string& path, Env* env = Env::Default());
+
+  /// Adopts an already-built table (e.g. fresh from BuildIndex), clearing
+  /// any quarantine.
+  void AdoptTable(SignatureTable table);
+
+  /// True when a healthy index is loaded and queries use branch-and-bound.
+  bool healthy() const { return engine_.has_value(); }
+  bool quarantined() const { return quarantined_; }
+  const Status& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Queries answered by the sequential fallback since construction.
+  uint64_t fallback_queries() const {
+    return fallback_queries_.load(std::memory_order_relaxed);
+  }
+
+  /// k-NN query: branch-and-bound when healthy, exact sequential scan when
+  /// quarantined (the result is then marked guaranteed_exact with
+  /// stats.sequential_fallbacks == 1). `context` is used only on the healthy
+  /// path.
+  NearestNeighborResult FindKNearest(const Transaction& target,
+                                     const SimilarityFamily& family, size_t k,
+                                     const SearchOptions& options = {},
+                                     QueryContext* context = nullptr) const;
+
+  /// Range query with the same fallback contract as FindKNearest.
+  RangeQueryResult FindInRange(const Transaction& target,
+                               const SimilarityFamily& family,
+                               double threshold,
+                               const SearchOptions& options = {}) const;
+
+  /// Loaded table, or nullptr while quarantined / before OpenIndex.
+  const SignatureTable* table() const {
+    return table_.has_value() ? &*table_ : nullptr;
+  }
+  const TransactionDatabase& database() const { return *database_; }
+
+ private:
+  NearestNeighborResult SequentialKNearest(const Transaction& target,
+                                           const SimilarityFamily& family,
+                                           size_t k) const;
+  RangeQueryResult SequentialInRange(const Transaction& target,
+                                     const SimilarityFamily& family,
+                                     double threshold) const;
+
+  const TransactionDatabase* database_;
+  SequentialScanner scanner_;
+  std::optional<SignatureTable> table_;
+  /// Valid only while table_ holds a value (points into it).
+  std::optional<BranchAndBoundEngine> engine_;
+  bool quarantined_ = false;
+  Status quarantine_reason_;
+  mutable std::atomic<uint64_t> fallback_queries_{0};
+};
+
+}  // namespace mbi
+
+#endif  // MBI_ENGINE_ENGINE_H_

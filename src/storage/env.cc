@@ -1,0 +1,170 @@
+#include "storage/env.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "storage/fault_injector.h"
+
+namespace mbi {
+
+Status ErrnoToStatus(int error_number, const std::string& context) {
+  const std::string message = context + ": " + std::strerror(error_number);
+  switch (error_number) {
+    case ENOENT:
+      return Status::NotFound(message);
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::NoSpace(message);
+    case EAGAIN:
+    case EINTR:
+      return Status::Unavailable(message);
+    default:
+      return Status::IoError(message);
+  }
+}
+
+// --- WritableFile ---
+
+WritableFile::WritableFile(Env* env, std::string path, std::FILE* file)
+    : env_(env), path_(std::move(path)), file_(file) {}
+
+WritableFile::~WritableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WritableFile::AppendOnce(const uint8_t* data, size_t size) {
+  const uint8_t* bytes = data;
+  size_t persist = size;
+  Status injected;
+  std::vector<uint8_t> mutated;
+  if (env_->fault_injector() != nullptr) {
+    FaultInjector::WriteOutcome outcome =
+        env_->fault_injector()->OnWrite(path_, offset_, data, size);
+    if (!outcome.status.ok() &&
+        outcome.status.code() == StatusCode::kUnavailable) {
+      return outcome.status;  // Transient: nothing touched the file.
+    }
+    if (!outcome.flips.empty()) {
+      mutated.assign(data, data + size);
+      for (const auto& [flip_offset, mask] : outcome.flips) {
+        mutated[flip_offset] ^= mask;
+      }
+      bytes = mutated.data();
+    }
+    persist = outcome.prefix;
+    injected = outcome.status;
+  }
+  if (persist > 0 && std::fwrite(bytes, 1, persist, file_) != persist) {
+    return ErrnoToStatus(errno, path_);
+  }
+  offset_ += persist;
+  if (!injected.ok()) {
+    // A torn or failed write simulates a crash mid-save: make sure the torn
+    // prefix actually reaches the file the way a real crash would leave it.
+    std::fflush(file_);
+    return injected;
+  }
+  return Status::Ok();
+}
+
+Status WritableFile::Append(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  return RetryTransient(env_->retry_options(), env_->jitter_rng(),
+                        [&] { return AppendOnce(bytes, size); });
+}
+
+Status WritableFile::Flush() {
+  if (std::fflush(file_) != 0) return ErrnoToStatus(errno, path_);
+  if (::fsync(::fileno(file_)) != 0) return ErrnoToStatus(errno, path_);
+  return Status::Ok();
+}
+
+Status WritableFile::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (std::fclose(file) != 0) return ErrnoToStatus(errno, path_);
+  return Status::Ok();
+}
+
+// --- SequentialFile ---
+
+SequentialFile::SequentialFile(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+SequentialFile::~SequentialFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SequentialFile::ReadExact(void* out, size_t size) {
+  if (size == 0) return Status::Ok();
+  const size_t read = std::fread(out, 1, size, file_);
+  offset_ += read;
+  if (read == size) return Status::Ok();
+  if (std::feof(file_) != 0) {
+    return Status::Corruption(path_ + ": unexpected end of file at offset " +
+                              std::to_string(offset_));
+  }
+  return ErrnoToStatus(errno, path_);
+}
+
+// --- Env ---
+
+Env* Env::Default() {
+  static Env* instance = new Env();
+  return instance;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> Env::NewWritableFile(
+    const std::string& path) {
+  if (injector_ != nullptr) {
+    Status injected = RetryTransient(
+        retry_options_, &rng_, [&] { return injector_->OnOpenWrite(path); });
+    MBI_RETURN_IF_ERROR(injected);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return ErrnoToStatus(errno, path);
+  return std::unique_ptr<WritableFile>(new WritableFile(this, path, file));
+}
+
+StatusOr<std::unique_ptr<SequentialFile>> Env::NewSequentialFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return ErrnoToStatus(errno, path);
+  return std::unique_ptr<SequentialFile>(new SequentialFile(path, file));
+}
+
+StatusOr<uint64_t> Env::FileSize(const std::string& path) {
+  struct ::stat info {};
+  if (::stat(path.c_str(), &info) != 0) return ErrnoToStatus(errno, path);
+  return static_cast<uint64_t>(info.st_size);
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  if (injector_ != nullptr) {
+    Status injected = RetryTransient(
+        retry_options_, &rng_, [&] { return injector_->OnRename(from, to); });
+    MBI_RETURN_IF_ERROR(injected);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoToStatus(errno, from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) return ErrnoToStatus(errno, path);
+  return Status::Ok();
+}
+
+bool Env::FileExists(const std::string& path) const {
+  struct ::stat info {};
+  return ::stat(path.c_str(), &info) == 0;
+}
+
+}  // namespace mbi

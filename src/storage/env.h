@@ -1,0 +1,130 @@
+#ifndef MBI_STORAGE_ENV_H_
+#define MBI_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mbi {
+
+class Env;
+class FaultInjector;
+
+/// Append-only file handle opened by Env::NewWritableFile. All bytes flow
+/// through the owning Env's fault injector (when one is installed), and
+/// transient (kUnavailable) faults are retried in-place with the Env's
+/// bounded-exponential-backoff policy — callers only ever see a transient
+/// failure after the retry budget is exhausted.
+class WritableFile {
+ public:
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  Status Append(const void* data, size_t size);
+
+  /// Pushes buffered bytes to the OS and fsyncs, so the data is durable
+  /// before the commit rename. Must precede Close() in the save protocol.
+  Status Flush();
+
+  Status Close();
+
+  /// Bytes successfully appended so far (the absolute file offset).
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class Env;
+  WritableFile(Env* env, std::string path, std::FILE* file);
+
+  /// One write attempt: consults the fault injector, applies scheduled bit
+  /// flips / torn prefixes, and maps OS errors to Status.
+  Status AppendOnce(const uint8_t* data, size_t size);
+
+  Env* env_;
+  std::string path_;
+  std::FILE* file_;
+  uint64_t offset_ = 0;
+};
+
+/// Read-only sequential file handle.
+class SequentialFile {
+ public:
+  ~SequentialFile();
+  SequentialFile(const SequentialFile&) = delete;
+  SequentialFile& operator=(const SequentialFile&) = delete;
+
+  /// Reads exactly `size` bytes into `out`. A short read (end of file) is
+  /// kCorruption — in this format every read is length-prefixed, so hitting
+  /// EOF early always means a truncated artifact, not a benign end.
+  Status ReadExact(void* out, size_t size);
+
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class Env;
+  SequentialFile(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t offset_ = 0;
+};
+
+/// Thin filesystem abstraction in front of every artifact read and write
+/// (table/partition/database IO, the PageStore spill path). Exists so a
+/// FaultInjector can sit between the serializers and the OS: production code
+/// uses Env::Default() with no injector and pays one indirect call, tests
+/// and the MBI_FAULT_INJECT CLI hook install a deterministic fault schedule.
+class Env {
+ public:
+  Env() = default;
+  explicit Env(uint64_t jitter_seed) : rng_(jitter_seed) {}
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Process-wide default instance (no faults, default retry policy).
+  static Env* Default();
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path);
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path);
+  StatusOr<uint64_t> FileSize(const std::string& path);
+  Status RenameFile(const std::string& from, const std::string& to);
+  Status RemoveFile(const std::string& path);
+  bool FileExists(const std::string& path) const;
+
+  /// Installs a fault schedule; `injector` must outlive all subsequent I/O
+  /// through this Env. Pass nullptr to uninstall.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Backoff policy for transient write faults.
+  void set_retry_options(RetryOptions options) {
+    retry_options_ = std::move(options);
+  }
+  const RetryOptions& retry_options() const { return retry_options_; }
+
+  /// Seeded jitter source for the backoff schedule.
+  Rng* jitter_rng() { return &rng_; }
+
+ private:
+  FaultInjector* injector_ = nullptr;
+  RetryOptions retry_options_{};
+  Rng rng_{0x5EEDF00DULL};
+};
+
+/// Maps an errno value to the Status taxonomy: ENOENT → kNotFound,
+/// ENOSPC → kNoSpace, EAGAIN/EINTR → kUnavailable, anything else →
+/// kIoError. `context` (usually the path) prefixes the message.
+Status ErrnoToStatus(int error_number, const std::string& context);
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_ENV_H_

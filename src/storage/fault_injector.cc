@@ -1,0 +1,189 @@
+#include "storage/fault_injector.h"
+
+#include <cstdlib>
+
+namespace mbi {
+
+void FaultInjector::FailWrite(uint64_t nth, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_faults_[nth] = WriteFault{code, /*torn=*/false, /*keep_bytes=*/0};
+}
+
+void FaultInjector::TornWrite(uint64_t nth, uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_faults_[nth] =
+      WriteFault{StatusCode::kIoError, /*torn=*/true, keep_bytes};
+}
+
+void FaultInjector::FlipBit(uint64_t file_byte_offset, uint32_t bit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bit_flips_.emplace_back(file_byte_offset, bit & 7u);
+}
+
+void FaultInjector::TransientWrites(uint64_t nth, uint32_t failures) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  transient_remaining_[nth] = failures;
+}
+
+void FaultInjector::FailOpen(uint64_t nth, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_faults_[nth] = code;
+}
+
+void FaultInjector::FailRename(StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rename_fault_ = code;
+}
+
+Status FaultInjector::OnOpenWrite(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t index = open_index_++;
+  auto fault = open_faults_.find(index);
+  if (fault != open_faults_.end()) {
+    return Status::FromCode(fault->second,
+                            path + ": injected open fault (open #" +
+                                std::to_string(index) + ")");
+  }
+  return Status::Ok();
+}
+
+FaultInjector::WriteOutcome FaultInjector::OnWrite(const std::string& path,
+                                                   uint64_t file_offset,
+                                                   const void* /*data*/,
+                                                   size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WriteOutcome outcome;
+  outcome.prefix = size;
+
+  // Transient rejections come first and do not consume a write index — the
+  // retried write must land on the same schedule slot it was aimed at.
+  auto transient = transient_remaining_.find(write_index_);
+  if (transient != transient_remaining_.end() && transient->second > 0) {
+    --transient->second;
+    outcome.status = Status::Unavailable(
+        path + ": injected transient write fault (write #" +
+        std::to_string(write_index_) + ")");
+    outcome.prefix = 0;
+    return outcome;
+  }
+
+  const uint64_t index = write_index_++;
+  for (const auto& [flip_offset, bit] : bit_flips_) {
+    if (flip_offset >= file_offset && flip_offset < file_offset + size) {
+      outcome.flips.emplace_back(static_cast<size_t>(flip_offset - file_offset),
+                                 static_cast<uint8_t>(1u << bit));
+    }
+  }
+  auto fault = write_faults_.find(index);
+  if (fault != write_faults_.end()) {
+    const WriteFault& spec = fault->second;
+    if (spec.torn) {
+      outcome.prefix = static_cast<size_t>(
+          spec.keep_bytes < size ? spec.keep_bytes : size);
+      outcome.status = Status::FromCode(
+          spec.code, path + ": injected torn write (write #" +
+                         std::to_string(index) + ", kept " +
+                         std::to_string(outcome.prefix) + " bytes)");
+    } else {
+      outcome.prefix = 0;
+      outcome.status = Status::FromCode(
+          spec.code,
+          path + ": injected write fault (write #" + std::to_string(index) +
+              ")");
+    }
+  }
+  return outcome;
+}
+
+Status FaultInjector::OnRename(const std::string& /*from*/,
+                               const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rename_fault_.has_value()) {
+    return Status::FromCode(*rename_fault_, to + ": injected rename fault");
+  }
+  return Status::Ok();
+}
+
+uint64_t FaultInjector::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_index_;
+}
+
+uint64_t FaultInjector::opens_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_index_;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_index_ = 0;
+  open_index_ = 0;
+  write_faults_.clear();
+  transient_remaining_.clear();
+  bit_flips_.clear();
+  open_faults_.clear();
+  rename_fault_.reset();
+}
+
+namespace {
+
+/// Parses an unsigned decimal; returns false on anything else.
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Splits "N:K" into two unsigned fields.
+bool ParsePair(const std::string& text, uint64_t* first, uint64_t* second) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  return ParseU64(text.substr(0, colon), first) &&
+         ParseU64(text.substr(colon + 1), second);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FaultInjector>> FaultInjector::FromSpec(
+    const std::string& spec) {
+  uint64_t seed = 1;
+  auto injector = std::make_unique<FaultInjector>(seed);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string token = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : token.substr(eq + 1);
+    uint64_t a = 0, b = 0;
+    if (key == "fail_write" && ParseU64(value, &a)) {
+      injector->FailWrite(a, StatusCode::kIoError);
+    } else if (key == "nospace_write" && ParseU64(value, &a)) {
+      injector->FailWrite(a, StatusCode::kNoSpace);
+    } else if (key == "torn_write" && ParsePair(value, &a, &b)) {
+      injector->TornWrite(a, b);
+    } else if (key == "flip_bit" && ParsePair(value, &a, &b)) {
+      injector->FlipBit(a, static_cast<uint32_t>(b));
+    } else if (key == "transient_write" && ParsePair(value, &a, &b)) {
+      injector->TransientWrites(a, static_cast<uint32_t>(b));
+    } else if (key == "fail_open" && ParseU64(value, &a)) {
+      injector->FailOpen(a, StatusCode::kIoError);
+    } else if (key == "fail_rename") {
+      injector->FailRename(StatusCode::kIoError);
+    } else if (key == "seed" && ParseU64(value, &a)) {
+      injector->seed_ = a;
+    } else {
+      return Status::InvalidArgument("bad fault spec token '" + token + "'");
+    }
+  }
+  return injector;
+}
+
+}  // namespace mbi

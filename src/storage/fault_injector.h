@@ -1,0 +1,116 @@
+#ifndef MBI_STORAGE_FAULT_INJECTOR_H_
+#define MBI_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbi {
+
+/// Deterministic fault schedule for artifact I/O, installed on an Env
+/// (Env::set_fault_injector). Every write that flows through the Env is
+/// assigned a global 0-based index in issue order; faults are scheduled
+/// against those indices, so a given (schedule, save sequence) pair always
+/// fails at exactly the same byte — the crash-point matrix in
+/// tests/durability_test.cc walks every index and must be reproducible.
+///
+/// Fault kinds:
+///  - FailWrite(n):        the n-th write fails cleanly, persisting nothing.
+///  - TornWrite(n, k):     the n-th write persists only its first k bytes,
+///                         then fails (a crash mid-write).
+///  - FlipBit(byte, bit):  silent bit rot — the write covering absolute file
+///                         offset `byte` lands with that bit inverted and
+///                         *reports success*. Only checksums can catch it.
+///  - TransientWrites(n, r): the n-th write returns kUnavailable `r` times
+///                         before succeeding (EAGAIN-style; the Env retries
+///                         these with backoff). Transient rejections do not
+///                         consume a write index.
+///  - FailOpen(n) / FailRename(): fail the n-th file-open-for-write, or
+///                         every rename (the commit point of atomic saves).
+///
+/// The CLI installs one from the MBI_FAULT_INJECT environment variable (see
+/// FromSpec) so cli_test can drive out-of-space and torn-write paths through
+/// the real binary.
+class FaultInjector {
+ public:
+  /// What the Env should do with one write call.
+  struct WriteOutcome {
+    /// OK, or the injected failure to report to the caller.
+    Status status;
+    /// Bytes of the buffer to persist before reporting `status`. Equal to
+    /// the full size for clean writes, 0 for clean failures, a prefix for
+    /// torn writes.
+    size_t prefix = 0;
+    /// Bit flips to apply to the persisted bytes: (offset into this buffer,
+    /// XOR mask).
+    std::vector<std::pair<size_t, uint8_t>> flips;
+  };
+
+  explicit FaultInjector(uint64_t seed = 1) : seed_(seed) {}
+
+  // --- schedule (indices are 0-based, global across all files) ---
+  void FailWrite(uint64_t nth, StatusCode code = StatusCode::kIoError);
+  void TornWrite(uint64_t nth, uint64_t keep_bytes);
+  void FlipBit(uint64_t file_byte_offset, uint32_t bit);
+  void TransientWrites(uint64_t nth, uint32_t failures);
+  void FailOpen(uint64_t nth, StatusCode code = StatusCode::kIoError);
+  void FailRename(StatusCode code = StatusCode::kIoError);
+
+  // --- hooks, called by Env ---
+  Status OnOpenWrite(const std::string& path);
+  WriteOutcome OnWrite(const std::string& path, uint64_t file_offset,
+                       const void* data, size_t size);
+  Status OnRename(const std::string& from, const std::string& to);
+
+  /// Completed (non-transient-rejected) writes observed so far. Run a save
+  /// once against a fresh injector to learn how many write points it has,
+  /// then schedule faults at each index in turn.
+  uint64_t writes_seen() const;
+  uint64_t opens_seen() const;
+
+  /// Clears the schedule and the counters.
+  void Reset();
+
+  uint64_t seed() const { return seed_; }
+
+  /// Parses a semicolon-separated spec, e.g. "nospace_write=2;seed=7":
+  ///   fail_write=N        FailWrite(N, kIoError)
+  ///   nospace_write=N     FailWrite(N, kNoSpace)
+  ///   torn_write=N:K      TornWrite(N, K)
+  ///   flip_bit=BYTE:BIT   FlipBit(BYTE, BIT)
+  ///   transient_write=N:R TransientWrites(N, R)
+  ///   fail_open=N         FailOpen(N)
+  ///   fail_rename=1       FailRename()
+  ///   seed=S              injector seed (recorded, reported by seed())
+  /// Returns kInvalidArgument on an unknown key or malformed value.
+  static StatusOr<std::unique_ptr<FaultInjector>> FromSpec(
+      const std::string& spec);
+
+ private:
+  struct WriteFault {
+    StatusCode code = StatusCode::kIoError;
+    bool torn = false;
+    uint64_t keep_bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  uint64_t seed_;
+  uint64_t write_index_ = 0;
+  uint64_t open_index_ = 0;
+  std::map<uint64_t, WriteFault> write_faults_;
+  std::map<uint64_t, uint32_t> transient_remaining_;
+  std::vector<std::pair<uint64_t, uint32_t>> bit_flips_;
+  std::map<uint64_t, StatusCode> open_faults_;
+  std::optional<StatusCode> rename_fault_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_FAULT_INJECTOR_H_

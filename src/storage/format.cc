@@ -1,0 +1,262 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+void AppendRaw(std::vector<uint8_t>* buffer, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  buffer->insert(buffer->end(), bytes, bytes + size);
+}
+
+/// Hard cap against corrupt length fields allocating absurd buffers before
+/// the CRC gets a chance to reject them.
+constexpr uint64_t kMaxSectionBytes = 1ULL << 36;  // 64 GiB
+
+}  // namespace
+
+// --- ArtifactWriter ---
+
+ArtifactWriter::ArtifactWriter(Env* env, std::string path, uint32_t magic)
+    : env_(env),
+      path_(std::move(path)),
+      temp_path_(path_ + ".tmp"),
+      magic_(magic) {}
+
+ArtifactWriter::~ArtifactWriter() {
+  if (file_ != nullptr) file_->Close().IgnoreError();
+  if (!committed_ && env_->FileExists(temp_path_)) {
+    env_->RemoveFile(temp_path_).IgnoreError();
+  }
+}
+
+Status ArtifactWriter::Open() {
+  MBI_CHECK_MSG(file_ == nullptr, "ArtifactWriter::Open called twice");
+  MBI_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(temp_path_));
+  uint8_t header[8];
+  std::memcpy(header, &magic_, 4);
+  std::memcpy(header + 4, &kFormatVersionDurable, 4);
+  status_ = file_->Append(header, sizeof(header));
+  return status_;
+}
+
+void ArtifactWriter::BeginSection(uint32_t id) {
+  MBI_CHECK_MSG(!in_section_, "BeginSection inside an open section");
+  in_section_ = true;
+  section_id_ = id;
+  section_.clear();
+}
+
+void ArtifactWriter::PutU32(uint32_t value) {
+  AppendRaw(&section_, &value, sizeof(value));
+}
+
+void ArtifactWriter::PutU64(uint64_t value) {
+  AppendRaw(&section_, &value, sizeof(value));
+}
+
+void ArtifactWriter::PutBytes(const void* data, size_t size) {
+  AppendRaw(&section_, data, size);
+}
+
+void ArtifactWriter::PutU32Span(const uint32_t* values, size_t count) {
+  PutU64(count);
+  if (count > 0) AppendRaw(&section_, values, count * sizeof(uint32_t));
+}
+
+Status ArtifactWriter::EndSection() {
+  MBI_CHECK_MSG(in_section_, "EndSection without BeginSection");
+  in_section_ = false;
+  if (!status_.ok()) return status_;
+  uint8_t header[16];
+  const uint64_t length = section_.size();
+  const uint32_t crc = Crc32c(section_.data(), section_.size());
+  std::memcpy(header, &section_id_, 4);
+  std::memcpy(header + 4, &length, 8);
+  std::memcpy(header + 12, &crc, 4);
+  status_ = file_->Append(header, sizeof(header));
+  if (status_.ok() && !section_.empty()) {
+    status_ = file_->Append(section_.data(), section_.size());
+  }
+  return status_;
+}
+
+Status ArtifactWriter::Commit() {
+  MBI_CHECK_MSG(!in_section_, "Commit inside an open section");
+  if (status_.ok()) status_ = file_->Flush();
+  if (status_.ok()) status_ = file_->Close();
+  if (status_.ok()) status_ = env_->RenameFile(temp_path_, path_);
+  if (status_.ok()) {
+    committed_ = true;
+  } else {
+    // Leave the previous artifact at path_ untouched; drop the partial temp.
+    file_->Close().IgnoreError();
+    if (env_->FileExists(temp_path_)) {
+      env_->RemoveFile(temp_path_).IgnoreError();
+    }
+  }
+  return status_;
+}
+
+// --- SectionParser ---
+
+SectionParser::SectionParser(const std::vector<uint8_t>& payload,
+                             std::string context)
+    : payload_(&payload), context_(std::move(context)) {}
+
+Status SectionParser::Overrun(size_t want) const {
+  return Status::Corruption(context_ + ": truncated (need " +
+                            std::to_string(want) + " bytes, have " +
+                            std::to_string(remaining()) + ")");
+}
+
+Status SectionParser::ReadU32(uint32_t* out) {
+  if (remaining() < sizeof(uint32_t)) return Overrun(sizeof(uint32_t));
+  std::memcpy(out, payload_->data() + position_, sizeof(uint32_t));
+  position_ += sizeof(uint32_t);
+  return Status::Ok();
+}
+
+Status SectionParser::ReadU64(uint64_t* out) {
+  if (remaining() < sizeof(uint64_t)) return Overrun(sizeof(uint64_t));
+  std::memcpy(out, payload_->data() + position_, sizeof(uint64_t));
+  position_ += sizeof(uint64_t);
+  return Status::Ok();
+}
+
+Status SectionParser::ReadBytes(void* out, size_t size) {
+  if (remaining() < size) return Overrun(size);
+  if (size > 0) std::memcpy(out, payload_->data() + position_, size);
+  position_ += size;
+  return Status::Ok();
+}
+
+Status SectionParser::ReadU32Vector(uint64_t max_count,
+                                    std::vector<uint32_t>* out) {
+  uint64_t count = 0;
+  MBI_RETURN_IF_ERROR(ReadU64(&count));
+  if (count > max_count) {
+    return Status::Corruption(context_ + ": count " + std::to_string(count) +
+                              " exceeds limit " + std::to_string(max_count));
+  }
+  const uint64_t bytes = count * sizeof(uint32_t);
+  if (remaining() < bytes) return Overrun(static_cast<size_t>(bytes));
+  out->resize(static_cast<size_t>(count));
+  if (count > 0) {
+    std::memcpy(out->data(), payload_->data() + position_,
+                static_cast<size_t>(bytes));
+  }
+  position_ += static_cast<size_t>(bytes);
+  return Status::Ok();
+}
+
+Status SectionParser::ExpectConsumed() const {
+  if (remaining() != 0) {
+    return Status::Corruption(context_ + ": " + std::to_string(remaining()) +
+                              " trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// --- ArtifactReader ---
+
+ArtifactReader::ArtifactReader(std::string path,
+                               std::unique_ptr<SequentialFile> file,
+                               uint32_t magic, uint32_t version,
+                               uint64_t file_size)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      magic_(magic),
+      version_(version),
+      file_size_(file_size),
+      consumed_(8) {}
+
+StatusOr<ArtifactReader> ArtifactReader::Open(Env* env,
+                                              const std::string& path,
+                                              uint32_t expected_magic) {
+  MBI_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(path));
+  MBI_ASSIGN_OR_RETURN(auto file, env->NewSequentialFile(path));
+  uint8_t header[8];
+  MBI_RETURN_IF_ERROR(file->ReadExact(header, sizeof(header)));
+  uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 4);
+  if (expected_magic != 0 && magic != expected_magic) {
+    return Status::Corruption(path + ": bad magic (not the expected artifact "
+                                     "type, or the header is corrupt)");
+  }
+  if (expected_magic == 0 && magic != kDatabaseMagic &&
+      magic != kPartitionMagic && magic != kTableMagic &&
+      magic != kPageSpillMagic) {
+    return Status::Corruption(path + ": unrecognized artifact magic");
+  }
+  if (version != kFormatVersionLegacy && version != kFormatVersionDurable) {
+    return Status::Corruption(path + ": unsupported format version " +
+                              std::to_string(version));
+  }
+  return ArtifactReader(path, std::move(file), magic, version, file_size);
+}
+
+StatusOr<ArtifactReader::RawSection> ArtifactReader::NextSection() {
+  if (remaining() < 16) {
+    return Status::Corruption(path_ + ": truncated section header at offset " +
+                              std::to_string(consumed_));
+  }
+  uint8_t header[16];
+  MBI_RETURN_IF_ERROR(file_->ReadExact(header, sizeof(header)));
+  consumed_ += sizeof(header);
+  RawSection section;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  std::memcpy(&section.id, header, 4);
+  std::memcpy(&length, header + 4, 8);
+  std::memcpy(&crc, header + 12, 4);
+  if (length > remaining() || length > kMaxSectionBytes) {
+    return Status::Corruption(path_ + ": section length " +
+                              std::to_string(length) +
+                              " exceeds the bytes left in the file");
+  }
+  section.payload.resize(static_cast<size_t>(length));
+  MBI_RETURN_IF_ERROR(
+      file_->ReadExact(section.payload.data(), section.payload.size()));
+  consumed_ += length;
+  section.crc_ok = Crc32c(section.payload.data(), section.payload.size()) == crc;
+  return section;
+}
+
+StatusOr<std::vector<uint8_t>> ArtifactReader::ReadSection(
+    uint32_t expected_id, const char* name) {
+  MBI_ASSIGN_OR_RETURN(RawSection section, NextSection());
+  if (section.id != expected_id) {
+    return Status::Corruption(path_ + ": expected section '" +
+                              std::string(name) + "' (id " +
+                              std::to_string(expected_id) + "), found id " +
+                              std::to_string(section.id));
+  }
+  if (!section.crc_ok) {
+    return Status::Corruption(path_ + ": section '" + std::string(name) +
+                              "': checksum mismatch");
+  }
+  return std::move(section.payload);
+}
+
+StatusOr<std::vector<uint8_t>> ArtifactReader::ReadRemainder() {
+  std::vector<uint8_t> body(static_cast<size_t>(remaining()));
+  MBI_RETURN_IF_ERROR(file_->ReadExact(body.data(), body.size()));
+  consumed_ += body.size();
+  return body;
+}
+
+Status ArtifactReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::Corruption(path_ + ": " + std::to_string(remaining()) +
+                              " trailing bytes after the last section");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mbi

@@ -1,0 +1,184 @@
+#ifndef MBI_STORAGE_FORMAT_H_
+#define MBI_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace mbi {
+
+/// \file
+/// The durable artifact container shared by every on-disk format (database,
+/// partition, signature table, PageStore spill):
+///
+///   offset 0:  magic   u32   artifact type tag ("MBID"/"MBSP"/"MBST"/"MBPG")
+///   offset 4:  version u32   container version (2 = this framed format)
+///   then, repeated until end of file, length-prefixed sections:
+///     id      u32   section tag, artifact-specific
+///     length  u64   payload bytes
+///     crc32c  u32   checksum of the payload (util/crc32c.h)
+///     payload length bytes
+///
+/// Saves go through ArtifactWriter: write `path + ".tmp"`, Flush (fflush +
+/// fsync), Close, atomic rename onto `path`. A crash or injected fault at
+/// any write point leaves either the complete old artifact or the complete
+/// new one — never a torn hybrid (tests/durability_test.cc walks every write
+/// point and proves it).
+///
+/// Version 1 is the seed's unframed layout (magic + version, then raw
+/// fields, no checksums). Readers still accept it: ArtifactReader hands the
+/// remainder of a v1 file to the caller, which parses it with the same
+/// bounds-checked SectionParser it uses for v2 payloads.
+
+/// Artifact magics (also the dispatch key for `mbi verify`).
+constexpr uint32_t kDatabaseMagic = 0x4D424944;   // "MBID"
+constexpr uint32_t kPartitionMagic = 0x4D425350;  // "MBSP"
+constexpr uint32_t kTableMagic = 0x4D425354;      // "MBST"
+constexpr uint32_t kPageSpillMagic = 0x4D425047;  // "MBPG"
+
+/// Container versions accepted by ArtifactReader.
+constexpr uint32_t kFormatVersionLegacy = 1;
+constexpr uint32_t kFormatVersionDurable = 2;
+
+/// Streams one artifact to `path` via write-temp → flush → atomic-rename.
+/// Sections are buffered in memory until EndSection, so each section costs
+/// exactly two Env writes (16-byte header, then the payload) and its CRC is
+/// computed over the final bytes.
+///
+/// Usage:
+///   ArtifactWriter writer(env, path, kDatabaseMagic);
+///   MBI_RETURN_IF_ERROR(writer.Open());
+///   writer.BeginSection(kSectionMeta);
+///   writer.PutU32(...); writer.PutU64(...);
+///   MBI_RETURN_IF_ERROR(writer.EndSection());
+///   ...more sections...
+///   return writer.Commit();
+///
+/// On any failure (or if Commit is never reached) the destructor removes the
+/// temp file; the previous artifact at `path` is untouched.
+class ArtifactWriter {
+ public:
+  ArtifactWriter(Env* env, std::string path, uint32_t magic);
+  ~ArtifactWriter();
+  ArtifactWriter(const ArtifactWriter&) = delete;
+  ArtifactWriter& operator=(const ArtifactWriter&) = delete;
+
+  /// Creates the temp file and writes the magic + version header.
+  Status Open();
+
+  void BeginSection(uint32_t id);
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutBytes(const void* data, size_t size);
+  /// u64 count followed by `count` raw u32 values — the one repeated shape
+  /// in every artifact (signature maps, page ids, coordinates).
+  void PutU32Span(const uint32_t* values, size_t count);
+  /// Writes the buffered section (header + payload) to the temp file.
+  Status EndSection();
+
+  /// Flush + fsync + close + rename onto the final path. After an OK Commit
+  /// the artifact at `path` is the complete new version.
+  Status Commit();
+
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  Env* env_;
+  std::string path_;
+  std::string temp_path_;
+  uint32_t magic_;
+  std::unique_ptr<WritableFile> file_;
+  uint32_t section_id_ = 0;
+  bool in_section_ = false;
+  bool committed_ = false;
+  std::vector<uint8_t> section_;
+  Status status_;  // Sticky: first failure wins, later calls are no-ops.
+};
+
+/// Bounds-checked cursor over one section payload (or, for legacy v1 files,
+/// over the whole unframed body). Every overrun or over-long count is
+/// kCorruption with `context` (artifact path + section name) in the message;
+/// nothing here can read outside the buffer, which is what makes the
+/// corruption fuzz tests' "never crash" guarantee hold.
+class SectionParser {
+ public:
+  SectionParser(const std::vector<uint8_t>& payload, std::string context);
+
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadBytes(void* out, size_t size);
+  /// Reads a u64 count (rejected above `max_count`) then that many raw u32s.
+  Status ReadU32Vector(uint64_t max_count, std::vector<uint32_t>* out);
+
+  size_t remaining() const { return payload_->size() - position_; }
+  /// kCorruption unless the payload was consumed exactly.
+  Status ExpectConsumed() const;
+
+ private:
+  Status Overrun(size_t want) const;
+
+  const std::vector<uint8_t>* payload_;
+  size_t position_ = 0;
+  std::string context_;
+};
+
+/// Reads an artifact header and iterates its sections. CRC mismatches,
+/// framing overruns, and unexpected section ids all surface as kCorruption
+/// naming the section; the `mbi verify` walk uses NextSection to report
+/// per-section health instead of stopping at the first failure.
+class ArtifactReader {
+ public:
+  /// Opens `path` and validates magic (unless `expected_magic` is 0, which
+  /// accepts any known magic — used by `mbi verify`) and version.
+  static StatusOr<ArtifactReader> Open(Env* env, const std::string& path,
+                                       uint32_t expected_magic);
+
+  ArtifactReader(ArtifactReader&&) = default;
+  ArtifactReader& operator=(ArtifactReader&&) = default;
+
+  uint32_t magic() const { return magic_; }
+  uint32_t version() const { return version_; }
+  uint64_t file_size() const { return file_size_; }
+  uint64_t remaining() const { return file_size_ - consumed_; }
+  const std::string& path() const { return path_; }
+
+  struct RawSection {
+    uint32_t id = 0;
+    bool crc_ok = false;
+    std::vector<uint8_t> payload;
+  };
+
+  /// Next section with its CRC verdict recorded (framing errors are still
+  /// kCorruption — past a bad length field the stream is unwalkable).
+  StatusOr<RawSection> NextSection();
+
+  /// Next section, required to be `expected_id` with a valid CRC; `name`
+  /// labels the section in error messages.
+  StatusOr<std::vector<uint8_t>> ReadSection(uint32_t expected_id,
+                                             const char* name);
+
+  /// Everything after the header, for legacy v1 bodies.
+  StatusOr<std::vector<uint8_t>> ReadRemainder();
+
+  /// kCorruption if any bytes follow the last expected section.
+  Status ExpectEnd() const;
+
+ private:
+  ArtifactReader(std::string path, std::unique_ptr<SequentialFile> file,
+                 uint32_t magic, uint32_t version, uint64_t file_size);
+
+  std::string path_;
+  std::unique_ptr<SequentialFile> file_;
+  uint32_t magic_;
+  uint32_t version_;
+  uint64_t file_size_;
+  uint64_t consumed_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_STORAGE_FORMAT_H_

@@ -1,8 +1,18 @@
 #include "storage/page_store.h"
 
+#include "storage/format.h"
 #include "util/macros.h"
 
 namespace mbi {
+namespace {
+
+// Spill-artifact section ids.
+constexpr uint32_t kSectionMeta = 1;   // page_size u32, num_pages u64
+constexpr uint32_t kSectionPages = 2;  // per page: used u32 + u32 span of ids
+
+constexpr uint64_t kMaxReasonablePages = 1ULL << 33;
+
+}  // namespace
 
 PageStore::PageStore(uint32_t page_size_bytes)
     : page_size_bytes_(page_size_bytes) {
@@ -64,6 +74,70 @@ PageStore PageStore::FromPages(uint32_t page_size_bytes,
   }
   store.pages_ = std::move(pages);
   return store;
+}
+
+Status PageStore::SpillToFile(const std::string& path, Env* env) const {
+  ArtifactWriter writer(env, path, kPageSpillMagic);
+  MBI_RETURN_IF_ERROR(writer.Open());
+
+  writer.BeginSection(kSectionMeta);
+  writer.PutU32(page_size_bytes_);
+  writer.PutU64(pages_.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  writer.BeginSection(kSectionPages);
+  for (const Page& page : pages_) {
+    writer.PutU32(page.used_bytes);
+    writer.PutU32Span(page.transaction_ids.data(), page.transaction_ids.size());
+  }
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  return writer.Commit();
+}
+
+StatusOr<PageStore> PageStore::LoadSpillFile(const std::string& path,
+                                             Env* env) {
+  MBI_ASSIGN_OR_RETURN(ArtifactReader reader,
+                       ArtifactReader::Open(env, path, kPageSpillMagic));
+  if (reader.version() != kFormatVersionDurable) {
+    // Spills never existed before the durable container; a v1 header here is
+    // not a legacy artifact, it is damage.
+    return Status::Corruption(path + ": page spills have no legacy format");
+  }
+
+  MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> meta,
+                       reader.ReadSection(kSectionMeta, "meta"));
+  SectionParser meta_parser(meta, path + ": section 'meta'");
+  uint32_t page_size = 0;
+  uint64_t num_pages = 0;
+  MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&page_size));
+  MBI_RETURN_IF_ERROR(meta_parser.ReadU64(&num_pages));
+  MBI_RETURN_IF_ERROR(meta_parser.ExpectConsumed());
+  if (page_size < 64) {
+    return Status::Corruption(path + ": page size below the 64-byte minimum");
+  }
+  if (num_pages > kMaxReasonablePages) {
+    return Status::Corruption(path + ": implausible page count");
+  }
+
+  MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                       reader.ReadSection(kSectionPages, "pages"));
+  MBI_RETURN_IF_ERROR(reader.ExpectEnd());
+  SectionParser parser(body, path + ": section 'pages'");
+  std::vector<Page> pages(static_cast<size_t>(num_pages));
+  for (Page& page : pages) {
+    MBI_RETURN_IF_ERROR(parser.ReadU32(&page.used_bytes));
+    MBI_RETURN_IF_ERROR(
+        parser.ReadU32Vector(kMaxReasonablePages, &page.transaction_ids));
+    if (page.used_bytes > page_size) {
+      return Status::Corruption(path + ": page claims " +
+                                std::to_string(page.used_bytes) +
+                                " used bytes of a " +
+                                std::to_string(page_size) + "-byte page");
+    }
+  }
+  MBI_RETURN_IF_ERROR(parser.ExpectConsumed());
+  return FromPages(page_size, std::move(pages));
 }
 
 const Page& PageStore::Read(PageId page, IoStats* stats) const {

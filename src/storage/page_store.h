@@ -2,10 +2,13 @@
 #define MBI_STORAGE_PAGE_STORE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/io_stats.h"
 #include "txn/transaction.h"
+#include "util/status.h"
 
 namespace mbi {
 
@@ -71,6 +74,18 @@ class PageStore {
   /// Reassembles a store from serialized pages (deserialization only).
   static PageStore FromPages(uint32_t page_size_bytes,
                              std::vector<Page> pages);
+
+  /// Spills the whole simulated disk to `path` as a standalone durable
+  /// artifact (magic "MBPG", checksummed sections, atomic rename — see
+  /// storage/format.h). Lets a long-running build checkpoint its page image
+  /// independently of the directory that references it.
+  [[nodiscard]] Status SpillToFile(const std::string& path,
+                                   Env* env = Env::Default()) const;
+
+  /// Reloads a spill written by SpillToFile. Errors: kNotFound, kCorruption
+  /// (checksum / truncation / page accounting violations), kIoError.
+  [[nodiscard]] static StatusOr<PageStore> LoadSpillFile(
+      const std::string& path, Env* env = Env::Default());
 
  private:
   uint32_t page_size_bytes_;

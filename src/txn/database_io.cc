@@ -1,89 +1,121 @@
 #include "txn/database_io.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 #include <vector>
+
+#include "storage/format.h"
 
 namespace mbi {
 namespace {
 
-constexpr uint32_t kMagic = 0x4D424944;  // "MBID"
-constexpr uint32_t kVersion = 1;
+// v2 section ids.
+constexpr uint32_t kSectionMeta = 1;          // universe u32, count u64
+constexpr uint32_t kSectionTransactions = 2;  // per tx: size u32, raw ItemIds
 
-struct FileCloser {
-  void operator()(FILE* file) const {
-    if (file != nullptr) std::fclose(file);
+constexpr uint64_t kMaxReasonableCount = 1ULL << 33;
+
+/// Parses the transaction list (shared by the v2 section payload and the v1
+/// body tail — the byte layout is identical) into `database`, validating
+/// every item against the declared universe.
+Status ParseTransactions(SectionParser* parser, uint32_t universe,
+                         uint64_t count, TransactionDatabase* database) {
+  for (uint64_t t = 0; t < count; ++t) {
+    uint32_t size = 0;
+    MBI_RETURN_IF_ERROR(parser->ReadU32(&size));
+    if (parser->remaining() < uint64_t{size} * sizeof(ItemId)) {
+      return Status::Corruption("transaction " + std::to_string(t) +
+                                " declares " + std::to_string(size) +
+                                " items but the payload is shorter");
+    }
+    std::vector<ItemId> items(size);
+    MBI_RETURN_IF_ERROR(
+        parser->ReadBytes(items.data(), size * sizeof(ItemId)));
+    for (ItemId item : items) {
+      if (item >= universe) {
+        return Status::Corruption("transaction " + std::to_string(t) +
+                                  " holds item " + std::to_string(item) +
+                                  " outside the universe [0, " +
+                                  std::to_string(universe) + ")");
+      }
+    }
+    database->Add(Transaction(std::move(items)));
   }
-};
-using FileHandle = std::unique_ptr<FILE, FileCloser>;
-
-bool WriteU32(FILE* file, uint32_t value) {
-  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+  return parser->ExpectConsumed();
 }
 
-bool WriteU64(FILE* file, uint64_t value) {
-  return std::fwrite(&value, sizeof(value), 1, file) == 1;
-}
-
-bool ReadU32(FILE* file, uint32_t* value) {
-  return std::fread(value, sizeof(*value), 1, file) == 1;
-}
-
-bool ReadU64(FILE* file, uint64_t* value) {
-  return std::fread(value, sizeof(*value), 1, file) == 1;
+Status ValidateHeader(const std::string& path, uint32_t universe,
+                      uint64_t count) {
+  if (universe == 0) {
+    return Status::Corruption(path + ": zero universe size");
+  }
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption(path + ": implausible transaction count " +
+                              std::to_string(count));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
-bool SaveDatabase(const TransactionDatabase& database,
-                  const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return false;
-  if (!WriteU32(file.get(), kMagic) || !WriteU32(file.get(), kVersion) ||
-      !WriteU32(file.get(), database.universe_size()) ||
-      !WriteU64(file.get(), database.size())) {
-    return false;
-  }
+Status SaveDatabase(const TransactionDatabase& database,
+                    const std::string& path, Env* env) {
+  ArtifactWriter writer(env, path, kDatabaseMagic);
+  MBI_RETURN_IF_ERROR(writer.Open());
+
+  writer.BeginSection(kSectionMeta);
+  writer.PutU32(database.universe_size());
+  writer.PutU64(database.size());
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  writer.BeginSection(kSectionTransactions);
   for (const Transaction& transaction : database.transactions()) {
-    if (!WriteU32(file.get(), static_cast<uint32_t>(transaction.size()))) {
-      return false;
-    }
+    writer.PutU32(static_cast<uint32_t>(transaction.size()));
     const auto& items = transaction.items();
-    if (!items.empty() &&
-        std::fwrite(items.data(), sizeof(ItemId), items.size(), file.get()) !=
-            items.size()) {
-      return false;
-    }
+    writer.PutBytes(items.data(), items.size() * sizeof(ItemId));
   }
-  return std::fflush(file.get()) == 0;
+  MBI_RETURN_IF_ERROR(writer.EndSection());
+
+  return writer.Commit();
 }
 
-std::optional<TransactionDatabase> LoadDatabase(const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return std::nullopt;
-  uint32_t magic = 0, version = 0, universe = 0;
+StatusOr<TransactionDatabase> LoadDatabase(const std::string& path, Env* env) {
+  MBI_ASSIGN_OR_RETURN(ArtifactReader reader,
+                       ArtifactReader::Open(env, path, kDatabaseMagic));
+
+  if (reader.version() == kFormatVersionDurable) {
+    MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> meta,
+                         reader.ReadSection(kSectionMeta, "meta"));
+    SectionParser meta_parser(meta, path + ": section 'meta'");
+    uint32_t universe = 0;
+    uint64_t count = 0;
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU32(&universe));
+    MBI_RETURN_IF_ERROR(meta_parser.ReadU64(&count));
+    MBI_RETURN_IF_ERROR(meta_parser.ExpectConsumed());
+    MBI_RETURN_IF_ERROR(ValidateHeader(path, universe, count));
+
+    MBI_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> body,
+        reader.ReadSection(kSectionTransactions, "transactions"));
+    MBI_RETURN_IF_ERROR(reader.ExpectEnd());
+    SectionParser parser(body, path + ": section 'transactions'");
+    TransactionDatabase database(universe);
+    MBI_RETURN_IF_ERROR(
+        ParseTransactions(&parser, universe, count, &database));
+    return database;
+  }
+
+  // Legacy v1: unframed body — universe u32, count u64, then transactions in
+  // the same shape as the v2 section. No checksums to verify; every field is
+  // still bounds-checked.
+  MBI_ASSIGN_OR_RETURN(std::vector<uint8_t> body, reader.ReadRemainder());
+  SectionParser parser(body, path);
+  uint32_t universe = 0;
   uint64_t count = 0;
-  if (!ReadU32(file.get(), &magic) || magic != kMagic ||
-      !ReadU32(file.get(), &version) || version != kVersion ||
-      !ReadU32(file.get(), &universe) || universe == 0 ||
-      !ReadU64(file.get(), &count)) {
-    return std::nullopt;
-  }
+  MBI_RETURN_IF_ERROR(parser.ReadU32(&universe));
+  MBI_RETURN_IF_ERROR(parser.ReadU64(&count));
+  MBI_RETURN_IF_ERROR(ValidateHeader(path, universe, count));
   TransactionDatabase database(universe);
-  for (uint64_t t = 0; t < count; ++t) {
-    uint32_t size = 0;
-    if (!ReadU32(file.get(), &size)) return std::nullopt;
-    std::vector<ItemId> items(size);
-    if (size > 0 &&
-        std::fread(items.data(), sizeof(ItemId), size, file.get()) != size) {
-      return std::nullopt;
-    }
-    for (ItemId item : items) {
-      if (item >= universe) return std::nullopt;
-    }
-    database.Add(Transaction(std::move(items)));
-  }
+  MBI_RETURN_IF_ERROR(ParseTransactions(&parser, universe, count, &database));
   return database;
 }
 

@@ -1,21 +1,27 @@
 #ifndef MBI_TXN_DATABASE_IO_H_
 #define MBI_TXN_DATABASE_IO_H_
 
-#include <optional>
 #include <string>
 
+#include "storage/env.h"
 #include "txn/database.h"
+#include "util/status.h"
 
 namespace mbi {
 
-/// Writes `database` to `path` in the library's binary format (little-endian,
-/// magic-tagged, versioned). Returns false on I/O failure.
-bool SaveDatabase(const TransactionDatabase& database, const std::string& path);
+/// Writes `database` to `path` in the durable artifact container
+/// (storage/format.h): magic "MBID", per-section CRC32C, write-temp →
+/// flush → atomic-rename. A crash mid-save leaves the previous file intact.
+[[nodiscard]] Status SaveDatabase(const TransactionDatabase& database,
+                                  const std::string& path,
+                                  Env* env = Env::Default());
 
-/// Reads a database previously written by SaveDatabase. Returns nullopt on
-/// I/O failure or malformed input (bad magic, truncated payload, items out of
-/// the declared universe).
-std::optional<TransactionDatabase> LoadDatabase(const std::string& path);
+/// Reads a database written by SaveDatabase — the current checksummed v2
+/// container or the unframed v1 seed format. Errors: kNotFound (missing
+/// file), kCorruption (bad magic, failed checksum, truncation, items outside
+/// the declared universe), kIoError (the OS refused the read).
+[[nodiscard]] StatusOr<TransactionDatabase> LoadDatabase(
+    const std::string& path, Env* env = Env::Default());
 
 }  // namespace mbi
 

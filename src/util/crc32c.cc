@@ -1,0 +1,76 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace mbi {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // CRC-32C, reflected.
+
+/// Slice-by-8 tables: kTables[0] is the classic byte-at-a-time table;
+/// kTables[n][b] advances byte `b` through n additional zero bytes, letting
+/// the hot loop fold 8 input bytes per iteration with 8 independent lookups
+/// instead of an 8-long dependency chain. Same CRC, ~5-8x the throughput —
+/// what keeps the checksum walk under the CI perf gate (<5% of `mbi build`).
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    tables[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (size_t slice = 1; slice < 8; ++slice) {
+      crc = tables[0][crc & 0xFFu] ^ (crc >> 8);
+      tables[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Align the tail loop below by consuming bytes until an 8-byte boundary.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(bytes) & 7u) != 0) {
+    crc = kTables[0][(crc ^ *bytes++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  // The word-at-a-time fold relies on little-endian layout putting the
+  // first input byte in the low bits of `lo` (the reflected CRC bit order);
+  // big-endian targets take the byte loop below instead.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      uint32_t lo, hi;
+      std::memcpy(&lo, bytes, sizeof(lo));
+      std::memcpy(&hi, bytes + 4, sizeof(hi));
+      lo ^= crc;
+      crc = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+            kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+            kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+            kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+      bytes += 8;
+      size -= 8;
+    }
+  }
+  while (size > 0) {
+    crc = kTables[0][(crc ^ *bytes++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace mbi

@@ -1,0 +1,28 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mbi {
+
+double BackoffDelayMs(const RetryOptions& options, int next_attempt, Rng* rng) {
+  double delay = options.initial_backoff_ms;
+  for (int i = 1; i < next_attempt && delay < options.max_backoff_ms; ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, options.max_backoff_ms);
+  if (rng != nullptr && options.jitter > 0.0) {
+    const double factor =
+        1.0 + options.jitter * (2.0 * rng->UniformDouble() - 1.0);
+    delay *= factor;
+  }
+  return std::max(delay, 0.0);
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace mbi

@@ -1,0 +1,63 @@
+#ifndef MBI_UTIL_RETRY_H_
+#define MBI_UTIL_RETRY_H_
+
+#include <functional>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mbi {
+
+/// Policy for retrying transient (kUnavailable) failures with bounded
+/// exponential backoff. Delays double per attempt from `initial_backoff_ms`
+/// up to `max_backoff_ms`, then get a multiplicative jitter drawn from the
+/// caller's seeded Rng — so a whole retry schedule is reproducible
+/// bit-for-bit from the seed, which the durability tests rely on.
+struct RetryOptions {
+  /// Total tries, including the first one. 1 disables retrying.
+  int max_attempts = 6;
+  double initial_backoff_ms = 0.2;
+  double max_backoff_ms = 20.0;
+  /// Delay is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  /// Test seam: when set, called with the computed delay instead of actually
+  /// sleeping (durability tests run a whole backoff schedule in microseconds
+  /// and assert on the delays it would have used).
+  std::function<void(double)> sleep_ms;
+};
+
+/// Computed delay before attempt `next_attempt` (1-based: the delay between
+/// the first failure and the second try has next_attempt == 1). Draws one
+/// value from `rng` for the jitter; `rng` may be null for the deterministic
+/// un-jittered delay.
+double BackoffDelayMs(const RetryOptions& options, int next_attempt, Rng* rng);
+
+/// Blocks the calling thread for `ms` milliseconds.
+void SleepForMs(double ms);
+
+/// Runs `fn` (returning Status) up to `options.max_attempts` times, sleeping
+/// between attempts, until it returns anything other than kUnavailable.
+/// Every other code — success, corruption, ENOSPC — is returned immediately:
+/// only transient faults are worth paying latency for.
+template <typename Fn>
+Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn) {
+  Status status = fn();
+  for (int attempt = 1;
+       !status.ok() && status.code() == StatusCode::kUnavailable &&
+       attempt < options.max_attempts;
+       ++attempt) {
+    const double delay_ms = BackoffDelayMs(options, attempt, rng);
+    if (options.sleep_ms) {
+      options.sleep_ms(delay_ms);
+    } else {
+      SleepForMs(delay_ms);
+    }
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_RETRY_H_

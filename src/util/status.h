@@ -1,0 +1,187 @@
+#ifndef MBI_UTIL_STATUS_H_
+#define MBI_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+/// Canonical error space for every fallible operation in the storage and
+/// persistence layer. The codes are deliberately coarse — callers branch on
+/// *category* (retry? quarantine? report and exit?), not on the exact cause,
+/// which lives in the human-readable message.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller passed something unusable (e.g. an index that does not match
+  /// the database it is opened against). Retrying cannot help.
+  kInvalidArgument = 1,
+  /// The artifact does not exist.
+  kNotFound = 2,
+  /// The artifact exists but its bytes are wrong: bad magic, failed
+  /// checksum, truncation, or a structural invariant violation. Loaders must
+  /// return this (never crash, never succeed) for arbitrary corrupt input.
+  kCorruption = 3,
+  /// The operating system refused the I/O for a non-specific reason.
+  kIoError = 4,
+  /// The device is full (ENOSPC and friends).
+  kNoSpace = 5,
+  /// A transient condition (EAGAIN-style); retrying with backoff may
+  /// succeed. This is the only code util/retry.h retries.
+  kUnavailable = 6,
+};
+
+/// Short lowercase name for a code, used by Status::ToString().
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kIoError: return "io error";
+    case StatusCode::kNoSpace: return "no space";
+    case StatusCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+/// Result of a fallible operation: a code plus a one-line message naming the
+/// artifact and the failure ("corruption: /x/index.mbst: section 'pages':
+/// checksum mismatch"). `[[nodiscard]]` on the class makes ignoring any
+/// Status-returning call a compile warning — the seed's silent-`bool` era is
+/// over.
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status NoSpace(std::string message) {
+    return Status(StatusCode::kNoSpace, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  /// For call sites that pick the code at runtime (fault injector, errno
+  /// mapping). `code` must not be kOk.
+  static Status FromCode(StatusCode code, std::string message) {
+    MBI_CHECK_MSG(code != StatusCode::kOk,
+                  "FromCode requires a non-OK status code");
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok", or "<code name>: <message>" — already a complete one-line
+  /// diagnostic (messages carry the artifact path).
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  /// Explicit opt-out of [[nodiscard]] for the rare best-effort call
+  /// (e.g. removing a temp file while already failing).
+  void IgnoreError() const {}
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining why there is none. Storage is a
+/// std::optional so move-only payloads (SignatureTable, file handles) work.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from an error Status (so `return Status::Corruption(...)`
+  /// works in a StatusOr-returning function). Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MBI_CHECK_MSG(!status_.ok(),
+                  "StatusOr constructed from an OK status without a value");
+  }
+  /// Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is present; the construction error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MBI_CHECK_MSG(ok(), "StatusOr::value() called on an error StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    MBI_CHECK_MSG(ok(), "StatusOr::value() called on an error StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    MBI_CHECK_MSG(ok(), "StatusOr::value() called on an error StatusOr");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK exactly when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mbi
+
+/// Propagates a non-OK Status to the caller: `MBI_RETURN_IF_ERROR(file->
+/// Append(...))`. The enclosing function must return Status (or StatusOr).
+#define MBI_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::mbi::Status mbi_status_macro_ = (expr);     \
+    if (!mbi_status_macro_.ok()) {                \
+      return mbi_status_macro_;                   \
+    }                                             \
+  } while (0)
+
+#define MBI_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define MBI_STATUS_MACRO_CONCAT_(x, y) MBI_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+/// Unwraps a StatusOr into `lhs` (which may declare a new variable),
+/// propagating the error: `MBI_ASSIGN_OR_RETURN(auto file,
+/// env->NewSequentialFile(path));`.
+#define MBI_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  MBI_ASSIGN_OR_RETURN_IMPL_(                                            \
+      MBI_STATUS_MACRO_CONCAT_(mbi_statusor_, __LINE__), lhs, expr)
+
+#define MBI_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) {                                 \
+    return statusor.status();                           \
+  }                                                     \
+  lhs = std::move(statusor).value()
+
+#endif  // MBI_UTIL_STATUS_H_

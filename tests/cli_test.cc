@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -15,8 +16,12 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult RunCli(const std::string& args) {
-  std::string command = std::string(MBI_CLI_PATH) + " " + args + " 2>&1";
+/// `env_prefix` is prepended to the shell command, for tests that drive the
+/// binary's environment hooks (e.g. "MBI_FAULT_INJECT='nospace_write=3'").
+CommandResult RunCli(const std::string& args,
+                     const std::string& env_prefix = "") {
+  std::string command = (env_prefix.empty() ? "" : env_prefix + " ") +
+                        std::string(MBI_CLI_PATH) + " " + args + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   CommandResult result;
@@ -131,6 +136,124 @@ TEST(CliTest, ErrorsAreReported) {
   EXPECT_EQ(RunCli("query --db " + db + " --index " + index + " --items 99999")
                 .exit_code,
             1);
+  std::remove(db.c_str());
+  std::remove(index.c_str());
+}
+
+void FlipByte(const std::string& path, long offset_from_end, uint8_t mask) {
+  FILE* file = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fseek(file, -offset_from_end, SEEK_END), 0);
+  int byte = std::fgetc(file);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(file, -1, SEEK_CUR), 0);
+  ASSERT_NE(std::fputc(byte ^ mask, file), EOF);
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+/// Every storage failure must surface as `error: <diagnostic naming the
+/// artifact>` plus exit 1 — never an abort, assertion, or stack trace.
+TEST(CliTest, StorageErrorsAreOneLineDiagnostics) {
+  CommandResult missing = RunCli("build --db /no/such/file.mbid");
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.output.find("error:"), std::string::npos);
+  EXPECT_NE(missing.output.find("/no/such/file.mbid"), std::string::npos);
+
+  std::string db = TempPath("cli_corrupt.mbid");
+  ASSERT_EQ(RunCli("generate --out " + db +
+                   " --transactions 300 --universe 80 --itemsets 20")
+                .exit_code,
+            0);
+  FlipByte(db, 10, 0x04);
+  CommandResult corrupt = RunCli("stats --db " + db);
+  EXPECT_EQ(corrupt.exit_code, 1);
+  EXPECT_NE(corrupt.output.find("error:"), std::string::npos);
+  EXPECT_NE(corrupt.output.find("corruption"), std::string::npos);
+  EXPECT_NE(corrupt.output.find(db), std::string::npos) << corrupt.output;
+  EXPECT_EQ(corrupt.output.find("MBI_CHECK"), std::string::npos);
+  EXPECT_EQ(corrupt.output.find("Assertion"), std::string::npos);
+  std::remove(db.c_str());
+}
+
+TEST(CliTest, FaultInjectionEnvDrivesOutOfSpace) {
+  std::string db = TempPath("cli_fault.mbid");
+  CommandResult nospace =
+      RunCli("generate --out " + db + " --transactions 500 --universe 100",
+             "MBI_FAULT_INJECT='nospace_write=3'");
+  EXPECT_EQ(nospace.exit_code, 1) << nospace.output;
+  EXPECT_NE(nospace.output.find("no space"), std::string::npos)
+      << nospace.output;
+  // The failed save left nothing behind: no artifact, no temp.
+  FILE* leftover = std::fopen(db.c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr);
+  if (leftover != nullptr) std::fclose(leftover);
+
+  CommandResult bad_spec = RunCli("stats --db " + db,
+                                  "MBI_FAULT_INJECT='not_a_fault=1'");
+  EXPECT_EQ(bad_spec.exit_code, 2);
+  EXPECT_NE(bad_spec.output.find("MBI_FAULT_INJECT"), std::string::npos);
+}
+
+TEST(CliTest, VerifyReportsArtifactHealth) {
+  std::string db = TempPath("cli_verify.mbid");
+  std::string index = TempPath("cli_verify.mbst");
+  ASSERT_EQ(RunCli("generate --out " + db +
+                   " --transactions 500 --universe 100 --itemsets 30")
+                .exit_code,
+            0);
+  ASSERT_EQ(
+      RunCli("build --db " + db + " --out " + index + " --cardinality 8")
+          .exit_code,
+      0);
+
+  CommandResult healthy = RunCli("verify " + db + " " + index);
+  EXPECT_EQ(healthy.exit_code, 0) << healthy.output;
+  EXPECT_NE(healthy.output.find("OK"), std::string::npos);
+  EXPECT_NE(healthy.output.find("crc ok"), std::string::npos);
+
+  EXPECT_EQ(RunCli("verify " + db + " --checksums_only").exit_code, 0);
+  EXPECT_NE(RunCli("verify /no/such/artifact.mbid").exit_code, 0);
+  EXPECT_EQ(RunCli("verify").exit_code, 2);
+
+  // A single flipped byte fails verification, naming the damaged section.
+  FlipByte(index, 12, 0x20);
+  CommandResult corrupt = RunCli("verify " + index);
+  EXPECT_EQ(corrupt.exit_code, 1) << corrupt.output;
+  EXPECT_NE(corrupt.output.find("FAILED"), std::string::npos);
+  EXPECT_NE(corrupt.output.find("section"), std::string::npos);
+
+  std::remove(db.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(CliTest, CorruptIndexDegradesToSequentialScan) {
+  std::string db = TempPath("cli_degraded.mbid");
+  std::string index = TempPath("cli_degraded.mbst");
+  ASSERT_EQ(RunCli("generate --out " + db +
+                   " --transactions 800 --universe 120 --itemsets 30")
+                .exit_code,
+            0);
+  ASSERT_EQ(
+      RunCli("build --db " + db + " --out " + index + " --cardinality 8")
+          .exit_code,
+      0);
+  FlipByte(index, 40, 0x10);
+
+  // Queries still succeed — exact answers through the fallback, with the
+  // degradation reported on both stderr and in the result line.
+  CommandResult query =
+      RunCli("query --db " + db + " --index " + index + " --items 1,2,3 --k 3");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_NE(query.output.find("quarantined"), std::string::npos);
+  EXPECT_NE(query.output.find("sequential fallback"), std::string::npos);
+  EXPECT_EQ(query.output.find("MBI_CHECK"), std::string::npos);
+
+  CommandResult bench =
+      RunCli("bench --db " + db + " --index " + index + " --queries 5");
+  EXPECT_EQ(bench.exit_code, 0) << bench.output;
+  EXPECT_NE(bench.output.find("sequential fallbacks: 5"), std::string::npos)
+      << bench.output;
+
   std::remove(db.c_str());
   std::remove(index.c_str());
 }

@@ -80,9 +80,9 @@ TEST(SignatureTableInvariantsTest, HoldAfterSaveLoadRoundtrip) {
   TransactionDatabase db = generator.GenerateDatabase(400);
   SignatureTable table = BuildTable(db);
   const std::string path = ::testing::TempDir() + "invariants_roundtrip.mbst";
-  ASSERT_TRUE(SaveSignatureTable(table, path));
+  ASSERT_TRUE(SaveSignatureTable(table, path).ok());
   auto loaded = LoadSignatureTable(path, db);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   loaded->CheckInvariants(&db);
   std::remove(path.c_str());
 }

@@ -25,9 +25,9 @@ TEST(DatabaseIoTest, RoundTripsGeneratedDatabase) {
   TransactionDatabase db = generator.GenerateDatabase(250);
 
   std::string path = TempPath("db_roundtrip.mbid");
-  ASSERT_TRUE(SaveDatabase(db, path));
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
   auto loaded = LoadDatabase(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->universe_size(), db.universe_size());
   ASSERT_EQ(loaded->size(), db.size());
   for (TransactionId id = 0; id < db.size(); ++id) {
@@ -41,16 +41,18 @@ TEST(DatabaseIoTest, RoundTripsEmptyAndEmptyTransactions) {
   db.Add(Transaction{});
   db.Add(Transaction({0, 4}));
   std::string path = TempPath("db_empty.mbid");
-  ASSERT_TRUE(SaveDatabase(db, path));
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
   auto loaded = LoadDatabase(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->Get(0), Transaction{});
   EXPECT_EQ(loaded->Get(1), Transaction({0, 4}));
   std::remove(path.c_str());
 }
 
 TEST(DatabaseIoTest, MissingFileFails) {
-  EXPECT_FALSE(LoadDatabase(TempPath("does_not_exist.mbid")).has_value());
+  auto loaded = LoadDatabase(TempPath("does_not_exist.mbid"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 TEST(DatabaseIoTest, RejectsCorruptMagic) {
@@ -59,7 +61,11 @@ TEST(DatabaseIoTest, RejectsCorruptMagic) {
   ASSERT_NE(file, nullptr);
   std::fputs("not a database file at all", file);
   std::fclose(file);
-  EXPECT_FALSE(LoadDatabase(path).has_value());
+  auto loaded = LoadDatabase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  // The diagnostic names the artifact.
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -67,7 +73,7 @@ TEST(DatabaseIoTest, RejectsTruncatedPayload) {
   TransactionDatabase db(5);
   db.Add(Transaction({0, 1, 2}));
   std::string path = TempPath("truncated.mbid");
-  ASSERT_TRUE(SaveDatabase(db, path));
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
   // Chop the last 4 bytes off.
   FILE* file = std::fopen(path.c_str(), "rb");
   ASSERT_NE(file, nullptr);
@@ -75,16 +81,18 @@ TEST(DatabaseIoTest, RejectsTruncatedPayload) {
   long size = std::ftell(file);
   std::fclose(file);
   ASSERT_EQ(truncate(path.c_str(), size - 4), 0);
-  EXPECT_FALSE(LoadDatabase(path).has_value());
+  auto loaded = LoadDatabase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
 TEST(PartitionIoTest, RoundTrips) {
   SignaturePartition partition(3, {0, 1, 2, 0, 1, 2, 0});
   std::string path = TempPath("partition.mbsp");
-  ASSERT_TRUE(SavePartition(partition, path));
+  ASSERT_TRUE(SavePartition(partition, path).ok());
   auto loaded = LoadPartition(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->cardinality(), 3u);
   EXPECT_EQ(loaded->universe_size(), 7u);
   for (ItemId item = 0; item < 7; ++item) {
@@ -99,12 +107,16 @@ TEST(PartitionIoTest, RejectsCorruptFile) {
   ASSERT_NE(file, nullptr);
   std::fputs("garbage", file);
   std::fclose(file);
-  EXPECT_FALSE(LoadPartition(path).has_value());
+  auto loaded = LoadPartition(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
 TEST(PartitionIoTest, MissingFileFails) {
-  EXPECT_FALSE(LoadPartition(TempPath("no_such.mbsp")).has_value());
+  auto loaded = LoadPartition(TempPath("no_such.mbsp"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

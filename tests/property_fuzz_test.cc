@@ -1,12 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/sequential_scan.h"
+#include "core/artifact_verify.h"
 #include "core/branch_and_bound.h"
 #include "core/index_builder.h"
+#include "core/partition_io.h"
+#include "core/table_io.h"
 #include "gen/quest_generator.h"
+#include "txn/database_io.h"
 #include "util/rng.h"
 
 namespace mbi {
@@ -169,6 +178,121 @@ TEST_P(FuzzTest, RangeQueriesMatchOracleAtRandomThresholds) {
       }
     }
   }
+}
+
+// --- Corruption fuzz ----------------------------------------------------
+//
+// Loaders must return kCorruption — never crash, never abort, never hand
+// back a plausible-but-wrong artifact — for ANY single-bit mutation or
+// truncation of a valid artifact. This is the property that makes the
+// quarantine path in engine/engine.h safe to rely on, and it runs under
+// ASan/UBSan in the CI fault-injection job.
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;
+  std::fseek(file, 0, SEEK_END);
+  bytes.resize(static_cast<size_t>(std::ftell(file)));
+  std::fseek(file, 0, SEEK_SET);
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    bytes.clear();
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+/// Applies ~40 single-bit flips and ~12 truncations to the artifact at
+/// `path` (restoring the clean bytes between mutations) and requires `load`
+/// to report kCorruption for every one of them. The clean bytes are restored
+/// on exit.
+template <typename LoadFn>
+void FuzzArtifact(const std::string& path, Rng* rng, LoadFn load) {
+  const std::vector<uint8_t> clean = ReadFileBytes(path);
+  ASSERT_FALSE(clean.empty());
+  {
+    Status healthy = load();
+    ASSERT_TRUE(healthy.ok()) << "fixture is broken: " << healthy.ToString();
+  }
+
+  std::vector<uint8_t> mutated = clean;
+  for (int i = 0; i < 40; ++i) {
+    const size_t byte = static_cast<size_t>(rng->UniformUint64(clean.size()));
+    const uint8_t mask = static_cast<uint8_t>(1u << rng->UniformUint64(8));
+    mutated[byte] ^= mask;
+    WriteFileBytes(path, mutated);
+    Status corrupt = load();
+    ASSERT_FALSE(corrupt.ok())
+        << path << ": flip at byte " << byte << " mask " << int{mask}
+        << " loaded successfully";
+    EXPECT_EQ(corrupt.code(), StatusCode::kCorruption)
+        << path << ": flip at byte " << byte << ": " << corrupt.ToString();
+    // `mbi verify` must survive the same damage (report or refuse, no crash).
+    auto report = VerifyArtifact(path);
+    if (report.ok()) {
+      EXPECT_FALSE(report->Overall().ok());
+    }
+    mutated[byte] ^= mask;
+  }
+
+  for (int i = 0; i < 12; ++i) {
+    const size_t keep = static_cast<size_t>(rng->UniformUint64(clean.size()));
+    WriteFileBytes(path, std::vector<uint8_t>(clean.begin(),
+                                              clean.begin() +
+                                                  static_cast<long>(keep)));
+    Status corrupt = load();
+    ASSERT_FALSE(corrupt.ok())
+        << path << ": truncation to " << keep << " bytes loaded successfully";
+    EXPECT_EQ(corrupt.code(), StatusCode::kCorruption);
+  }
+
+  WriteFileBytes(path, clean);
+}
+
+TEST_P(FuzzTest, CorruptArtifactsAlwaysFailCleanly) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 48271 + 11);
+
+  QuestGeneratorConfig config;
+  config.universe_size = 150;
+  config.num_large_itemsets = 30;
+  config.avg_transaction_size = 7.0;
+  config.seed = seed + 5000;
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(200);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 8;
+  SignatureTable table = BuildIndex(db, build);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string db_path = dir + "/fuzz_" + std::to_string(seed) + ".mbid";
+  const std::string part_path = dir + "/fuzz_" + std::to_string(seed) + ".mbsp";
+  const std::string table_path =
+      dir + "/fuzz_" + std::to_string(seed) + ".mbst";
+  ASSERT_TRUE(SaveDatabase(db, db_path).ok());
+  ASSERT_TRUE(SavePartition(table.partition(), part_path).ok());
+  ASSERT_TRUE(SaveSignatureTable(table, table_path).ok());
+
+  FuzzArtifact(db_path, &rng,
+               [&] { return LoadDatabase(db_path).status(); });
+  FuzzArtifact(part_path, &rng,
+               [&] { return LoadPartition(part_path).status(); });
+  FuzzArtifact(table_path, &rng,
+               [&] { return LoadSignatureTable(table_path, db).status(); });
+
+  std::remove(db_path.c_str());
+  std::remove(part_path.c_str());
+  std::remove(table_path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,

@@ -44,9 +44,9 @@ Fixture MakeFixture(uint64_t seed = 401, uint64_t size = 1500) {
 TEST(TableIoTest, RoundTripPreservesStructure) {
   Fixture fixture = MakeFixture();
   std::string path = TempPath("table_roundtrip.mbst");
-  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path).ok());
   auto loaded = LoadSignatureTable(path, fixture.db);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
 
   EXPECT_EQ(loaded->cardinality(), fixture.table.cardinality());
   EXPECT_EQ(loaded->activation_threshold(),
@@ -77,9 +77,9 @@ TEST(TableIoTest, RoundTripPreservesStructure) {
 TEST(TableIoTest, LoadedTableAnswersQueriesIdentically) {
   Fixture fixture = MakeFixture(409);
   std::string path = TempPath("table_queries.mbst");
-  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path).ok());
   auto loaded = LoadSignatureTable(path, fixture.db);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
 
   BranchAndBoundEngine original(&fixture.db, &fixture.table);
   BranchAndBoundEngine reopened(&fixture.db, &*loaded);
@@ -105,9 +105,9 @@ TEST(TableIoTest, RoundTripSurvivesDynamicInserts) {
     fixture.table.InsertTransaction(fixture.db.Add(fresh), fresh);
   }
   std::string path = TempPath("table_inserts.mbst");
-  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path).ok());
   auto loaded = LoadSignatureTable(path, fixture.db);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->num_indexed_transactions(), 600u);
 
   // And the loaded table accepts further inserts.
@@ -120,25 +120,29 @@ TEST(TableIoTest, RoundTripSurvivesDynamicInserts) {
 TEST(TableIoTest, RejectsDatabaseMismatch) {
   Fixture fixture = MakeFixture(421);
   std::string path = TempPath("table_mismatch.mbst");
-  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path).ok());
 
   // Wrong transaction count.
   TransactionDatabase smaller(fixture.db.universe_size());
   for (TransactionId id = 0; id + 1 < fixture.db.size(); ++id) {
     smaller.Add(fixture.db.Get(id));
   }
-  EXPECT_FALSE(LoadSignatureTable(path, smaller).has_value());
+  auto mismatch = LoadSignatureTable(path, smaller);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
 
   // Wrong universe.
   TransactionDatabase other_universe(fixture.db.universe_size() + 1);
-  EXPECT_FALSE(LoadSignatureTable(path, other_universe).has_value());
+  auto wrong_universe = LoadSignatureTable(path, other_universe);
+  ASSERT_FALSE(wrong_universe.ok());
+  EXPECT_EQ(wrong_universe.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 
 TEST(TableIoTest, RejectsCorruptAndTruncatedFiles) {
   Fixture fixture = MakeFixture(431, 300);
   std::string path = TempPath("table_corrupt.mbst");
-  ASSERT_TRUE(SaveSignatureTable(fixture.table, path));
+  ASSERT_TRUE(SaveSignatureTable(fixture.table, path).ok());
 
   // Truncate the tail.
   FILE* file = std::fopen(path.c_str(), "rb");
@@ -147,18 +151,23 @@ TEST(TableIoTest, RejectsCorruptAndTruncatedFiles) {
   long size = std::ftell(file);
   std::fclose(file);
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
-  EXPECT_FALSE(LoadSignatureTable(path, fixture.db).has_value());
+  auto truncated = LoadSignatureTable(path, fixture.db);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption);
 
   // Garbage magic.
   file = std::fopen(path.c_str(), "wb");
   ASSERT_NE(file, nullptr);
   std::fputs("this is not an index", file);
   std::fclose(file);
-  EXPECT_FALSE(LoadSignatureTable(path, fixture.db).has_value());
+  auto garbage = LoadSignatureTable(path, fixture.db);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kCorruption);
 
   // Missing file.
-  EXPECT_FALSE(
-      LoadSignatureTable(TempPath("no_such.mbst"), fixture.db).has_value());
+  auto missing = LoadSignatureTable(TempPath("no_such.mbst"), fixture.db);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
   std::remove(path.c_str());
 }
 

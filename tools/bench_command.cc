@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "core/branch_and_bound.h"
-#include "core/table_io.h"
+#include "engine/engine.h"
 #include "gen/quest_generator.h"
 #include "tools/cli_command.h"
 #include "txn/database_io.h"
@@ -32,14 +32,20 @@ int RunBench(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
-  if (!db.has_value()) {
-    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto table = LoadSignatureTable(index_path, *db);
-  if (!table.has_value()) {
-    std::fprintf(stderr, "error: cannot read index %s\n", index_path.c_str());
-    return 1;
+  SignatureTableEngine engine(&*db);
+  if (Status opened = engine.OpenIndex(index_path); !opened.ok()) {
+    if (!engine.quarantined()) {
+      std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "warning: index quarantined (%s); replaying the workload "
+                 "through the sequential scan fallback\n",
+                 engine.quarantine_reason().ToString().c_str());
   }
 
   // Workload: fresh baskets from the same kind of generator, seeded
@@ -53,7 +59,6 @@ int RunBench(int argc, char** argv) {
       generator.GenerateQueries(static_cast<uint64_t>(queries));
 
   auto family = MakeSimilarityFamily(similarity);
-  BranchAndBoundEngine engine(&*db, &*table);
   SearchOptions options;
   options.max_access_fraction = termination;
 
@@ -78,6 +83,10 @@ int RunBench(int argc, char** argv) {
   std::printf("pages:    %s\n", pages.Summary("").c_str());
   std::printf("certified exact: %d/%lld\n", certified,
               static_cast<long long>(queries));
+  if (engine.fallback_queries() > 0) {
+    std::printf("sequential fallbacks: %llu\n",
+                static_cast<unsigned long long>(engine.fallback_queries()));
+  }
   return 0;
 }
 

@@ -37,8 +37,8 @@ int RunBuild(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
-  if (!db.has_value()) {
-    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
 
@@ -60,8 +60,8 @@ int RunBuild(int argc, char** argv) {
                 table.entries().size());
   }
 
-  if (!SaveSignatureTable(table, out)) {
-    std::fprintf(stderr, "error: cannot write index %s\n", out.c_str());
+  if (Status saved = SaveSignatureTable(table, out); !saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
     return 1;
   }
   SignatureTable::Stats stats = table.ComputeStats();

@@ -13,6 +13,7 @@
 ///   mbi stats    --db data.mbid [--index index.mbst]
 ///   mbi mine     --db data.mbid --min_support 0.01 --min_confidence 0.5
 ///   mbi bench    --db data.mbid --index index.mbst --queries 500
+///   mbi verify   data.mbid index.mbst
 
 namespace mbi::cli {
 
@@ -34,6 +35,9 @@ int RunMine(int argc, char** argv);
 
 /// `mbi bench`: replay a query workload and report latency distributions.
 int RunBench(int argc, char** argv);
+
+/// `mbi verify`: checksum + structural health report for any artifact.
+int RunVerify(int argc, char** argv);
 
 /// Prints the top-level usage text.
 void PrintUsage(const std::string& program);

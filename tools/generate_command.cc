@@ -37,8 +37,8 @@ int RunGenerate(int argc, char** argv) {
   QuestGenerator generator(config);
   TransactionDatabase db =
       generator.GenerateDatabase(static_cast<uint64_t>(transactions));
-  if (!SaveDatabase(db, out)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+  if (Status saved = SaveDatabase(db, out); !saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
     return 1;
   }
   CorpusStats stats = ComputeCorpusStats(db);

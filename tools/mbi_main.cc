@@ -1,11 +1,16 @@
 // `mbi` — command-line front end for the market-basket similarity index:
 // generate synthetic data, build and persist signature table indexes, run
-// similarity queries, inspect statistics, and mine association rules.
+// similarity queries, inspect statistics, mine association rules, and verify
+// artifact integrity.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "storage/env.h"
+#include "storage/fault_injector.h"
 #include "tools/cli_command.h"
 
 namespace mbi::cli {
@@ -21,11 +26,37 @@ void PrintUsage(const std::string& program) {
                "  stats      database and index statistics\n"
                "  mine       frequent itemsets and association rules\n"
                "  bench      replay a query workload, report latencies\n"
+               "  verify     checksum + structural health of any artifact\n"
                "\n"
-               "run '%s <command> --help' for command flags\n",
+               "run '%s <command> --help' for command flags\n"
+               "\n"
+               "set MBI_FAULT_INJECT (e.g. 'fail_write=3;seed=7') to inject\n"
+               "deterministic storage faults for testing\n",
                program.c_str(), program.c_str());
 }
 
+namespace {
+
+/// Installs the fault schedule from $MBI_FAULT_INJECT (if set) on the
+/// default Env, so every artifact write in the process sees it. Returns
+/// false when the spec does not parse.
+bool InstallFaultInjectorFromEnv() {
+  const char* spec = std::getenv("MBI_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return true;
+  auto injector = FaultInjector::FromSpec(spec);
+  if (!injector.ok()) {
+    std::fprintf(stderr, "error: bad MBI_FAULT_INJECT spec: %s\n",
+                 injector.status().ToString().c_str());
+    return false;
+  }
+  // Owned for the life of the process; Env keeps a raw pointer.
+  static std::unique_ptr<FaultInjector> owned;
+  owned = std::move(injector).value();
+  Env::Default()->set_fault_injector(owned.get());
+  return true;
+}
+
+}  // namespace
 }  // namespace mbi::cli
 
 int main(int argc, char** argv) {
@@ -33,6 +64,7 @@ int main(int argc, char** argv) {
     mbi::cli::PrintUsage(argv[0]);
     return 2;
   }
+  if (!mbi::cli::InstallFaultInjectorFromEnv()) return 2;
   std::string command = argv[1];
   // Hand each subcommand an argv whose [0] is the program name, so flag
   // parsing starts at its own flags.
@@ -44,6 +76,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return mbi::cli::RunStats(sub_argc, sub_argv);
   if (command == "mine") return mbi::cli::RunMine(sub_argc, sub_argv);
   if (command == "bench") return mbi::cli::RunBench(sub_argc, sub_argv);
+  if (command == "verify") return mbi::cli::RunVerify(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     mbi::cli::PrintUsage(argv[0]);
     return 0;

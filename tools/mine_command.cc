@@ -39,8 +39,8 @@ int RunMine(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
-  if (!db.has_value()) {
-    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
 

@@ -5,7 +5,7 @@
 
 #include "core/branch_and_bound.h"
 #include "core/query_context.h"
-#include "core/table_io.h"
+#include "engine/engine.h"
 #include "tools/cli_command.h"
 #include "txn/database_io.h"
 #include "util/flags.h"
@@ -77,17 +77,22 @@ int RunQuery(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
-  if (!db.has_value()) {
-    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto table = LoadSignatureTable(index_path, *db);
-  if (!table.has_value()) {
+  SignatureTableEngine engine(&*db);
+  if (Status opened = engine.OpenIndex(index_path); !opened.ok()) {
+    if (!engine.quarantined()) {
+      std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
+      return 1;
+    }
+    // Corrupt index: quarantine and keep serving (exact answers via
+    // sequential scan). `mbi build` rebuilds the index from the database.
     std::fprintf(stderr,
-                 "error: cannot read index %s (or it does not match the "
-                 "database)\n",
-                 index_path.c_str());
-    return 1;
+                 "warning: index quarantined (%s); serving queries via "
+                 "sequential scan\n",
+                 engine.quarantine_reason().ToString().c_str());
   }
 
   Transaction target;
@@ -112,12 +117,12 @@ int RunQuery(int argc, char** argv) {
   }
 
   auto family = MakeSimilarityFamily(similarity);
-  BranchAndBoundEngine engine(&*db, &*table);
   std::printf("target: %s\n", target.ToString().c_str());
 
-  if (check_invariants) {
-    table->CheckInvariants(&*db);
-    engine.CheckBoundDominance(target, *family);
+  if (check_invariants && engine.table() != nullptr) {
+    engine.table()->CheckInvariants(&*db);
+    BranchAndBoundEngine(&*db, engine.table())
+        .CheckBoundDominance(target, *family);
     std::printf("index invariants and bound dominance verified\n");
   }
 
@@ -127,11 +132,12 @@ int RunQuery(int argc, char** argv) {
         engine.FindInRange(target, *family, range_threshold);
     std::printf(
         "range query %s >= %.4g: %zu matches in %.1f ms "
-        "(accessed %.2f%%, pruned %llu/%llu entries)\n",
+        "(accessed %.2f%%, pruned %llu/%llu entries%s)\n",
         similarity.c_str(), range_threshold, result.matches.size(),
         timer.ElapsedMillis(), 100.0 * result.stats.AccessedFraction(),
         static_cast<unsigned long long>(result.stats.entries_pruned),
-        static_cast<unsigned long long>(result.stats.entries_total));
+        static_cast<unsigned long long>(result.stats.entries_total),
+        result.stats.sequential_fallbacks > 0 ? ", sequential fallback" : "");
     for (size_t i = 0; i < result.matches.size() && i < 20; ++i) {
       std::printf("  tx %-10u %-10.4g %s\n", result.matches[i].id,
                   result.matches[i].similarity,
@@ -153,11 +159,12 @@ int RunQuery(int argc, char** argv) {
   double per_query_ms = timer.ElapsedMillis() / static_cast<double>(repeat);
   std::printf(
       "top-%lld by %s in %.3f ms%s (accessed %.2f%% of %zu transactions, "
-      "%llu page reads%s)\n",
+      "%llu page reads%s%s)\n",
       static_cast<long long>(k), similarity.c_str(), per_query_ms,
       repeat > 1 ? " per query" : "", 100.0 * result.stats.AccessedFraction(),
       db->size(), static_cast<unsigned long long>(result.stats.io.pages_read),
-      result.guaranteed_exact ? ", provably exact" : "");
+      result.guaranteed_exact ? ", provably exact" : "",
+      result.stats.sequential_fallbacks > 0 ? ", sequential fallback" : "");
   for (const Neighbor& neighbor : result.neighbors) {
     std::printf("  tx %-10u %-10.4g %s\n", neighbor.id, neighbor.similarity,
                 db->Get(neighbor.id).ToString().c_str());
@@ -166,9 +173,9 @@ int RunQuery(int argc, char** argv) {
     std::printf("unexplored entries could reach %.4g\n",
                 result.unexplored_optimistic_bound);
   }
-  if (explain) {
+  if (explain && engine.table() != nullptr) {
     std::printf("\nbranch-and-bound trace (first 20 entries in visit order,"
-                " K=%u):\n", table->cardinality());
+                " K=%u):\n", engine.table()->cardinality());
     size_t shown = 0;
     size_t pruned = 0, scanned = 0;
     for (const EntryTrace& entry : result.trace) {
@@ -182,7 +189,7 @@ int RunQuery(int argc, char** argv) {
       if (shown < 20) {
         std::printf("  %s %s  opt=%-9.4g pess=%-9.4g txs=%u\n", action,
                     SupercoordinateToString(entry.coordinate,
-                                            table->cardinality())
+                                            engine.table()->cardinality())
                         .c_str(),
                     entry.optimistic_bound, entry.pessimistic_bound,
                     entry.transaction_count);

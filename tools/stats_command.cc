@@ -22,8 +22,8 @@ int RunStats(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) return 0;
 
   auto db = LoadDatabase(db_path);
-  if (!db.has_value()) {
-    std::fprintf(stderr, "error: cannot read database %s\n", db_path.c_str());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
 
@@ -54,9 +54,8 @@ int RunStats(int argc, char** argv) {
 
   if (!index_path.empty()) {
     auto table = LoadSignatureTable(index_path, *db);
-    if (!table.has_value()) {
-      std::fprintf(stderr, "error: cannot read index %s\n",
-                   index_path.c_str());
+    if (!table.ok()) {
+      std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
       return 1;
     }
     SignatureTable::Stats index_stats = table->ComputeStats();
