@@ -28,8 +28,10 @@
 #include "core/branch_and_bound.h"
 #include "core/index_builder.h"
 #include "core/query_context.h"
+#include "engine/engine.h"
 #include "gen/quest_generator.h"
 #include "txn/packed_target.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
@@ -138,6 +140,62 @@ void BM_BatchThroughput_After(benchmark::State& state) {
                           static_cast<int64_t>(data.queries.size()));
 }
 BENCHMARK(BM_BatchThroughput_After)->Unit(benchmark::kMillisecond);
+
+// --- Metrics overhead: the same steady-state k-NN hot path through the
+// SignatureTableEngine front end, with instrumentation disabled vs enabled.
+// CI gates MetricsOn/MetricsOff at < 3% on the median-of-repetitions
+// (tools/check_metrics_overhead.py); the On variant also exports
+// metric-derived counters into BENCH_core.json so the recorded numbers can
+// be cross-checked against the registry. ---
+
+void BM_SingleQuery_MetricsOff(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  SignatureTableEngine engine(&data.db);
+  engine.AdoptTable(data.table);
+  MatchRatioFamily family;
+  QueryContext context;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.FindKNearest(
+        data.queries[i % data.queries.size()], family, 10, {}, &context));
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleQuery_MetricsOff)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleQuery_MetricsOn(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  SignatureTableEngine engine(&data.db);
+  engine.AdoptTable(data.table);
+  MetricsRegistry registry;
+  engine.set_metrics(&registry);
+  MatchRatioFamily family;
+  QueryContext context;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.FindKNearest(
+        data.queries[i % data.queries.size()], family, 10, {}, &context));
+    ++i;
+  }
+  // Metric-derived fields for BENCH_core.json: the registry's own view of
+  // the work this benchmark did (averaged per iteration by kAvgIterations).
+  const Counter* queries = registry.FindCounter("mbi.engine.query.knn");
+  const Counter* pages = registry.FindCounter("mbi.engine.io.pages_read");
+  const Counter* evaluated =
+      registry.FindCounter("mbi.engine.transactions.evaluated");
+  const LatencyHistogram* latency =
+      registry.FindHistogram("mbi.engine.latency.knn");
+  state.counters["metric_queries"] = benchmark::Counter(
+      static_cast<double>(queries->value()), benchmark::Counter::kAvgIterations);
+  state.counters["metric_pages_read"] = benchmark::Counter(
+      static_cast<double>(pages->value()), benchmark::Counter::kAvgIterations);
+  state.counters["metric_txs_evaluated"] = benchmark::Counter(
+      static_cast<double>(evaluated->value()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["metric_p95_us"] =
+      benchmark::Counter(latency->GetSnapshot().Quantile(0.95));
+}
+BENCHMARK(BM_SingleQuery_MetricsOn)->Unit(benchmark::kMicrosecond);
 
 // --- Candidate kernel: score one target against the whole database,
 // merge-scan vs packed-bitmap probing. ---

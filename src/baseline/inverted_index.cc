@@ -30,6 +30,23 @@ InvertedIndex::InvertedIndex(const TransactionDatabase* database,
   }
 }
 
+void InvertedIndex::set_metrics(MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    sequential_store_.set_metrics(nullptr);
+    return;
+  }
+  metrics_.queries = registry->GetCounter(
+      "mbi.inverted.query.knn", "queries", "inverted-index k-NN queries");
+  metrics_.candidates =
+      registry->GetCounter("mbi.inverted.candidates", "transactions",
+                           "phase-1 candidates fetched and scored");
+  metrics_.latency = registry->GetHistogram(
+      "mbi.inverted.latency", "us", "inverted-index query latency");
+  sequential_store_.set_metrics(registry);
+}
+
 std::vector<TransactionId> InvertedIndex::Candidates(
     const Transaction& target) const {
   if (compress_postings_) {
@@ -57,6 +74,7 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
     const Transaction& target, const SimilarityFamily& family,
     size_t k) const {
   MBI_CHECK(k >= 1);
+  ScopedTimer timer(nullptr);
   Result result;
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
 
@@ -81,6 +99,7 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
   PackedTarget packed;
   packed.Assign(target, database_->universe_size());
   BufferPool pool(&sequential_store_.page_store(), buffer_pool_pages_);
+  pool.set_metrics(metrics_registry_);
   std::unordered_set<PageId> touched;
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
@@ -110,6 +129,11 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
             });
   if (scored.size() > k) scored.resize(k);
   result.neighbors = std::move(scored);
+  if (metrics_.queries != nullptr) {
+    metrics_.queries->Increment();
+    metrics_.candidates->Increment(result.candidates);
+    metrics_.latency->Record(timer.ElapsedUs());
+  }
   return result;
 }
 

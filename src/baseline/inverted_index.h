@@ -10,6 +10,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/transaction_store.h"
 #include "txn/database.h"
+#include "util/metrics.h"
 
 namespace mbi {
 
@@ -62,6 +63,12 @@ class InvertedIndex {
                          size_t buffer_pool_pages = 0,
                          bool compress_postings = false);
 
+  /// Enables aggregate instrumentation (names mbi.inverted.*, see DESIGN.md
+  /// §8): query/candidate counters, a latency histogram, and — because each
+  /// query builds its own BufferPool — per-query pool hit/miss traffic under
+  /// mbi.bufferpool.*. Pass nullptr to disable (the default).
+  void set_metrics(MetricsRegistry* registry);
+
   /// Phase 1 only: the candidate TIDs for `target`, ascending.
   std::vector<TransactionId> Candidates(const Transaction& target) const;
 
@@ -90,12 +97,20 @@ class InvertedIndex {
   void CheckInvariants() const;
 
  private:
+  struct MetricHandles {
+    Counter* queries = nullptr;
+    Counter* candidates = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+
   const TransactionDatabase* database_;
   bool compress_postings_;
   std::vector<std::vector<TransactionId>> postings_;           // Uncompressed.
   std::vector<CompressedPostingList> compressed_postings_;    // Compressed.
   TransactionStore sequential_store_;
   size_t buffer_pool_pages_;
+  MetricsRegistry* metrics_registry_ = nullptr;
+  MetricHandles metrics_;
 };
 
 }  // namespace mbi

@@ -20,6 +20,32 @@ void SortBestFirst(std::vector<Neighbor>* neighbors) {
             });
 }
 
+/// Streaming-layout I/O model shared by every scan: one transaction fetch
+/// per row, a page read whenever the current page cannot hold the next row.
+class SequentialIoCharger {
+ public:
+  SequentialIoCharger(IoStats* stats, uint32_t page_size_bytes)
+      : stats_(stats), page_size_bytes_(page_size_bytes) {}
+
+  void Charge(const Transaction& candidate) {
+    if (stats_ == nullptr) return;
+    ++stats_->transactions_fetched;
+    const uint64_t need = PageStore::SerializedSize(candidate);
+    if (page_bytes_used_ == 0 ||
+        page_bytes_used_ + need > page_size_bytes_) {
+      ++stats_->pages_read;
+      stats_->bytes_read += page_size_bytes_;
+      page_bytes_used_ = 0;
+    }
+    page_bytes_used_ += need;
+  }
+
+ private:
+  IoStats* stats_;
+  uint32_t page_size_bytes_;
+  uint64_t page_bytes_used_ = 0;
+};
+
 }  // namespace
 
 SequentialScanner::SequentialScanner(const TransactionDatabase* database)
@@ -27,29 +53,46 @@ SequentialScanner::SequentialScanner(const TransactionDatabase* database)
   MBI_CHECK(database != nullptr);
 }
 
+void SequentialScanner::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    metrics_enabled_ = false;
+    return;
+  }
+  metrics_.knn_queries = registry->GetCounter(
+      "mbi.scan.query.knn", "queries", "sequential-scan k-NN queries");
+  metrics_.range_queries = registry->GetCounter(
+      "mbi.scan.query.range", "queries", "sequential-scan range queries");
+  metrics_.transactions_scanned = registry->GetCounter(
+      "mbi.scan.transactions.scanned", "transactions",
+      "transactions evaluated by sequential scans");
+  metrics_.latency = registry->GetHistogram(
+      "mbi.scan.latency", "us", "sequential-scan query latency");
+  metrics_enabled_ = true;
+}
+
+void SequentialScanner::RecordScan(bool is_range, double elapsed_us) const {
+  if (!metrics_enabled_) return;
+  (is_range ? metrics_.range_queries : metrics_.knn_queries)->Increment();
+  metrics_.transactions_scanned->Increment(database_->size());
+  metrics_.latency->Record(elapsed_us);
+}
+
 std::vector<Neighbor> SequentialScanner::FindKNearest(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     IoStats* stats, uint32_t page_size_bytes) const {
   MBI_CHECK(k >= 1);
+  ScopedTimer timer(nullptr);
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
 
   PackedTarget packed;
   packed.Assign(target, database_->universe_size());
-  uint64_t page_bytes_used = 0;
+  SequentialIoCharger charger(stats, page_size_bytes);
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
   for (TransactionId id = 0; id < database_->size(); ++id) {
     const Transaction& candidate = database_->Get(id);
-    if (stats != nullptr) {
-      ++stats->transactions_fetched;
-      uint64_t need = PageStore::SerializedSize(candidate);
-      if (page_bytes_used == 0 || page_bytes_used + need > page_size_bytes) {
-        ++stats->pages_read;
-        stats->bytes_read += page_size_bytes;
-        page_bytes_used = 0;
-      }
-      page_bytes_used += need;
-    }
+    charger.Charge(candidate);
     size_t match = 0, hamming = 0;
     packed.MatchAndHamming(candidate, &match, &hamming);
     scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
@@ -57,6 +100,7 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
   }
   SortBestFirst(&scored);
   if (scored.size() > k) scored.resize(k);
+  RecordScan(/*is_range=*/false, timer.ElapsedUs());
   return scored;
 }
 
@@ -92,19 +136,24 @@ std::vector<Neighbor> SequentialScanner::FindKNearestMultiTarget(
 
 std::vector<Neighbor> SequentialScanner::FindInRange(
     const Transaction& target, const SimilarityFamily& family,
-    double threshold) const {
+    double threshold, IoStats* stats, uint32_t page_size_bytes) const {
+  ScopedTimer timer(nullptr);
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
   PackedTarget packed;
   packed.Assign(target, database_->universe_size());
+  SequentialIoCharger charger(stats, page_size_bytes);
   std::vector<Neighbor> matches;
   for (TransactionId id = 0; id < database_->size(); ++id) {
+    const Transaction& candidate = database_->Get(id);
+    charger.Charge(candidate);
     size_t match = 0, hamming = 0;
-    packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+    packed.MatchAndHamming(candidate, &match, &hamming);
     double value = similarity->Evaluate(static_cast<int>(match),
                                         static_cast<int>(hamming));
     if (value >= threshold) matches.push_back({id, value});
   }
   SortBestFirst(&matches);
+  RecordScan(/*is_range=*/true, timer.ElapsedUs());
   return matches;
 }
 

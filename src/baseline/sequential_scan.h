@@ -7,6 +7,7 @@
 #include "core/similarity.h"
 #include "storage/io_stats.h"
 #include "txn/database.h"
+#include "util/metrics.h"
 
 namespace mbi {
 
@@ -16,10 +17,18 @@ namespace mbi {
 /// dismisses for very large collections and the ground-truth oracle the
 /// test suite and accuracy experiments compare against. When a non-null
 /// `stats` is supplied, the scan charges one transaction fetch per row and
-/// page reads as if streaming a sequential layout with the given page size.
+/// page reads as if streaming a sequential layout with the given page size —
+/// both FindKNearest and FindInRange use the same charging model, so the
+/// quarantine fallback reports real I/O for range queries too.
 class SequentialScanner {
  public:
   explicit SequentialScanner(const TransactionDatabase* database);
+
+  /// Enables aggregate instrumentation: per-query counters and a latency
+  /// histogram in `registry` (names mbi.scan.*, see DESIGN.md §8). Pass
+  /// nullptr to disable (the default — the oracle role of this class must
+  /// not pay for metrics).
+  void set_metrics(MetricsRegistry* registry);
 
   /// Exact k best neighbours, best first (ties: ascending id).
   std::vector<Neighbor> FindKNearest(const Transaction& target,
@@ -33,12 +42,25 @@ class SequentialScanner {
       size_t k) const;
 
   /// Exact range query: every transaction with f >= threshold, best first.
+  /// Charges the same streaming I/O as FindKNearest when `stats` is given.
   std::vector<Neighbor> FindInRange(const Transaction& target,
                                     const SimilarityFamily& family,
-                                    double threshold) const;
+                                    double threshold, IoStats* stats = nullptr,
+                                    uint32_t page_size_bytes = 4096) const;
 
  private:
+  struct MetricHandles {
+    Counter* knn_queries = nullptr;
+    Counter* range_queries = nullptr;
+    Counter* transactions_scanned = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+
+  void RecordScan(bool is_range, double elapsed_us) const;
+
   const TransactionDatabase* database_;
+  MetricHandles metrics_;
+  bool metrics_enabled_ = false;
 };
 
 }  // namespace mbi

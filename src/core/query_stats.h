@@ -1,6 +1,7 @@
 #ifndef MBI_CORE_QUERY_STATS_H_
 #define MBI_CORE_QUERY_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "storage/io_stats.h"
@@ -36,18 +37,23 @@ struct QueryStats {
   uint64_t sequential_fallbacks = 0;
 
   /// The paper's pruning-efficiency metric: the percentage of the database
-  /// *not* accessed when the algorithm runs to completion.
+  /// *not* accessed when the algorithm runs to completion. Clamped to
+  /// [0, 100]: re-evaluation (a transaction indexed under several scanned
+  /// entries, or a fallback rescan) can push `transactions_evaluated` past
+  /// `database_size`, which must read as "no pruning", never as a negative
+  /// percentage.
   double PruningEfficiencyPercent() const {
-    if (database_size == 0) return 0.0;
-    return 100.0 * (1.0 - static_cast<double>(transactions_evaluated) /
-                              static_cast<double>(database_size));
+    return 100.0 * (1.0 - AccessedFraction());
   }
 
-  /// Fraction of the database accessed, in [0, 1].
+  /// Fraction of the database accessed, clamped to [0, 1] (see
+  /// PruningEfficiencyPercent for why evaluations can exceed the database
+  /// size).
   double AccessedFraction() const {
     if (database_size == 0) return 0.0;
-    return static_cast<double>(transactions_evaluated) /
-           static_cast<double>(database_size);
+    const double fraction = static_cast<double>(transactions_evaluated) /
+                            static_cast<double>(database_size);
+    return std::min(fraction, 1.0);
   }
 };
 

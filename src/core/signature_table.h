@@ -126,6 +126,10 @@ class SignatureTable {
   /// Backing disk layout (serialization only).
   const TransactionStore& store() const { return store_; }
 
+  /// Forwards to the backing store's set_metrics so physical page traffic
+  /// for this table shows up under mbi.pagestore.*. nullptr disables.
+  void set_metrics(MetricsRegistry* registry) { store_.set_metrics(registry); }
+
   /// Simulated page size used for the transaction lists.
   uint32_t page_size_bytes() const { return config_.page_size_bytes; }
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "core/batch_query.h"
+
 namespace mbi {
 
 SignatureTableEngine::SignatureTableEngine(const TransactionDatabase* database)
@@ -19,6 +21,7 @@ Status SignatureTableEngine::OpenIndex(const std::string& path, Env* env) {
     table_.reset();
     quarantined_ = true;
     quarantine_reason_ = loaded.status();
+    if (metrics_enabled_) metrics_.quarantined->Set(1.0);
   }
   return loaded.status();
 }
@@ -26,9 +29,85 @@ Status SignatureTableEngine::OpenIndex(const std::string& path, Env* env) {
 void SignatureTableEngine::AdoptTable(SignatureTable table) {
   engine_.reset();  // Points into the old table; drop it first.
   table_.emplace(std::move(table));
+  table_->set_metrics(metrics_registry_);
   engine_.emplace(database_, &*table_);
   quarantined_ = false;
   quarantine_reason_ = Status::Ok();
+  if (metrics_enabled_) metrics_.quarantined->Set(0.0);
+}
+
+void SignatureTableEngine::set_metrics(MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  scanner_.set_metrics(registry);
+  if (table_.has_value()) table_->set_metrics(registry);
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    metrics_enabled_ = false;
+    return;
+  }
+  metrics_.knn_queries = registry->GetCounter(
+      "mbi.engine.query.knn", "queries", "k-NN queries answered");
+  metrics_.range_queries = registry->GetCounter(
+      "mbi.engine.query.range", "queries", "range queries answered");
+  metrics_.fallbacks =
+      registry->GetCounter("mbi.engine.query.fallback", "queries",
+                           "queries served by the sequential fallback");
+  metrics_.entries_considered =
+      registry->GetCounter("mbi.engine.entries.considered", "entries",
+                           "occupied table entries considered");
+  metrics_.entries_scanned = registry->GetCounter(
+      "mbi.engine.entries.scanned", "entries", "table entries scanned");
+  metrics_.entries_pruned =
+      registry->GetCounter("mbi.engine.entries.pruned", "entries",
+                           "table entries pruned by the optimistic bound");
+  metrics_.entries_unexplored =
+      registry->GetCounter("mbi.engine.entries.unexplored", "entries",
+                           "table entries left unexplored at termination");
+  metrics_.transactions_evaluated =
+      registry->GetCounter("mbi.engine.transactions.evaluated", "transactions",
+                           "transactions fetched and scored");
+  metrics_.pages_read = registry->GetCounter(
+      "mbi.engine.io.pages_read", "pages", "physical page reads by queries");
+  metrics_.pages_cached =
+      registry->GetCounter("mbi.engine.io.pages_cached", "pages",
+                           "page reads served from cache by queries");
+  metrics_.bytes_read = registry->GetCounter(
+      "mbi.engine.io.bytes_read", "bytes", "bytes read by queries");
+  metrics_.transactions_fetched =
+      registry->GetCounter("mbi.engine.io.transactions_fetched", "transactions",
+                           "transaction fetches from the simulated disk");
+  metrics_.knn_latency = registry->GetHistogram("mbi.engine.latency.knn", "us",
+                                                "k-NN query latency");
+  metrics_.range_latency = registry->GetHistogram(
+      "mbi.engine.latency.range", "us", "range query latency");
+  metrics_.quarantined = registry->GetGauge(
+      "mbi.engine.quarantined", "bool", "1 while the index is quarantined");
+  metrics_.quarantined->Set(quarantined_ ? 1.0 : 0.0);
+  metrics_enabled_ = true;
+}
+
+void SignatureTableEngine::RecordQueryStats(const QueryStats& stats,
+                                            bool is_range) const {
+  (is_range ? metrics_.range_queries : metrics_.knn_queries)->Increment();
+  if (stats.sequential_fallbacks > 0) {
+    metrics_.fallbacks->Increment(stats.sequential_fallbacks);
+  }
+  metrics_.entries_considered->Increment(stats.entries_total);
+  metrics_.entries_scanned->Increment(stats.entries_scanned);
+  metrics_.entries_pruned->Increment(stats.entries_pruned);
+  metrics_.entries_unexplored->Increment(stats.entries_unexplored);
+  metrics_.transactions_evaluated->Increment(stats.transactions_evaluated);
+  metrics_.pages_read->Increment(stats.io.pages_read);
+  metrics_.pages_cached->Increment(stats.io.pages_cached);
+  metrics_.bytes_read->Increment(stats.io.bytes_read);
+  metrics_.transactions_fetched->Increment(stats.io.transactions_fetched);
+}
+
+void SignatureTableEngine::RecordQuery(const QueryStats& stats, bool is_range,
+                                       double elapsed_us) const {
+  RecordQueryStats(stats, is_range);
+  (is_range ? metrics_.range_latency : metrics_.knn_latency)
+      ->Record(elapsed_us);
 }
 
 NearestNeighborResult SignatureTableEngine::SequentialKNearest(
@@ -54,15 +133,17 @@ RangeQueryResult SignatureTableEngine::SequentialInRange(
     double threshold) const {
   fallback_queries_.fetch_add(1, std::memory_order_relaxed);
   RangeQueryResult result;
-  result.matches = scanner_.FindInRange(target, family, threshold);
+  IoStats io;
+  result.matches = scanner_.FindInRange(target, family, threshold, &io);
   result.guaranteed_complete = true;
   result.stats.database_size = database_->size();
   result.stats.transactions_evaluated = database_->size();
+  result.stats.io = io;
   result.stats.sequential_fallbacks = 1;
   return result;
 }
 
-NearestNeighborResult SignatureTableEngine::FindKNearest(
+NearestNeighborResult SignatureTableEngine::FindKNearestImpl(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     const SearchOptions& options, QueryContext* context) const {
   if (!healthy()) return SequentialKNearest(target, family, k);
@@ -72,11 +153,63 @@ NearestNeighborResult SignatureTableEngine::FindKNearest(
   return engine_->FindKNearest(target, family, k, options);
 }
 
-RangeQueryResult SignatureTableEngine::FindInRange(
+NearestNeighborResult SignatureTableEngine::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const SearchOptions& options, QueryContext* context) const {
+  if (!metrics_enabled_) {
+    return FindKNearestImpl(target, family, k, options, context);
+  }
+  ScopedTimer timer(nullptr);
+  NearestNeighborResult result =
+      FindKNearestImpl(target, family, k, options, context);
+  RecordQuery(result.stats, /*is_range=*/false, timer.ElapsedUs());
+  return result;
+}
+
+RangeQueryResult SignatureTableEngine::FindInRangeImpl(
     const Transaction& target, const SimilarityFamily& family,
     double threshold, const SearchOptions& options) const {
   if (!healthy()) return SequentialInRange(target, family, threshold);
   return engine_->FindInRange(target, family, threshold, options);
+}
+
+RangeQueryResult SignatureTableEngine::FindInRange(
+    const Transaction& target, const SimilarityFamily& family,
+    double threshold, const SearchOptions& options) const {
+  if (!metrics_enabled_) {
+    return FindInRangeImpl(target, family, threshold, options);
+  }
+  ScopedTimer timer(nullptr);
+  RangeQueryResult result = FindInRangeImpl(target, family, threshold, options);
+  RecordQuery(result.stats, /*is_range=*/true, timer.ElapsedUs());
+  return result;
+}
+
+std::vector<NearestNeighborResult> SignatureTableEngine::FindKNearestBatch(
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options, size_t num_threads,
+    ThreadPool* pool) const {
+  std::vector<NearestNeighborResult> results;
+  if (healthy()) {
+    results = mbi::FindKNearestBatch(*engine_, targets, family, k, options,
+                                     num_threads, pool);
+  } else {
+    // Degraded mode: answer each target exactly via the scanner. Parallelism
+    // is not worth preserving here — the whole mode exists to limp along
+    // until the index is rebuilt.
+    results.reserve(targets.size());
+    for (const Transaction& target : targets) {
+      results.push_back(SequentialKNearest(target, family, k));
+    }
+  }
+  if (metrics_enabled_) {
+    // Per-query wall time is not observable inside the fan-out, so the batch
+    // records counters only; the latency histograms stay single-query.
+    for (const NearestNeighborResult& result : results) {
+      RecordQueryStats(result.stats, /*is_range=*/false);
+    }
+  }
+  return results;
 }
 
 }  // namespace mbi

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baseline/sequential_scan.h"
 #include "core/branch_and_bound.h"
@@ -12,7 +13,9 @@
 #include "core/table_io.h"
 #include "storage/env.h"
 #include "txn/database.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mbi {
 
@@ -73,6 +76,26 @@ class SignatureTableEngine {
                                double threshold,
                                const SearchOptions& options = {}) const;
 
+  /// Batch k-NN with the engine's degradation contract: when healthy the
+  /// batch fans out over a thread pool (see core/batch_query.h for the
+  /// threading knobs); when quarantined each target is answered by the
+  /// sequential fallback, so every result carries
+  /// stats.sequential_fallbacks == 1 and fallback_queries() advances by
+  /// `targets.size()`. Results are in target order either way.
+  std::vector<NearestNeighborResult> FindKNearestBatch(
+      const std::vector<Transaction>& targets, const SimilarityFamily& family,
+      size_t k, const SearchOptions& options = {}, size_t num_threads = 0,
+      ThreadPool* pool = nullptr) const;
+
+  /// Enables engine-level instrumentation in `registry` (names mbi.engine.*,
+  /// see DESIGN.md §8): query/prune/fallback counters that aggregate exactly
+  /// the per-query QueryStats, per-shape latency histograms, and a
+  /// quarantine gauge. Also forwards to the internal SequentialScanner
+  /// (mbi.scan.*) and the loaded table's page store (mbi.pagestore.*), and
+  /// re-applies itself to tables adopted later. Pass nullptr to disable (the
+  /// default; disabled queries skip even the clock reads).
+  void set_metrics(MetricsRegistry* registry);
+
   /// Loaded table, or nullptr while quarantined / before OpenIndex.
   const SignatureTable* table() const {
     return table_.has_value() ? &*table_ : nullptr;
@@ -80,12 +103,46 @@ class SignatureTableEngine {
   const TransactionDatabase& database() const { return *database_; }
 
  private:
+  /// Pre-resolved metric handles; null while metrics are disabled.
+  struct MetricHandles {
+    Counter* knn_queries = nullptr;
+    Counter* range_queries = nullptr;
+    Counter* fallbacks = nullptr;
+    Counter* entries_considered = nullptr;
+    Counter* entries_scanned = nullptr;
+    Counter* entries_pruned = nullptr;
+    Counter* entries_unexplored = nullptr;
+    Counter* transactions_evaluated = nullptr;
+    Counter* pages_read = nullptr;
+    Counter* pages_cached = nullptr;
+    Counter* bytes_read = nullptr;
+    Counter* transactions_fetched = nullptr;
+    LatencyHistogram* knn_latency = nullptr;
+    LatencyHistogram* range_latency = nullptr;
+    Gauge* quarantined = nullptr;
+  };
+
   NearestNeighborResult SequentialKNearest(const Transaction& target,
                                            const SimilarityFamily& family,
                                            size_t k) const;
   RangeQueryResult SequentialInRange(const Transaction& target,
                                      const SimilarityFamily& family,
                                      double threshold) const;
+  NearestNeighborResult FindKNearestImpl(const Transaction& target,
+                                         const SimilarityFamily& family,
+                                         size_t k, const SearchOptions& options,
+                                         QueryContext* context) const;
+  RangeQueryResult FindInRangeImpl(const Transaction& target,
+                                   const SimilarityFamily& family,
+                                   double threshold,
+                                   const SearchOptions& options) const;
+
+  /// Folds one query's QueryStats into the aggregate counters (the
+  /// counters-reconcile-with-QueryStats property holds by construction).
+  void RecordQueryStats(const QueryStats& stats, bool is_range) const;
+  /// RecordQueryStats plus the per-shape latency histogram.
+  void RecordQuery(const QueryStats& stats, bool is_range,
+                   double elapsed_us) const;
 
   const TransactionDatabase* database_;
   SequentialScanner scanner_;
@@ -95,6 +152,9 @@ class SignatureTableEngine {
   bool quarantined_ = false;
   Status quarantine_reason_;
   mutable std::atomic<uint64_t> fallback_queries_{0};
+  MetricsRegistry* metrics_registry_ = nullptr;
+  MetricHandles metrics_;
+  bool metrics_enabled_ = false;
 };
 
 }  // namespace mbi

@@ -14,16 +14,19 @@ BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
 const Page& BufferPool::Read(PageId page, IoStats* stats) {
   if (capacity_ == 0) {
     ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->Increment();
     return store_->Read(page, stats);
   }
   auto it = lookup_.find(page);
   if (it != lookup_.end()) {
     ++hits_;
+    if (hits_metric_ != nullptr) hits_metric_->Increment();
     if (stats != nullptr) ++stats->pages_cached;
     lru_.splice(lru_.begin(), lru_, it->second);
     return store_->Read(page, nullptr);  // Served from cache: no charge.
   }
   ++misses_;
+  if (misses_metric_ != nullptr) misses_metric_->Increment();
   const Page& loaded = store_->Read(page, stats);
   lru_.push_front(page);
   lookup_[page] = lru_.begin();
@@ -41,6 +44,18 @@ const Page& BufferPool::Read(PageId page, IoStats* stats) {
     }
   }
   return loaded;
+}
+
+void BufferPool::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    hits_metric_ = nullptr;
+    misses_metric_ = nullptr;
+    return;
+  }
+  hits_metric_ = registry->GetCounter("mbi.bufferpool.hit", "pages",
+                                      "buffer pool cache hits");
+  misses_metric_ = registry->GetCounter("mbi.bufferpool.miss", "pages",
+                                        "buffer pool cache misses");
 }
 
 void BufferPool::Pin(PageId page) {

@@ -31,6 +31,10 @@ class BufferPool {
   /// hit: pages_cached).
   const Page& Read(PageId page, IoStats* stats);
 
+  /// Enables hit/miss counters (mbi.bufferpool.*) in `registry`; nullptr
+  /// disables. The hit ratio is derived from the two counters at export time.
+  void set_metrics(MetricsRegistry* registry);
+
   /// Pins `page` so it cannot be evicted until every pin is released. The
   /// page must be cached (i.e. Pin must follow a Read of the same page while
   /// it is still resident); with caching disabled (capacity 0) pins are
@@ -65,6 +69,8 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t total_pins_ = 0;
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
 
   /// Most-recently-used at front.
   std::list<PageId> lru_;

@@ -74,8 +74,12 @@ Status WritableFile::AppendOnce(const uint8_t* data, size_t size) {
 
 Status WritableFile::Append(const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
-  return RetryTransient(env_->retry_options(), env_->jitter_rng(),
-                        [&] { return AppendOnce(bytes, size); });
+  RetryStats retry_stats;
+  Status status =
+      RetryTransient(env_->retry_options(), env_->jitter_rng(),
+                     [&] { return AppendOnce(bytes, size); }, &retry_stats);
+  env_->RecordRetryMetrics(retry_stats, status);
+  return status;
 }
 
 Status WritableFile::Flush() {
@@ -123,8 +127,12 @@ Env* Env::Default() {
 StatusOr<std::unique_ptr<WritableFile>> Env::NewWritableFile(
     const std::string& path) {
   if (injector_ != nullptr) {
-    Status injected = RetryTransient(
-        retry_options_, &rng_, [&] { return injector_->OnOpenWrite(path); });
+    RetryStats retry_stats;
+    Status injected =
+        RetryTransient(retry_options_, &rng_,
+                       [&] { return injector_->OnOpenWrite(path); },
+                       &retry_stats);
+    RecordRetryMetrics(retry_stats, injected);
     MBI_RETURN_IF_ERROR(injected);
   }
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -147,8 +155,12 @@ StatusOr<uint64_t> Env::FileSize(const std::string& path) {
 
 Status Env::RenameFile(const std::string& from, const std::string& to) {
   if (injector_ != nullptr) {
-    Status injected = RetryTransient(
-        retry_options_, &rng_, [&] { return injector_->OnRename(from, to); });
+    RetryStats retry_stats;
+    Status injected =
+        RetryTransient(retry_options_, &rng_,
+                       [&] { return injector_->OnRename(from, to); },
+                       &retry_stats);
+    RecordRetryMetrics(retry_stats, injected);
     MBI_RETURN_IF_ERROR(injected);
   }
   if (std::rename(from.c_str(), to.c_str()) != 0) {
@@ -165,6 +177,38 @@ Status Env::RemoveFile(const std::string& path) {
 bool Env::FileExists(const std::string& path) const {
   struct ::stat info {};
   return ::stat(path.c_str(), &info) == 0;
+}
+
+void Env::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    faults_metric_ = nullptr;
+    retries_metric_ = nullptr;
+    backoff_metric_ = nullptr;
+    return;
+  }
+  faults_metric_ = registry->GetCounter("mbi.env.fault.injected", "faults",
+                                        "transient write faults observed");
+  retries_metric_ =
+      registry->GetCounter("mbi.env.write.retries", "attempts",
+                           "write attempts retried after transient faults");
+  backoff_metric_ = registry->GetCounter(
+      "mbi.env.write.backoff", "us",
+      "total backoff delay scheduled between retry attempts");
+}
+
+void Env::RecordRetryMetrics(const RetryStats& stats, const Status& status) {
+  if (faults_metric_ == nullptr) return;
+  const uint64_t retried =
+      stats.attempts > 1 ? static_cast<uint64_t>(stats.attempts - 1) : 0;
+  // Every retried attempt was provoked by a transient fault; if the final
+  // status is still transient, the last attempt saw one more.
+  uint64_t faults = retried;
+  if (!status.ok() && status.code() == StatusCode::kUnavailable) ++faults;
+  if (faults > 0) faults_metric_->Increment(faults);
+  if (retried > 0) retries_metric_->Increment(retried);
+  if (stats.backoff_ms > 0.0) {
+    backoff_metric_->Increment(static_cast<uint64_t>(stats.backoff_ms * 1e3));
+  }
 }
 
 }  // namespace mbi

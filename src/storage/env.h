@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "util/metrics.h"
 #include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -114,10 +115,24 @@ class Env {
   /// Seeded jitter source for the backoff schedule.
   Rng* jitter_rng() { return &rng_; }
 
+  /// Enables fault/retry counters (mbi.env.*) in `registry`; nullptr
+  /// disables. Counts transient faults observed, retried attempts, and the
+  /// total backoff delay the retry schedule imposed (in microseconds — the
+  /// delay as computed, whether slept for real or through the test seam).
+  void set_metrics(MetricsRegistry* registry);
+
+  /// Folds one RetryTransient outcome into the mbi.env.* counters. Called by
+  /// the retrying I/O paths (WritableFile::Append, NewWritableFile,
+  /// RenameFile); no-op while metrics are disabled.
+  void RecordRetryMetrics(const RetryStats& stats, const Status& status);
+
  private:
   FaultInjector* injector_ = nullptr;
   RetryOptions retry_options_{};
   Rng rng_{0x5EEDF00DULL};
+  Counter* faults_metric_ = nullptr;
+  Counter* retries_metric_ = nullptr;
+  Counter* backoff_metric_ = nullptr;
 };
 
 /// Maps an errno value to the Status taxonomy: ENOENT → kNotFound,

@@ -29,6 +29,7 @@ PageId PageStore::Append(TransactionId id, uint32_t serialized_size) {
   if (pages_.empty() ||
       pages_.back().used_bytes + serialized_size > page_size_bytes_) {
     pages_.emplace_back();
+    if (pages_written_metric_ != nullptr) pages_written_metric_->Increment();
   }
   Page& tail = pages_.back();
   tail.transaction_ids.push_back(id);
@@ -59,6 +60,7 @@ PageId PageStore::AppendToFreshPage(TransactionId id,
   MBI_CHECK_MSG(serialized_size <= page_size_bytes_,
                 "transaction larger than a page");
   pages_.emplace_back();
+  if (pages_written_metric_ != nullptr) pages_written_metric_->Increment();
   Page& fresh = pages_.back();
   fresh.transaction_ids.push_back(id);
   fresh.used_bytes = serialized_size;
@@ -146,7 +148,20 @@ const Page& PageStore::Read(PageId page, IoStats* stats) const {
     ++stats->pages_read;
     stats->bytes_read += page_size_bytes_;
   }
+  if (pages_read_metric_ != nullptr) pages_read_metric_->Increment();
   return pages_[page];
+}
+
+void PageStore::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    pages_read_metric_ = nullptr;
+    pages_written_metric_ = nullptr;
+    return;
+  }
+  pages_read_metric_ = registry->GetCounter(
+      "mbi.pagestore.pages_read", "pages", "physical page reads");
+  pages_written_metric_ = registry->GetCounter(
+      "mbi.pagestore.pages_written", "pages", "pages opened for writing");
 }
 
 }  // namespace mbi

@@ -8,6 +8,7 @@
 #include "storage/env.h"
 #include "storage/io_stats.h"
 #include "txn/transaction.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace mbi {
@@ -59,8 +60,14 @@ class PageStore {
   /// the tail may belong to a different bucket). Returns the new page.
   PageId AppendToFreshPage(TransactionId id, uint32_t serialized_size);
 
-  /// Reads a page, charging one physical page read to `stats` (if non-null).
+  /// Reads a page, charging one physical page read to `stats` (if non-null)
+  /// and to the mbi.pagestore.pages_read counter when metrics are wired.
   const Page& Read(PageId page, IoStats* stats) const;
+
+  /// Enables physical-I/O counters (mbi.pagestore.*) in `registry`; nullptr
+  /// disables. Reads and page openings after this call are counted; the
+  /// handles survive copies of the store.
+  void set_metrics(MetricsRegistry* registry);
 
   /// Page count.
   size_t size() const { return pages_.size(); }
@@ -90,6 +97,8 @@ class PageStore {
  private:
   uint32_t page_size_bytes_;
   std::vector<Page> pages_;
+  Counter* pages_read_metric_ = nullptr;
+  Counter* pages_written_metric_ = nullptr;
 };
 
 }  // namespace mbi

@@ -79,6 +79,11 @@ class TransactionStore {
                       uint32_t serialized_size);
 
   const PageStore& page_store() const { return page_store_; }
+
+  /// Forwards to the backing PageStore's set_metrics (mbi.pagestore.*).
+  void set_metrics(MetricsRegistry* registry) {
+    page_store_.set_metrics(registry);
+  }
   uint32_t num_buckets() const {
     return static_cast<uint32_t>(bucket_pages_.size());
   }

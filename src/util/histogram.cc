@@ -8,12 +8,41 @@
 
 namespace mbi {
 
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = other.samples_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  std::vector<double> copied;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copied = other.samples_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(copied);
+  sorted_valid_ = false;
+  return *this;
+}
+
 void Histogram::Add(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(value);
   sorted_valid_ = false;
 }
 
-void Histogram::EnsureSorted() const {
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+bool Histogram::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty();
+}
+
+void Histogram::EnsureSortedLocked() const {
   if (sorted_valid_) return;
   sorted_ = samples_;
   std::sort(sorted_.begin(), sorted_.end());
@@ -21,36 +50,44 @@ void Histogram::EnsureSorted() const {
 }
 
 double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MBI_CHECK(!samples_.empty());
-  EnsureSorted();
+  EnsureSortedLocked();
   return sorted_.front();
 }
 
 double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MBI_CHECK(!samples_.empty());
-  EnsureSorted();
+  EnsureSortedLocked();
   return sorted_.back();
 }
 
-double Histogram::Mean() const {
+double Histogram::MeanLocked() const {
   MBI_CHECK(!samples_.empty());
   double sum = 0.0;
   for (double value : samples_) sum += value;
   return sum / static_cast<double>(samples_.size());
 }
 
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MeanLocked();
+}
+
 double Histogram::StdDev() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MBI_CHECK(!samples_.empty());
-  double mean = Mean();
+  double mean = MeanLocked();
   double sum_sq = 0.0;
   for (double value : samples_) sum_sq += (value - mean) * (value - mean);
   return std::sqrt(sum_sq / static_cast<double>(samples_.size()));
 }
 
-double Histogram::Quantile(double q) const {
+double Histogram::QuantileLocked(double q) const {
   MBI_CHECK(!samples_.empty());
   MBI_CHECK(q >= 0.0 && q <= 1.0);
-  EnsureSorted();
+  EnsureSortedLocked();
   if (sorted_.size() == 1) return sorted_[0];
   double position = q * static_cast<double>(sorted_.size() - 1);
   size_t low = static_cast<size_t>(position);
@@ -59,15 +96,23 @@ double Histogram::Quantile(double q) const {
   return sorted_[low] * (1.0 - fraction) + sorted_[low + 1] * fraction;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
 std::string Histogram::Summary(const std::string& unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return "count=0";
+  EnsureSortedLocked();
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
                 "count=%zu mean=%.3g%s p50=%.3g%s p95=%.3g%s p99=%.3g%s "
                 "max=%.3g%s",
-                count(), Mean(), unit.c_str(), Quantile(0.5), unit.c_str(),
-                Quantile(0.95), unit.c_str(), Quantile(0.99), unit.c_str(),
-                Max(), unit.c_str());
+                samples_.size(), MeanLocked(), unit.c_str(),
+                QuantileLocked(0.5), unit.c_str(), QuantileLocked(0.95),
+                unit.c_str(), QuantileLocked(0.99), unit.c_str(),
+                sorted_.back(), unit.c_str());
   return buffer;
 }
 

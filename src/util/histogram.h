@@ -2,19 +2,32 @@
 #define MBI_UTIL_HISTOGRAM_H_
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace mbi {
 
 /// Accumulates scalar samples (latencies, access fractions, ...) and reports
-/// order statistics. Used by the workload-replay tooling; not thread-safe.
+/// order statistics. Used by the workload-replay tooling.
+///
+/// Thread-safety: all members lock an internal mutex, so concurrent Add and
+/// concurrent const accessors are safe. In particular the lazily sorted
+/// order-statistics cache is rebuilt under the lock — two threads calling
+/// Quantile() at once used to race on the mutable cache (both sorting
+/// `sorted_` in place); guarding every accessor fixes that. For lock-free
+/// hot-path aggregation use LatencyHistogram (util/metrics.h) instead; this
+/// class keeps exact samples and serves offline reporting.
 class Histogram {
  public:
+  Histogram() = default;
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   void Add(double value);
 
-  size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  size_t count() const;
+  bool empty() const;
 
   double Min() const;
   double Max() const;
@@ -30,8 +43,12 @@ class Histogram {
   std::string Summary(const std::string& unit) const;
 
  private:
-  void EnsureSorted() const;
+  /// Rebuilds the sorted cache; caller must hold `mu_`.
+  void EnsureSortedLocked() const;
+  double QuantileLocked(double q) const;
+  double MeanLocked() const;
 
+  mutable std::mutex mu_;
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;

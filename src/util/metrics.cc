@@ -1,0 +1,315 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace mbi {
+namespace {
+
+/// Atomic add on a double via CAS (std::atomic<double>::fetch_add is C++20
+/// but not universally lock-free-optimized; the loop is equivalent).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (expected < value &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_';
+    if (!ok) return false;
+  }
+  return name.find("..") == std::string::npos;
+}
+
+/// Shortest %g form that is still stable across runs of the same build.
+std::string JsonNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "\"+inf\"" : "\"-inf\"";
+  if (std::isnan(value)) return "\"nan\"";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+// --- LatencyHistogram ---
+
+size_t LatencyHistogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // Also catches NaN.
+  const double ceiling = std::ceil(value);
+  if (ceiling >= std::ldexp(1.0, static_cast<int>(kFiniteBuckets))) {
+    return kFiniteBuckets;  // Overflow bucket.
+  }
+  const auto v = static_cast<uint64_t>(ceiling);
+  const size_t index = static_cast<size_t>(std::bit_width(v - 1));
+  return std::min(index, kFiniteBuckets);
+}
+
+void LatencyHistogram::Record(double value) {
+  const double clamped = value > 0.0 ? value : 0.0;  // NaN/negative -> 0.
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, clamped);
+  AtomicMax(&max_, clamped);
+}
+
+double LatencyHistogram::Snapshot::BucketUpperBound(size_t i) {
+  MBI_CHECK_LT(i, kNumBuckets);
+  if (i == kFiniteBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  MBI_CHECK(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const auto rank = static_cast<uint64_t>(std::ceil(
+      q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return i == kFiniteBuckets ? max : BucketUpperBound(i);
+    }
+  }
+  return max;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::GetSnapshot() const {
+  Snapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+// --- QueryTrace / ScopedTimer ---
+
+QueryTrace::QueryTrace() : epoch_(std::chrono::steady_clock::now()) {}
+
+void QueryTrace::Clear() {
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void QueryTrace::Record(const char* name,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end) {
+  TraceSpan span;
+  span.name = name;
+  span.start_us =
+      std::chrono::duration<double, std::micro>(start - epoch_).count();
+  span.duration_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  spans_.push_back(std::move(span));
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  char line[160];
+  for (const TraceSpan& span : spans_) {
+    std::snprintf(line, sizeof(line), "span=%s start=%.1fus dur=%.1fus\n",
+                  span.name.c_str(), span.start_us, span.duration_us);
+    out += line;
+  }
+  return out;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const auto end = std::chrono::steady_clock::now();
+  if (histogram_ != nullptr) {
+    histogram_->Record(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+  }
+  if (trace_ != nullptr && span_name_ != nullptr) {
+    trace_->Record(span_name_, start_, end);
+  }
+}
+
+double ScopedTimer::ElapsedUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+template <typename Metric, typename Map>
+Metric* MetricsRegistry::Register(Map* target, const std::string& name,
+                                  const std::string& unit,
+                                  const std::string& help,
+                                  bool taken_elsewhere) {
+  MBI_CHECK_MSG(ValidMetricName(name), "invalid metric name");
+  auto it = target->find(name);
+  if (it != target->end()) {
+    MBI_CHECK_MSG(it->second.unit == unit,
+                  "metric re-registered with a different unit");
+    return it->second.metric.get();
+  }
+  MBI_CHECK_MSG(!taken_elsewhere,
+                "metric name already registered with a different kind");
+  auto& entry = (*target)[name];
+  entry.unit = unit;
+  entry.help = help;
+  entry.metric.reset(new Metric());
+  return entry.metric.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& unit,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Register<Counter>(&counters_, name, unit, help,
+                           gauges_.count(name) != 0 ||
+                               histograms_.count(name) != 0);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& unit,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Register<Gauge>(&gauges_, name, unit, help,
+                         counters_.count(name) != 0 ||
+                             histograms_.count(name) != 0);
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& unit,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Register<LatencyHistogram>(&histograms_, name, unit, help,
+                                    counters_.count(name) != 0 ||
+                                        gauges_.count(name) != 0);
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.metric.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.metric.get();
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.metric.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) {
+    entry.metric->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, entry] : gauges_) {
+    entry.metric->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, entry] : histograms_) {
+    LatencyHistogram* histogram = entry.metric.get();
+    for (auto& bucket : histogram->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    histogram->count_.store(0, std::memory_order_relaxed);
+    histogram->sum_.store(0.0, std::memory_order_relaxed);
+    histogram->max_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"schema\": \"mbi.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    \"%s\": {\"unit\": \"%s\", \"value\": %llu}",
+                  JsonEscape(name).c_str(), JsonEscape(entry.unit).c_str(),
+                  static_cast<unsigned long long>(entry.metric->value()));
+    out += line;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"unit\": \"" +
+           JsonEscape(entry.unit) +
+           "\", \"value\": " + JsonNumber(entry.metric->value()) + "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const LatencyHistogram::Snapshot snapshot = entry.metric->GetSnapshot();
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "    \"%s\": {\"unit\": \"%s\", \"count\": %llu, "
+                  "\"sum\": %s, \"max\": %s, \"buckets\": [",
+                  JsonEscape(name).c_str(), JsonEscape(entry.unit).c_str(),
+                  static_cast<unsigned long long>(snapshot.count),
+                  JsonNumber(snapshot.sum).c_str(),
+                  JsonNumber(snapshot.max).c_str());
+    out += head;
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (i > 0) out += ", ";
+      char bucket[96];
+      std::snprintf(
+          bucket, sizeof(bucket), "{\"le\": %s, \"count\": %llu}",
+          JsonNumber(LatencyHistogram::Snapshot::BucketUpperBound(i)).c_str(),
+          static_cast<unsigned long long>(snapshot.buckets[i]));
+      out += bucket;
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace mbi

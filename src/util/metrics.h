@@ -1,0 +1,225 @@
+#ifndef MBI_UTIL_METRICS_H_
+#define MBI_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbi {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count. Increments are a single relaxed
+/// atomic add, so counters can sit on query hot paths shared across threads;
+/// reads are a relaxed load (a snapshot may be mid-update with respect to
+/// *other* metrics, but each counter value is itself consistent).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written scalar (quarantine state, pool capacity, ...). Set is an
+/// atomic store; Add is a CAS loop (gauges are not hot-path metrics).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for latencies (or any non-negative scalar).
+///
+/// Bucket upper bounds are the powers of two 1, 2, 4, ..., 2^26 in the
+/// metric's unit (with microseconds that spans 1 us to ~67 s), plus one
+/// overflow bucket. Recording is lock-free: one relaxed add into the bucket,
+/// count, and sum, plus a CAS max — cheap enough to record every query.
+/// Readers take a Snapshot; concurrent records may tear *across* fields
+/// (count vs sum) but never corrupt them.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kFiniteBuckets = 27;  // le 2^0 .. 2^26.
+  static constexpr size_t kNumBuckets = kFiniteBuckets + 1;  // + overflow.
+
+  /// Records one sample. Negative and NaN samples land in the first bucket
+  /// and count toward `count` but clamp to 0 in the sum.
+  void Record(double value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    /// buckets[i] counts samples with value <= BucketUpperBound(i) that were
+    /// not captured by an earlier bucket.
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    /// Upper bound of bucket `i` (+infinity for the overflow bucket).
+    static double BucketUpperBound(size_t i);
+
+    /// Quantile estimate in [0, 1]: the upper bound of the bucket holding
+    /// the q-th sample (the recorded max for the overflow bucket). 0 when
+    /// empty.
+    double Quantile(double q) const;
+  };
+
+  Snapshot GetSnapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  LatencyHistogram() = default;
+  static size_t BucketIndex(double value);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One timed region of a query, relative to the owning trace's epoch.
+struct TraceSpan {
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// Per-query trace: an ordered list of named spans recorded by ScopedTimer.
+/// Owned by one request at a time (not thread-safe); Clear() between queries
+/// reuses the span storage.
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  /// Drops all spans and restarts the epoch at now.
+  void Clear();
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// "span=load_db start=12.3us dur=450.1us" lines, one per span.
+  std::string ToString() const;
+
+ private:
+  friend class ScopedTimer;
+  void Record(const char* name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII timer: on destruction records the elapsed microseconds into a
+/// histogram (when non-null) and appends a span to a trace (when both the
+/// trace and a span name are given). Either sink may be null, so one timer
+/// serves "histogram only", "trace only", and "both" call sites.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram,
+                       QueryTrace* trace = nullptr,
+                       const char* span_name = nullptr)
+      : histogram_(histogram),
+        trace_(trace),
+        span_name_(span_name),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedUs() const;
+
+ private:
+  LatencyHistogram* histogram_;
+  QueryTrace* trace_;
+  const char* span_name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe registry of named metrics.
+///
+/// Registration (Get*) takes a mutex and interns the metric; the returned
+/// handle is valid for the registry's lifetime and all mutation through it
+/// is lock-free, so instrumented components resolve their handles once (at
+/// set_metrics time) and pay only atomic ops per event. Names are
+/// dot-separated lowercase ("mbi.engine.query.knn"); re-registering a name
+/// must use the same kind and unit (aborts otherwise — a name collision is
+/// a schema bug, not a runtime condition).
+///
+/// The exported JSON (ToJson) is stable: objects keyed by metric name in
+/// sorted order with fixed fields, schema "mbi.metrics.v1" — see DESIGN.md
+/// §8 for the metric catalogue and tools/check_metrics_json.py for the CI
+/// validator.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide instance used by the CLI; tests prefer their own local
+  /// registries for isolation.
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& unit,
+                      const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& unit,
+                  const std::string& help);
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& unit,
+                                 const std::string& help);
+
+  /// Lookup without registering; nullptr when absent. For tests and
+  /// exporters.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  /// Zeroes every metric value (handles stay valid). Not safe concurrently
+  /// with writers; meant for tests and between benchmark phases.
+  void Reset();
+
+  /// Stable JSON snapshot of every registered metric.
+  std::string ToJson() const;
+
+ private:
+  template <typename Metric>
+  struct Entry {
+    std::string unit;
+    std::string help;
+    std::unique_ptr<Metric> metric;
+  };
+
+  /// Shared registration logic: intern into `target`, check the name is not
+  /// claimed by another kind, and enforce unit stability on re-registration.
+  /// Caller holds mu_.
+  template <typename Metric, typename Map>
+  static Metric* Register(Map* target, const std::string& name,
+                          const std::string& unit, const std::string& help,
+                          bool taken_elsewhere);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<LatencyHistogram>> histograms_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_METRICS_H_

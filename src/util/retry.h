@@ -36,24 +36,41 @@ double BackoffDelayMs(const RetryOptions& options, int next_attempt, Rng* rng);
 /// Blocks the calling thread for `ms` milliseconds.
 void SleepForMs(double ms);
 
+/// What one RetryTransient call did, for instrumentation: how many times the
+/// body ran and how long the schedule (would have) slept. The Env layer
+/// aggregates these into the mbi.env.* metrics.
+struct RetryStats {
+  /// Times `fn` was invoked (1 = first try succeeded or failed terminally).
+  int attempts = 0;
+  /// Total backoff delay between attempts, in milliseconds (the computed
+  /// schedule, whether slept for real or through the test seam).
+  double backoff_ms = 0.0;
+};
+
 /// Runs `fn` (returning Status) up to `options.max_attempts` times, sleeping
 /// between attempts, until it returns anything other than kUnavailable.
 /// Every other code — success, corruption, ENOSPC — is returned immediately:
-/// only transient faults are worth paying latency for.
+/// only transient faults are worth paying latency for. When `stats` is
+/// non-null it is overwritten with this call's attempt/backoff accounting.
 template <typename Fn>
-Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn) {
+Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn,
+                      RetryStats* stats = nullptr) {
+  if (stats != nullptr) *stats = RetryStats{};
   Status status = fn();
+  if (stats != nullptr) ++stats->attempts;
   for (int attempt = 1;
        !status.ok() && status.code() == StatusCode::kUnavailable &&
        attempt < options.max_attempts;
        ++attempt) {
     const double delay_ms = BackoffDelayMs(options, attempt, rng);
+    if (stats != nullptr) stats->backoff_ms += delay_ms;
     if (options.sleep_ms) {
       options.sleep_ms(delay_ms);
     } else {
       SleepForMs(delay_ms);
     }
     status = fn();
+    if (stats != nullptr) ++stats->attempts;
   }
   return status;
 }

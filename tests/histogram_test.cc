@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -60,6 +63,52 @@ TEST(HistogramTest, QuantilesOfUniformSamplesAreLinear) {
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
     EXPECT_NEAR(histogram.Quantile(q), q, 0.01) << "q=" << q;
   }
+}
+
+/// Regression for the mutable sort-cache race: Quantile()/Summary() on a
+/// const Histogram rebuild `sorted_` lazily, and two concurrent const readers
+/// used to sort it in place at the same time (a data race TSan flagged).
+/// Every accessor now locks, so readers may interleave freely with a writer.
+/// The TSan CI job is what makes this test bite.
+TEST(HistogramTest, ConcurrentReadersAndWriterAreSafe) {
+  Histogram histogram;
+  for (int i = 1; i <= 64; ++i) histogram.Add(static_cast<double>(i));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2'000; ++i) histogram.Add(static_cast<double>(i % 64));
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Each call may rebuild the shared sort cache.
+        const double median = histogram.Quantile(0.5);
+        EXPECT_GE(median, 0.0);
+        EXPECT_LE(median, 64.0);
+        EXPECT_GE(histogram.Max(), histogram.Min());
+        EXPECT_GE(histogram.Mean(), 0.0);
+        EXPECT_NE(histogram.Summary("us").find("count="), std::string::npos);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(histogram.count(), 64u + 2'000u);
+}
+
+TEST(HistogramTest, CopyIsIndependentOfSource) {
+  Histogram source;
+  source.Add(1.0);
+  source.Add(3.0);
+  Histogram copy(source);
+  source.Add(100.0);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.Max(), 3.0);
+  Histogram assigned;
+  assigned = copy;
+  EXPECT_DOUBLE_EQ(assigned.Mean(), 2.0);
 }
 
 TEST(HistogramTest, SummaryMentionsAllFields) {

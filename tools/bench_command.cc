@@ -5,10 +5,13 @@
 #include "core/branch_and_bound.h"
 #include "engine/engine.h"
 #include "gen/quest_generator.h"
+#include "storage/env.h"
 #include "tools/cli_command.h"
+#include "tools/metrics_io.h"
 #include "txn/database_io.h"
 #include "util/flags.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace mbi::cli {
@@ -29,7 +32,16 @@ int RunBench(int argc, char** argv) {
   flags.AddInt64("seed", 99, "workload generator seed", &seed);
   flags.AddDouble("termination", 1.0,
                   "early-termination access fraction in (0,1]", &termination);
+  std::string metrics_json;
+  flags.AddString("metrics_json", "",
+                  "write an mbi.metrics.v1 JSON snapshot of every metric to "
+                  "this path after the replay ('-' for stdout)",
+                  &metrics_json);
   if (!flags.Parse(argc, argv)) return 0;
+
+  MetricsRegistry* metrics =
+      metrics_json.empty() ? nullptr : MetricsRegistry::Global();
+  if (metrics != nullptr) Env::Default()->set_metrics(metrics);
 
   auto db = LoadDatabase(db_path);
   if (!db.ok()) {
@@ -37,6 +49,7 @@ int RunBench(int argc, char** argv) {
     return 1;
   }
   SignatureTableEngine engine(&*db);
+  engine.set_metrics(metrics);
   if (Status opened = engine.OpenIndex(index_path); !opened.ok()) {
     if (!engine.quarantined()) {
       std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
@@ -86,6 +99,17 @@ int RunBench(int argc, char** argv) {
   if (engine.fallback_queries() > 0) {
     std::printf("sequential fallbacks: %llu\n",
                 static_cast<unsigned long long>(engine.fallback_queries()));
+  }
+  if (metrics != nullptr) {
+    if (const LatencyHistogram* hist =
+            metrics->FindHistogram("mbi.engine.latency.knn");
+        hist != nullptr && hist->count() > 0) {
+      const LatencyHistogram::Snapshot snapshot = hist->GetSnapshot();
+      std::printf("metrics:  p50<=%.0fus p95<=%.0fus p99<=%.0fus max=%.0fus\n",
+                  snapshot.Quantile(0.5), snapshot.Quantile(0.95),
+                  snapshot.Quantile(0.99), snapshot.max);
+    }
+    if (!WriteMetricsJson(metrics_json, *metrics)) return 1;
   }
   return 0;
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validates an mbi.metrics.v1 JSON snapshot (the --metrics_json output).
+
+Usage: check_metrics_json.py FILE [FILE...]
+
+Checks, per file:
+  - the document parses as JSON and is tagged "schema": "mbi.metrics.v1";
+  - the three sections (counters, gauges, histograms) are objects whose keys
+    are valid metric names (lowercase dot-separated, no empty segments) in
+    sorted order (the exporter's stability contract);
+  - counters are {"unit": str, "value": non-negative int};
+  - gauges are {"unit": str, "value": number or "+inf"/"-inf"/"nan"};
+  - histograms are {"unit", "count", "sum", "max", "buckets"} where buckets
+    is a list of {"le", "count"} with strictly increasing bounds ending in
+    "+inf", and the bucket counts sum to "count";
+  - no metric name appears in more than one section.
+
+Exits non-zero with one diagnostic line per violation.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+SPECIAL_NUMBERS = {"+inf", "-inf", "nan"}
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_json_number(value):
+    """A number as the exporter writes it: JSON number or quoted special."""
+    return is_number(value) or value in SPECIAL_NUMBERS
+
+
+def check_names(section, mapping, errors):
+    names = list(mapping.keys())
+    for name in names:
+        if not NAME_RE.match(name):
+            errors.append(f"{section}: invalid metric name {name!r}")
+    if names != sorted(names):
+        errors.append(f"{section}: keys are not in sorted order")
+
+
+def check_counter(name, body, errors):
+    if not isinstance(body.get("unit"), str):
+        errors.append(f"counters.{name}: missing string 'unit'")
+    value = body.get("value")
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        errors.append(f"counters.{name}: 'value' must be a non-negative "
+                      f"integer, got {value!r}")
+    extra = set(body) - {"unit", "value"}
+    if extra:
+        errors.append(f"counters.{name}: unexpected fields {sorted(extra)}")
+
+
+def check_gauge(name, body, errors):
+    if not isinstance(body.get("unit"), str):
+        errors.append(f"gauges.{name}: missing string 'unit'")
+    if not is_json_number(body.get("value")):
+        errors.append(f"gauges.{name}: 'value' must be a number, "
+                      f"got {body.get('value')!r}")
+    extra = set(body) - {"unit", "value"}
+    if extra:
+        errors.append(f"gauges.{name}: unexpected fields {sorted(extra)}")
+
+
+def check_histogram(name, body, errors):
+    where = f"histograms.{name}"
+    if not isinstance(body.get("unit"), str):
+        errors.append(f"{where}: missing string 'unit'")
+    count = body.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        errors.append(f"{where}: 'count' must be a non-negative integer")
+        count = None
+    for field in ("sum", "max"):
+        if not is_json_number(body.get(field)):
+            errors.append(f"{where}: '{field}' must be a number")
+    buckets = body.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        errors.append(f"{where}: 'buckets' must be a non-empty list")
+        return
+    previous = None
+    total = 0
+    for i, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or set(bucket) != {"le", "count"}:
+            errors.append(f"{where}: bucket {i} must be {{'le', 'count'}}")
+            return
+        le, bucket_count = bucket["le"], bucket["count"]
+        if (not isinstance(bucket_count, int) or isinstance(bucket_count, bool)
+                or bucket_count < 0):
+            errors.append(f"{where}: bucket {i} count must be a non-negative "
+                          f"integer")
+        total += bucket_count if isinstance(bucket_count, int) else 0
+        is_last = i == len(buckets) - 1
+        if is_last:
+            if le != "+inf":
+                errors.append(f"{where}: last bucket bound must be '+inf', "
+                              f"got {le!r}")
+        else:
+            if not is_number(le):
+                errors.append(f"{where}: bucket {i} bound must be a finite "
+                              f"number, got {le!r}")
+                return
+            if previous is not None and le <= previous:
+                errors.append(f"{where}: bucket bounds not strictly "
+                              f"increasing at index {i}")
+            previous = le
+    if count is not None and total != count:
+        errors.append(f"{where}: bucket counts sum to {total}, "
+                      f"'count' says {count}")
+    extra = set(body) - {"unit", "count", "sum", "max", "buckets"}
+    if extra:
+        errors.append(f"{where}: unexpected fields {sorted(extra)}")
+
+
+def check_document(doc, errors):
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+    if doc.get("schema") != "mbi.metrics.v1":
+        errors.append(f"bad schema tag: {doc.get('schema')!r}")
+    sections = {"counters": check_counter, "gauges": check_gauge,
+                "histograms": check_histogram}
+    extra = set(doc) - set(sections) - {"schema"}
+    if extra:
+        errors.append(f"unexpected top-level fields {sorted(extra)}")
+    seen = {}
+    for section, checker in sections.items():
+        mapping = doc.get(section)
+        if not isinstance(mapping, dict):
+            errors.append(f"missing '{section}' object")
+            continue
+        check_names(section, mapping, errors)
+        for name, body in mapping.items():
+            if name in seen:
+                errors.append(f"{section}.{name}: name already used in "
+                              f"{seen[name]}")
+            seen[name] = section
+            if not isinstance(body, dict):
+                errors.append(f"{section}.{name}: entry is not an object")
+                continue
+            checker(name, body, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(str(exc))
+            doc = None
+        if doc is not None:
+            check_document(doc, errors)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            counters = len(doc.get("counters", {}))
+            gauges = len(doc.get("gauges", {}))
+            histograms = len(doc.get("histograms", {}))
+            print(f"{path}: OK ({counters} counters, {gauges} gauges, "
+                  f"{histograms} histograms)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

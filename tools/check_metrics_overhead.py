@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gates the cost of enabled metrics on the single-query hot path.
+
+Usage: check_metrics_overhead.py BENCH_core.json [--max-overhead-pct 3.0]
+
+Reads google-benchmark JSON produced by bench/perf_smoke and compares
+BM_SingleQuery_MetricsOn against BM_SingleQuery_MetricsOff. With
+--benchmark_repetitions=N the comparison uses the median of the per-repetition
+real times (robust to one noisy repetition on shared CI runners); without
+repetitions it falls back to the single reported time. Fails when the enabled
+path is more than --max-overhead-pct slower than the disabled one.
+
+The same file also carries the metric-derived counters the MetricsOn
+benchmark exported (metric_queries, metric_pages_read, ...); this script
+sanity-checks that metric_queries is ~1 per iteration, which proves the
+registry actually observed the benchmark rather than sitting disconnected.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def median_real_time(benchmarks, name):
+    """Median real_time over repetitions of `name`, in ns."""
+    # With repetitions google-benchmark emits one entry per repetition
+    # (run_type "iteration") plus aggregates; without, a single entry.
+    times = [b["real_time"] for b in benchmarks
+             if b["name"] == name and b.get("run_type", "iteration") ==
+             "iteration"]
+    if not times:
+        return None
+    return statistics.median(times)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--max-overhead-pct", type=float, default=3.0)
+    args = parser.parse_args(argv[1:])
+
+    with open(args.bench_json, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    benchmarks = doc.get("benchmarks", [])
+
+    off = median_real_time(benchmarks, "BM_SingleQuery_MetricsOff")
+    on = median_real_time(benchmarks, "BM_SingleQuery_MetricsOn")
+    if off is None or on is None:
+        print("error: BM_SingleQuery_MetricsOff/On not found in "
+              f"{args.bench_json}", file=sys.stderr)
+        return 2
+
+    overhead_pct = 100.0 * (on - off) / off
+    print(f"single-query k-NN: metrics off {off:.1f} us, on {on:.1f} us "
+          f"-> overhead {overhead_pct:+.2f}% "
+          f"(gate < {args.max_overhead_pct:.1f}%)")
+
+    # The MetricsOn benchmark exports registry-derived counters; one query
+    # per iteration means the registry really was wired into the hot path.
+    queries_per_iter = None
+    for bench in benchmarks:
+        if (bench["name"].startswith("BM_SingleQuery_MetricsOn")
+                and "metric_queries" in bench):
+            queries_per_iter = bench["metric_queries"]
+            break
+    if queries_per_iter is None:
+        print("error: BM_SingleQuery_MetricsOn exported no metric_queries "
+              "counter", file=sys.stderr)
+        return 2
+    if not 0.99 <= queries_per_iter <= 1.01:
+        print(f"error: metric_queries per iteration is {queries_per_iter}, "
+              "expected ~1 (registry not observing the benchmark?)",
+              file=sys.stderr)
+        return 1
+
+    if overhead_pct >= args.max_overhead_pct:
+        print(f"error: metrics overhead {overhead_pct:.2f}% exceeds the "
+              f"{args.max_overhead_pct:.1f}% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

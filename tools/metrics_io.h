@@ -1,0 +1,41 @@
+#ifndef MBI_TOOLS_METRICS_IO_H_
+#define MBI_TOOLS_METRICS_IO_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace mbi::cli {
+
+/// Writes the registry's stable JSON snapshot ("mbi.metrics.v1", see
+/// DESIGN.md §8) to `path`; "-" dumps to stdout. Returns false (with a
+/// message on stderr) on I/O failure. Metrics are diagnostics rather than
+/// durable artifacts, so this deliberately bypasses the Env/fault layer —
+/// a fault schedule aimed at index writes must not corrupt the telemetry
+/// describing it.
+inline bool WriteMetricsJson(const std::string& path,
+                             const MetricsRegistry& registry) {
+  const std::string json = registry.ToJson();
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mbi::cli
+
+#endif  // MBI_TOOLS_METRICS_IO_H_

@@ -6,9 +6,12 @@
 #include "core/branch_and_bound.h"
 #include "core/query_context.h"
 #include "engine/engine.h"
+#include "storage/env.h"
 #include "tools/cli_command.h"
+#include "tools/metrics_io.h"
 #include "txn/database_io.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -74,25 +77,59 @@ int RunQuery(int argc, char** argv) {
                 "bound dominance (Lemma 2.1) for this target before querying "
                 "(debug; O(N) extra work)",
                 &check_invariants);
+  std::string metrics_json;
+  flags.AddString("metrics_json", "",
+                  "write an mbi.metrics.v1 JSON snapshot of every metric to "
+                  "this path after the query ('-' for stdout)",
+                  &metrics_json);
+  bool collect_spans;
+  flags.AddBool("trace", false,
+                "print the per-phase trace spans (load, open, query) of this "
+                "invocation",
+                &collect_spans);
   if (!flags.Parse(argc, argv)) return 0;
 
-  auto db = LoadDatabase(db_path);
+  // Instrumentation is opt-in: resolving handles only when a sink was asked
+  // for keeps the default invocation on the uninstrumented fast path.
+  MetricsRegistry* metrics =
+      metrics_json.empty() ? nullptr : MetricsRegistry::Global();
+  if (metrics != nullptr) Env::Default()->set_metrics(metrics);
+  QueryTrace trace;
+  QueryTrace* trace_sink = collect_spans ? &trace : nullptr;
+  auto finish = [&](int code) {
+    if (collect_spans) {
+      std::printf("\ntrace:\n%s", trace.ToString().c_str());
+    }
+    if (metrics != nullptr && !WriteMetricsJson(metrics_json, *metrics)) {
+      return 1;
+    }
+    return code;
+  };
+
+  StatusOr<TransactionDatabase> db = [&] {
+    ScopedTimer span(nullptr, trace_sink, "load_db");
+    return LoadDatabase(db_path);
+  }();
   if (!db.ok()) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
   SignatureTableEngine engine(&*db);
-  if (Status opened = engine.OpenIndex(index_path); !opened.ok()) {
-    if (!engine.quarantined()) {
-      std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
-      return 1;
+  engine.set_metrics(metrics);
+  {
+    ScopedTimer span(nullptr, trace_sink, "open_index");
+    if (Status opened = engine.OpenIndex(index_path); !opened.ok()) {
+      if (!engine.quarantined()) {
+        std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
+        return 1;
+      }
+      // Corrupt index: quarantine and keep serving (exact answers via
+      // sequential scan). `mbi build` rebuilds the index from the database.
+      std::fprintf(stderr,
+                   "warning: index quarantined (%s); serving queries via "
+                   "sequential scan\n",
+                   engine.quarantine_reason().ToString().c_str());
     }
-    // Corrupt index: quarantine and keep serving (exact answers via
-    // sequential scan). `mbi build` rebuilds the index from the database.
-    std::fprintf(stderr,
-                 "warning: index quarantined (%s); serving queries via "
-                 "sequential scan\n",
-                 engine.quarantine_reason().ToString().c_str());
   }
 
   Transaction target;
@@ -128,8 +165,10 @@ int RunQuery(int argc, char** argv) {
 
   Stopwatch timer;
   if (range_threshold >= 0.0) {
-    RangeQueryResult result =
-        engine.FindInRange(target, *family, range_threshold);
+    RangeQueryResult result = [&] {
+      ScopedTimer span(nullptr, trace_sink, "range_query");
+      return engine.FindInRange(target, *family, range_threshold);
+    }();
     std::printf(
         "range query %s >= %.4g: %zu matches in %.1f ms "
         "(accessed %.2f%%, pruned %llu/%llu entries%s)\n",
@@ -143,7 +182,7 @@ int RunQuery(int argc, char** argv) {
                   result.matches[i].similarity,
                   db->Get(result.matches[i].id).ToString().c_str());
     }
-    return 0;
+    return finish(0);
   }
 
   SearchOptions options;
@@ -152,9 +191,12 @@ int RunQuery(int argc, char** argv) {
   if (repeat < 1) repeat = 1;
   QueryContext context;
   NearestNeighborResult result;
-  for (int64_t run = 0; run < repeat; ++run) {
-    result = engine.FindKNearest(target, *family, static_cast<size_t>(k),
-                                 options, &context);
+  {
+    ScopedTimer span(nullptr, trace_sink, "knn_query");
+    for (int64_t run = 0; run < repeat; ++run) {
+      result = engine.FindKNearest(target, *family, static_cast<size_t>(k),
+                                   options, &context);
+    }
   }
   double per_query_ms = timer.ElapsedMillis() / static_cast<double>(repeat);
   std::printf(
@@ -199,7 +241,7 @@ int RunQuery(int argc, char** argv) {
     std::printf("  ... %zu entries total: %zu scanned, %zu pruned\n",
                 result.trace.size(), scanned, pruned);
   }
-  return 0;
+  return finish(0);
 }
 
 }  // namespace mbi::cli

@@ -5,9 +5,12 @@
 #include "core/table_io.h"
 #include "gen/quest_generator.h"
 #include "mining/support_counter.h"
+#include "storage/env.h"
 #include "tools/cli_command.h"
+#include "tools/metrics_io.h"
 #include "txn/database_io.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 
 namespace mbi::cli {
 
@@ -19,7 +22,16 @@ int RunStats(int argc, char** argv) {
   flags.AddString("index", "", "optional index file", &index_path);
   flags.AddInt64("top_items", 10, "number of most frequent items to list",
                  &top_items);
+  bool dump_metrics;
+  flags.AddBool("metrics", false,
+                "instrument this invocation and dump the live mbi.metrics.v1 "
+                "registry as JSON to stdout after the report",
+                &dump_metrics);
   if (!flags.Parse(argc, argv)) return 0;
+
+  MetricsRegistry* metrics =
+      dump_metrics ? MetricsRegistry::Global() : nullptr;
+  if (metrics != nullptr) Env::Default()->set_metrics(metrics);
 
   auto db = LoadDatabase(db_path);
   if (!db.ok()) {
@@ -58,6 +70,7 @@ int RunStats(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
       return 1;
     }
+    table->set_metrics(metrics);
     SignatureTable::Stats index_stats = table->ComputeStats();
     std::printf("index %s\n", index_path.c_str());
     std::printf("  signature cardinality K: %u\n", index_stats.cardinality);
@@ -82,6 +95,10 @@ int RunStats(int argc, char** argv) {
       std::printf(" %zu", table->partition().ItemsOf(s).size());
     }
     std::printf("\n");
+  }
+  if (metrics != nullptr) {
+    std::printf("metrics:\n");
+    if (!WriteMetricsJson("-", *metrics)) return 1;
   }
   return 0;
 }
