@@ -1,0 +1,103 @@
+/// Fuzz target: the v2 artifact container parser.
+///
+/// The input bytes are persisted as a file and fed to every reader the
+/// durable-storage layer exposes — header/version validation, section
+/// framing, CRC verification, and the artifact-specific section decoders for
+/// all four magics ("MBID" database, "MBSP" partition, "MBST" signature
+/// table, "MBPG" page spill) plus the `mbi verify` walk. The contract under
+/// test is the one tests/property_fuzz_test.cc asserts for random
+/// corruptions: arbitrary bytes must produce a clean Status (usually
+/// kCorruption), never a crash, leak, or out-of-bounds read.
+///
+/// Build with -DMBI_FUZZ=ON; see fuzz/CMakeLists.txt and DESIGN.md §9.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/partition_io.h"
+#include "core/table_io.h"
+#include "storage/env.h"
+#include "storage/format.h"
+#include "storage/page_store.h"
+#include "txn/database.h"
+#include "txn/database_io.h"
+#include "util/status.h"
+
+namespace {
+
+/// Scratch path reused across iterations (one fuzz process = one file).
+std::string ArtifactPath() {
+  const char* tmpdir = std::getenv("TMPDIR");  // NOLINT(concurrency-mt-unsafe)
+  std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  return dir + "/mbi_artifact_fuzz_" + std::to_string(getpid()) + ".bin";
+}
+
+/// A small database for LoadSignatureTable to validate against; table files
+/// that decode cleanly but index a different database must yield
+/// kInvalidArgument, which is part of the surface under test.
+const mbi::TransactionDatabase& FixtureDatabase() {
+  static const mbi::TransactionDatabase* db = [] {
+    auto* fixture = new mbi::TransactionDatabase(16);
+    fixture->Add(mbi::Transaction({0, 1, 2}));
+    fixture->Add(mbi::Transaction({1, 3, 5, 7}));
+    fixture->Add(mbi::Transaction({2, 4, 6}));
+    fixture->Add(mbi::Transaction({0, 8, 15}));
+    return fixture;
+  }();
+  return *db;
+}
+
+/// The `mbi verify` walk: accept any known magic, iterate every section,
+/// recording CRC verdicts until the framing gives out.
+void WalkSections(mbi::Env* env, const std::string& path) {
+  mbi::StatusOr<mbi::ArtifactReader> reader =
+      mbi::ArtifactReader::Open(env, path, /*expected_magic=*/0);
+  if (!reader.ok()) return;
+  while (reader.value().remaining() > 0) {
+    mbi::StatusOr<mbi::ArtifactReader::RawSection> section =
+        reader.value().NextSection();
+    if (!section.ok()) break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const std::string path = ArtifactPath();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return 0;
+  if (size > 0 && std::fwrite(data, 1, size, file) != size) {
+    std::fclose(file);
+    return 0;
+  }
+  std::fclose(file);
+
+  mbi::Env* env = mbi::Env::Default();
+
+  // Dispatch on the declared magic so the fuzzer reaches the type-specific
+  // section decoders quickly; inputs with an unknown or truncated magic
+  // still exercise every loader's header rejection below.
+  uint32_t magic = 0;
+  if (size >= sizeof(magic)) std::memcpy(&magic, data, sizeof(magic));
+
+  if (magic == mbi::kDatabaseMagic || size < sizeof(magic)) {
+    mbi::LoadDatabase(path, env).status().ToString();
+  }
+  if (magic == mbi::kPartitionMagic || size < sizeof(magic)) {
+    mbi::LoadPartition(path, env).status().ToString();
+  }
+  if (magic == mbi::kTableMagic || size < sizeof(magic)) {
+    mbi::LoadSignatureTable(path, FixtureDatabase(), env).status().ToString();
+    mbi::VerifySignatureTableFile(path, env).ToString();
+  }
+  if (magic == mbi::kPageSpillMagic || size < sizeof(magic)) {
+    mbi::PageStore::LoadSpillFile(path, env).status().ToString();
+  }
+  WalkSections(env, path);
+  return 0;
+}

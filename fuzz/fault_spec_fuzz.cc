@@ -1,0 +1,69 @@
+/// Fuzz target: the MBI_FAULT_INJECT spec grammar and the injector hooks.
+///
+/// Part one hands arbitrary bytes to FaultInjector::FromSpec — the exact
+/// string an operator can put in the environment — which must either parse
+/// or return kInvalidArgument, never crash. Part two drives a parsed
+/// injector through the same hook sequence an Env performs during a save
+/// (open, a few writes at varied offsets/sizes, rename, reset), so the
+/// schedule bookkeeping (write indices, transient decrements, bit-flip
+/// ranges, torn prefixes) is exercised against adversarial schedules, and
+/// every reported WriteOutcome is checked for internal consistency.
+///
+/// Build with -DMBI_FUZZ=ON; see fuzz/CMakeLists.txt and DESIGN.md §9.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz_input.h"
+#include "storage/fault_injector.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mbi::fuzz::FuzzInput input(data, size);
+
+  // A handful of hook-call shape decisions from the head of the input, then
+  // the remainder is the spec string itself.
+  const uint32_t num_writes = input.TakeInRange(0, 12);
+  const uint32_t write_size = input.TakeInRange(0, 64);
+  const bool do_reset = input.TakeByte() % 2 == 1;
+  const std::string spec = input.TakeRemainder();
+
+  mbi::StatusOr<std::unique_ptr<mbi::FaultInjector>> parsed =
+      mbi::FaultInjector::FromSpec(spec);
+  if (!parsed.ok()) {
+    // Malformed specs must be rejected as kInvalidArgument with a printable
+    // message — the CLI forwards it verbatim to the operator.
+    if (parsed.status().code() != mbi::StatusCode::kInvalidArgument) abort();
+    parsed.status().ToString();
+    return 0;
+  }
+
+  mbi::FaultInjector& injector = *parsed.value();
+  injector.seed();
+  (void)injector.OnOpenWrite("fuzz.tmp");
+
+  uint8_t buffer[64] = {0};
+  uint64_t offset = 0;
+  for (uint32_t i = 0; i < num_writes; ++i) {
+    const mbi::FaultInjector::WriteOutcome outcome =
+        injector.OnWrite("fuzz.tmp", offset, buffer, write_size);
+    // Invariants of the outcome contract (see fault_injector.h): the
+    // persisted prefix never exceeds the buffer, and flips land inside it.
+    if (outcome.prefix > write_size) abort();
+    for (const auto& [flip_offset, mask] : outcome.flips) {
+      if (flip_offset >= write_size) abort();
+      if (mask == 0) abort();
+    }
+    // The Env advances the file offset only by what actually persisted.
+    offset += outcome.prefix;
+  }
+  (void)injector.OnRename("fuzz.tmp", "fuzz");
+  injector.writes_seen();
+  injector.opens_seen();
+  if (do_reset) {
+    injector.Reset();
+    if (injector.writes_seen() != 0 || injector.opens_seen() != 0) abort();
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef MBI_FUZZ_FUZZ_INPUT_H_
+#define MBI_FUZZ_FUZZ_INPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mbi::fuzz {
+
+/// Minimal FuzzedDataProvider-style cursor over the raw fuzz input. Each
+/// harness decodes its structured pieces through this so the decoding is
+/// total: when the input runs out, every getter degrades to zeros instead of
+/// reading out of bounds, which keeps the byte→test-case mapping stable for
+/// corpus minimization.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - position_; }
+  bool empty() const { return remaining() == 0; }
+
+  uint8_t TakeByte() {
+    if (empty()) return 0;
+    return data_[position_++];
+  }
+
+  uint32_t TakeU32() {
+    uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<uint32_t>(TakeByte()) << shift;
+    }
+    return value;
+  }
+
+  /// Uniform-ish value in [lo, hi] (inclusive); requires lo <= hi.
+  uint32_t TakeInRange(uint32_t lo, uint32_t hi) {
+    const uint32_t span = hi - lo + 1;
+    if (span == 0) return TakeU32();  // Full range.
+    return lo + TakeU32() % span;
+  }
+
+  /// Up to `max_size` raw bytes as a string (shorter when input runs dry).
+  std::string TakeString(size_t max_size) {
+    const size_t take = max_size < remaining() ? max_size : remaining();
+    std::string out(reinterpret_cast<const char*>(data_ + position_), take);
+    position_ += take;
+    return out;
+  }
+
+  /// All unconsumed bytes.
+  std::string TakeRemainder() { return TakeString(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t position_ = 0;
+};
+
+}  // namespace mbi::fuzz
+
+#endif  // MBI_FUZZ_FUZZ_INPUT_H_

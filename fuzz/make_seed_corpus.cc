@@ -1,0 +1,166 @@
+/// Regenerates the checked-in seed corpora under fuzz/corpus/.
+///
+/// Seeds give both fuzzing modes a running start: libFuzzer mutates from
+/// structurally valid inputs instead of spending its budget rediscovering
+/// the container framing, and the gcc standalone driver (standalone_main.cc)
+/// replays them as deterministic regression tests via the fuzz_*_corpus
+/// ctest entries. Everything here is deterministic — no clocks, no PRNG —
+/// so regeneration is reproducible and diffs stay reviewable.
+///
+///   ./make_seed_corpus [corpus-root]   (default: fuzz/corpus)
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/index_builder.h"
+#include "core/partition_io.h"
+#include "core/signature_table.h"
+#include "core/table_io.h"
+#include "storage/page_store.h"
+#include "txn/database.h"
+#include "txn/database_io.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace {
+
+void CheckOk(const mbi::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void EnsureDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "mkdir %s failed\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+void WriteFile(const std::string& path, const void* data, size_t size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  MBI_CHECK_MSG(file != nullptr, "fopen for write failed");
+  if (size != 0) MBI_CHECK(std::fwrite(data, 1, size, file) == size);
+  MBI_CHECK(std::fclose(file) == 0);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), size);
+}
+
+void WriteString(const std::string& path, const std::string& text) {
+  WriteFile(path, text.data(), text.size());
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  MBI_CHECK_MSG(file != nullptr, "fopen for read failed");
+  MBI_CHECK(std::fseek(file, 0, SEEK_END) == 0);
+  const long size = std::ftell(file);
+  MBI_CHECK(size >= 0);
+  MBI_CHECK(std::fseek(file, 0, SEEK_SET) == 0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!bytes.empty()) {
+    MBI_CHECK(std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size());
+  }
+  MBI_CHECK(std::fclose(file) == 0);
+  return bytes;
+}
+
+/// Small but non-trivial fixture: overlapping baskets over a 24-item
+/// universe, enough transactions that the table has multi-page buckets.
+mbi::TransactionDatabase MakeFixtureDatabase() {
+  mbi::TransactionDatabase database(24);
+  for (uint32_t i = 0; i < 30; ++i) {
+    std::vector<mbi::ItemId> items;
+    for (uint32_t j = 0; j < 3 + i % 5; ++j) {
+      items.push_back((i * 7 + j * 5) % 24);
+    }
+    database.Add(mbi::Transaction(std::move(items)));
+  }
+  return database;
+}
+
+/// Fault-spec harness inputs start with two LE u32s (num_writes, write_size)
+/// and a reset byte before the spec text — see fault_spec_fuzz.cc.
+std::string FaultSeed(uint32_t num_writes, uint32_t write_size,
+                      uint8_t do_reset, const std::string& spec) {
+  std::string seed(9, '\0');
+  std::memcpy(seed.data(), &num_writes, 4);
+  std::memcpy(seed.data() + 4, &write_size, 4);
+  seed[8] = static_cast<char>(do_reset);
+  return seed + spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
+  EnsureDir(root);
+  const std::string artifact_dir = root + "/artifact_parser_fuzz";
+  const std::string fault_dir = root + "/fault_spec_fuzz";
+  const std::string query_dir = root + "/query_differential_fuzz";
+  EnsureDir(artifact_dir);
+  EnsureDir(fault_dir);
+  EnsureDir(query_dir);
+
+  // --- artifact_parser_fuzz: one valid v2 artifact per magic, plus a
+  // truncation that exercises the corruption paths.
+  const mbi::TransactionDatabase database = MakeFixtureDatabase();
+  CheckOk(mbi::SaveDatabase(database, artifact_dir + "/database.mbid"));
+
+  mbi::IndexBuildConfig config;
+  config.clustering.target_cardinality = 6;
+  const mbi::SignatureTable table = mbi::BuildIndex(database, config);
+  CheckOk(mbi::SaveSignatureTable(table, artifact_dir + "/table.mbst"));
+  CheckOk(
+      mbi::SavePartition(table.partition(), artifact_dir + "/partition.mbsp"));
+
+  mbi::PageStore pages(128);
+  for (uint32_t id = 0; id < 40; ++id) {
+    pages.Append(id, 4 + 4 * (1 + id % 6));
+    if (id % 9 == 8) pages.SealCurrentPage();
+  }
+  CheckOk(pages.SpillToFile(artifact_dir + "/pages.mbpg"));
+
+  const std::vector<uint8_t> full = ReadFile(artifact_dir + "/database.mbid");
+  MBI_CHECK(full.size() > 40);
+  WriteFile(artifact_dir + "/database_truncated.mbid", full.data(), 40);
+  // Magic shorter than 4 bytes: the harness runs every loader on it.
+  WriteFile(artifact_dir + "/short_magic.bin", "MB", 2);
+
+  // --- fault_spec_fuzz: every production of the spec grammar, plus an
+  // invalid spec (FromSpec must reject it, not crash).
+  WriteString(fault_dir + "/nospace", FaultSeed(4, 32, 0, "nospace_write=2;seed=7"));
+  WriteString(fault_dir + "/torn", FaultSeed(6, 48, 0, "torn_write=3:17"));
+  WriteString(fault_dir + "/flip_rename",
+              FaultSeed(8, 64, 1, "flip_bit=100:3;fail_rename=1"));
+  WriteString(fault_dir + "/transient_open",
+              FaultSeed(5, 24, 0, "transient_write=2:2;fail_open=1"));
+  WriteString(fault_dir + "/everything",
+              FaultSeed(12, 64, 1,
+                        "fail_write=9;torn_write=1:0;flip_bit=0:7;seed=1"));
+  WriteString(fault_dir + "/invalid", FaultSeed(1, 8, 0, "torn_write=;x"));
+
+  // --- query_differential_fuzz: byte blobs the decoder maps onto varied
+  // database/query shapes (each TakeInRange consumes 4 LE bytes).
+  const std::string patterns[] = {
+      std::string(64, '\0'),                       // minimal everything
+      std::string(64, '\xff'),                     // maximal everything
+      "\x2f\x00\x00\x00\x26\x00\x00\x00" + std::string(120, '\x55'),
+      "\x07\x00\x00\x00\x01\x00\x00\x00\x09\x00\x00\x00" +
+          std::string(96, '\xa3'),
+  };
+  const char* names[] = {"zeros", "ones", "mid", "small"};
+  for (size_t i = 0; i < 4; ++i) {
+    WriteString(query_dir + "/" + names[i], patterns[i]);
+  }
+
+  std::printf("seed corpus regenerated under %s\n", root.c_str());
+  return 0;
+}

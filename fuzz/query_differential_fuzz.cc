@@ -1,0 +1,193 @@
+/// Differential fuzz target: branch-and-bound vs. sequential scan.
+///
+/// Decodes a transaction database, an index configuration, a query target,
+/// and a similarity family from the fuzz input; builds a signature table
+/// over the database; then asserts that the engine's *exact* k-NN answer
+/// matches SequentialScanner's — bit-identical similarity sequences with
+/// guaranteed_exact set, and identical neighbour ids everywhere the ids are
+/// actually determined. This is the paper's core claim (branch and bound
+/// with Lemma 2.1 bounds loses nothing against a full scan for any
+/// admissible f(x, y)) checked on machine-generated adversarial inputs
+/// rather than the hand-picked shapes in tests/oracle_equivalence_test.cc.
+///
+/// Tie semantics (this fuzzer's first real catch): the engine prunes an
+/// entry as soon as its optimistic bound is <= the k-th best similarity, so
+/// a candidate *tied* with the k-th best can sit in a pruned bucket and
+/// never be evaluated. Which ids represent the tie group at the k-th
+/// similarity value is therefore unspecified — the scan resolves that group
+/// globally by ascending id, the engine only among candidates it evaluated
+/// (see the contract note on BranchAndBoundEngine::FindKNearest). Above the
+/// cutoff group nothing can be pruned, so ids must match exactly; within it
+/// this harness instead recomputes each engine-returned id's similarity from
+/// scratch and asserts it is genuinely tied, distinct, and in ascending-id
+/// order.
+///
+/// Decoded parameters are clamped into the constructors' documented domains
+/// (cardinality <= universe, items < universe, ...) — the goal is deep
+/// coverage of query logic, not of MBI_CHECK precondition aborts, which the
+/// container-parser target already owns for untrusted bytes.
+///
+/// Build with -DMBI_FUZZ=ON; see fuzz/CMakeLists.txt and DESIGN.md §9.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baseline/sequential_scan.h"
+#include "core/branch_and_bound.h"
+#include "core/index_builder.h"
+#include "core/similarity.h"
+#include "engine/engine.h"
+#include "fuzz_input.h"
+#include "txn/database.h"
+#include "txn/transaction.h"
+
+namespace {
+
+mbi::Transaction DecodeTransaction(mbi::fuzz::FuzzInput* input,
+                                   uint32_t universe_size,
+                                   uint32_t max_items) {
+  const uint32_t count = input->TakeInRange(0, max_items);
+  std::vector<mbi::ItemId> items;
+  items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    items.push_back(input->TakeInRange(0, universe_size - 1));
+  }
+  return mbi::Transaction(std::move(items));  // Sorts and deduplicates.
+}
+
+std::unique_ptr<mbi::SimilarityFamily> DecodeFamily(uint8_t selector) {
+  switch (selector % 4) {
+    case 0: return std::make_unique<mbi::InverseHammingFamily>();
+    case 1: return std::make_unique<mbi::MatchRatioFamily>();
+    case 2: return std::make_unique<mbi::CosineFamily>();
+    default: return std::make_unique<mbi::JaccardFamily>();
+  }
+}
+
+/// Exact double equality (matching NaNs count as equal). Any difference
+/// here is a real divergence between the two engines — both compute f over
+/// the same integer (matches, hamming) pairs, so even floating-point
+/// results must agree to the last bit.
+bool SameSimilarity(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mbi::fuzz::FuzzInput input(data, size);
+
+  const uint32_t universe_size = input.TakeInRange(2, 48);
+  const uint32_t num_transactions = input.TakeInRange(1, 40);
+  const uint32_t cardinality =
+      input.TakeInRange(1, universe_size < 10 ? universe_size : 10);
+  const uint32_t activation_threshold = input.TakeInRange(1, 3);
+  const bool balanced_partitioner = input.TakeByte() % 2 == 1;
+  const uint8_t family_selector = input.TakeByte();
+  const uint32_t k = input.TakeInRange(1, 8);
+
+  mbi::TransactionDatabase database(universe_size);
+  for (uint32_t i = 0; i < num_transactions; ++i) {
+    database.Add(DecodeTransaction(&input, universe_size, 12));
+  }
+  const mbi::Transaction target =
+      DecodeTransaction(&input, universe_size, 12);
+
+  mbi::IndexBuildConfig config;
+  config.clustering.target_cardinality = cardinality;
+  config.table.activation_threshold =
+      static_cast<int>(activation_threshold);
+  config.use_balanced_partitioner = balanced_partitioner;
+
+  mbi::SignatureTableEngine engine(&database);
+  engine.AdoptTable(mbi::BuildIndex(database, config));
+
+  const std::unique_ptr<mbi::SimilarityFamily> family =
+      DecodeFamily(family_selector);
+
+  // Exact search only: early termination and gap pruning trade exactness
+  // away by design, so only the default options carry the bit-identical
+  // guarantee against the scan.
+  const mbi::NearestNeighborResult result =
+      engine.FindKNearest(target, *family, k);
+  if (!result.guaranteed_exact) {
+    std::fprintf(stderr, "divergence: exact search not guaranteed_exact\n");
+    abort();
+  }
+
+  const mbi::SequentialScanner scanner(&database);
+  const std::vector<mbi::Neighbor> expected =
+      scanner.FindKNearest(target, *family, k);
+
+  if (result.neighbors.size() != expected.size()) {
+    std::fprintf(stderr, "divergence: engine returned %zu neighbors, scan %zu\n",
+                 result.neighbors.size(), expected.size());
+    abort();
+  }
+  if (expected.empty()) return 0;
+
+  // The similarity *sequence* must agree everywhere — pruning at the cutoff
+  // can change which tied id is reported, never any value.
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (!SameSimilarity(result.neighbors[i].similarity,
+                        expected[i].similarity)) {
+      std::fprintf(stderr, "divergence: neighbor %zu similarity %.17g vs %.17g\n",
+                   i, result.neighbors[i].similarity, expected[i].similarity);
+      abort();
+    }
+  }
+
+  // Ids are fully determined above the cutoff tie group (every candidate
+  // strictly better than the k-th similarity is evaluated by both sides and
+  // both sort ties ascending).
+  const double cutoff = expected.back().similarity;
+  const std::unique_ptr<mbi::SimilarityFunction> function =
+      family->ForTarget(target);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const bool in_cutoff_group = SameSimilarity(expected[i].similarity, cutoff);
+    if (!in_cutoff_group && result.neighbors[i].id != expected[i].id) {
+      std::fprintf(stderr,
+                   "divergence: neighbor %zu id %u (sim %.17g) vs scan id %u "
+                   "(sim %.17g)\n",
+                   i, result.neighbors[i].id, result.neighbors[i].similarity,
+                   expected[i].id, expected[i].similarity);
+      abort();
+    }
+    if (in_cutoff_group) {
+      // The engine's pick must be a real transaction that is genuinely tied:
+      // recompute its similarity from scratch, bypassing the index entirely.
+      const mbi::TransactionId id = result.neighbors[i].id;
+      if (id >= database.size()) {
+        std::fprintf(stderr, "divergence: neighbor %zu id %u out of range\n",
+                     i, id);
+        abort();
+      }
+      size_t match = 0, hamming = 0;
+      mbi::MatchAndHamming(target, database.Get(id), &match, &hamming);
+      const double recomputed = function->Evaluate(static_cast<int>(match),
+                                                   static_cast<int>(hamming));
+      if (!SameSimilarity(recomputed, result.neighbors[i].similarity)) {
+        std::fprintf(stderr,
+                     "divergence: neighbor %zu id %u reported %.17g, "
+                     "recomputed %.17g\n",
+                     i, id, result.neighbors[i].similarity, recomputed);
+        abort();
+      }
+    }
+    if (i > 0 && SameSimilarity(result.neighbors[i].similarity,
+                                result.neighbors[i - 1].similarity) &&
+        result.neighbors[i].id <= result.neighbors[i - 1].id) {
+      std::fprintf(stderr,
+                   "divergence: tied neighbors %zu/%zu not in ascending-id "
+                   "order (%u then %u)\n",
+                   i - 1, i, result.neighbors[i - 1].id,
+                   result.neighbors[i].id);
+      abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// Standalone driver for the fuzz harnesses, used when the toolchain has no
+/// libFuzzer (`-fsanitize=fuzzer` is Clang-only; this container image and
+/// gcc CI legs build with gcc). It replays every file and directory given on
+/// the command line through LLVMFuzzerTestOneInput, which turns the
+/// checked-in seed corpora into deterministic regression tests: the
+/// `fuzz_*_corpus` ctest entries run exactly this. Actual coverage-guided
+/// exploration happens in the CI `fuzz-smoke` job, which links the same
+/// harnesses against real libFuzzer under Clang.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "standalone_fuzz: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  std::fclose(file);
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::fprintf(stderr, "standalone_fuzz: ok %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  return true;
+}
+
+bool RunPath(const std::string& path);
+
+bool RunDirectory(const std::string& path) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "standalone_fuzz: cannot list %s\n", path.c_str());
+    return false;
+  }
+  std::vector<std::string> entries;
+  for (dirent* entry = readdir(dir); entry != nullptr;
+       entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    entries.push_back(path + "/" + name);
+  }
+  closedir(dir);
+  bool ok = true;
+  for (const std::string& entry : entries) ok = RunPath(entry) && ok;
+  return ok;
+}
+
+bool RunPath(const std::string& path) {
+  struct stat info {};
+  if (stat(path.c_str(), &info) != 0) {
+    std::fprintf(stderr, "standalone_fuzz: no such path %s\n", path.c_str());
+    return false;
+  }
+  if (S_ISDIR(info.st_mode)) return RunDirectory(path);
+  return RunFile(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-dir>...\n"
+                 "(standalone replay driver; build with Clang for real "
+                 "libFuzzer fuzzing)\n",
+                 argv[0]);
+    return 2;
+  }
+  // Run the empty input first — libFuzzer always does, so the harnesses
+  // must hold up on it, and replaying it here keeps the two drivers aligned.
+  LLVMFuzzerTestOneInput(nullptr, 0);
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = RunPath(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

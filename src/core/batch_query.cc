@@ -49,13 +49,17 @@ std::vector<NearestNeighborResult> FindKNearestBatch(
   // so uneven query costs balance dynamically. A std::latch (rather than
   // ThreadPool::Wait) scopes the wait to this batch's own tasks, so a pool
   // shared between concurrent batches works.
+  // No mutex here by design (and none to annotate): every shard writes a
+  // disjoint results[i] slice claimed off the atomic cursor, per-shard
+  // QueryContexts are never shared, and the latch supplies the final
+  // happens-before edge back to this thread.
   std::vector<QueryContext> contexts(shards);
   std::atomic<size_t> cursor{0};
   std::latch done(static_cast<std::ptrdiff_t>(shards));
   for (size_t s = 0; s < shards; ++s) {
     pool->Submit([&, s] {
       while (true) {
-        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= targets.size()) break;
         results[i] =
             engine.FindKNearest(targets[i], family, k, options, &contexts[s]);

@@ -76,6 +76,17 @@ struct SearchOptions {
 /// Result of a (k-)nearest-neighbour query.
 struct NearestNeighborResult {
   /// Up to k neighbours, best first (ties broken by ascending id).
+  ///
+  /// Tie caveat at the cutoff (found by fuzz/query_differential_fuzz): an
+  /// entry is pruned as soon as its optimistic bound is <= the k-th best
+  /// similarity, so a candidate *tied* with the k-th best may sit in a
+  /// pruned bucket and never be evaluated. The similarity values are still
+  /// exact, and every candidate strictly better than the k-th value is
+  /// always included — but *which ids* represent the tie group at the k-th
+  /// similarity is unspecified and may differ from a full scan (which
+  /// resolves that group globally by ascending id). Callers that need
+  /// scan-identical ids under ties must rank by (similarity, id), which the
+  /// paper's bounds do not support.
   std::vector<Neighbor> neighbors;
 
   /// True when the result is provably exact (in similarity values): no

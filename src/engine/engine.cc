@@ -19,8 +19,11 @@ Status SignatureTableEngine::OpenIndex(const std::string& path, Env* env) {
   if (loaded.status().code() == StatusCode::kCorruption) {
     engine_.reset();
     table_.reset();
-    quarantined_ = true;
-    quarantine_reason_ = loaded.status();
+    {
+      MutexLock lock(&state_mu_);
+      quarantined_ = true;
+      quarantine_reason_ = loaded.status();
+    }
     if (metrics_enabled_) metrics_.quarantined->Set(1.0);
   }
   return loaded.status();
@@ -31,8 +34,11 @@ void SignatureTableEngine::AdoptTable(SignatureTable table) {
   table_.emplace(std::move(table));
   table_->set_metrics(metrics_registry_);
   engine_.emplace(database_, &*table_);
-  quarantined_ = false;
-  quarantine_reason_ = Status::Ok();
+  {
+    MutexLock lock(&state_mu_);
+    quarantined_ = false;
+    quarantine_reason_ = Status::Ok();
+  }
   if (metrics_enabled_) metrics_.quarantined->Set(0.0);
 }
 
@@ -82,7 +88,7 @@ void SignatureTableEngine::set_metrics(MetricsRegistry* registry) {
       "mbi.engine.latency.range", "us", "range query latency");
   metrics_.quarantined = registry->GetGauge(
       "mbi.engine.quarantined", "bool", "1 while the index is quarantined");
-  metrics_.quarantined->Set(quarantined_ ? 1.0 : 0.0);
+  metrics_.quarantined->Set(quarantined() ? 1.0 : 0.0);
   metrics_enabled_ = true;
 }
 

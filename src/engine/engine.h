@@ -14,7 +14,9 @@
 #include "storage/env.h"
 #include "txn/database.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
@@ -53,8 +55,17 @@ class SignatureTableEngine {
 
   /// True when a healthy index is loaded and queries use branch-and-bound.
   bool healthy() const { return engine_.has_value(); }
-  bool quarantined() const { return quarantined_; }
-  const Status& quarantine_reason() const { return quarantine_reason_; }
+  bool quarantined() const MBI_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
+    return quarantined_;
+  }
+  /// The retained kCorruption status while quarantined, Ok() otherwise.
+  /// Returned by value: the stored status is replaced by OpenIndex /
+  /// AdoptTable, possibly while other threads query.
+  Status quarantine_reason() const MBI_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
+    return quarantine_reason_;
+  }
 
   /// Queries answered by the sequential fallback since construction.
   uint64_t fallback_queries() const {
@@ -146,11 +157,18 @@ class SignatureTableEngine {
 
   const TransactionDatabase* database_;
   SequentialScanner scanner_;
+  /// table_/engine_ are written only by OpenIndex/AdoptTable, which the
+  /// caller must not run concurrently with queries (the engine swaps the
+  /// whole index out from under them otherwise); queries only read. The
+  /// quarantine flag and reason, however, are mutated on the same calls and
+  /// *read* from concurrent query threads via the public accessors, so they
+  /// get a real lock.
   std::optional<SignatureTable> table_;
   /// Valid only while table_ holds a value (points into it).
   std::optional<BranchAndBoundEngine> engine_;
-  bool quarantined_ = false;
-  Status quarantine_reason_;
+  mutable Mutex state_mu_;
+  bool quarantined_ MBI_GUARDED_BY(state_mu_) = false;
+  Status quarantine_reason_ MBI_GUARDED_BY(state_mu_);
   mutable std::atomic<uint64_t> fallback_queries_{0};
   MetricsRegistry* metrics_registry_ = nullptr;
   MetricHandles metrics_;

@@ -5,38 +5,38 @@
 namespace mbi {
 
 void FaultInjector::FailWrite(uint64_t nth, StatusCode code) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   write_faults_[nth] = WriteFault{code, /*torn=*/false, /*keep_bytes=*/0};
 }
 
 void FaultInjector::TornWrite(uint64_t nth, uint64_t keep_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   write_faults_[nth] =
       WriteFault{StatusCode::kIoError, /*torn=*/true, keep_bytes};
 }
 
 void FaultInjector::FlipBit(uint64_t file_byte_offset, uint32_t bit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   bit_flips_.emplace_back(file_byte_offset, bit & 7u);
 }
 
 void FaultInjector::TransientWrites(uint64_t nth, uint32_t failures) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   transient_remaining_[nth] = failures;
 }
 
 void FaultInjector::FailOpen(uint64_t nth, StatusCode code) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   open_faults_[nth] = code;
 }
 
 void FaultInjector::FailRename(StatusCode code) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   rename_fault_ = code;
 }
 
 Status FaultInjector::OnOpenWrite(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const uint64_t index = open_index_++;
   auto fault = open_faults_.find(index);
   if (fault != open_faults_.end()) {
@@ -51,7 +51,7 @@ FaultInjector::WriteOutcome FaultInjector::OnWrite(const std::string& path,
                                                    uint64_t file_offset,
                                                    const void* /*data*/,
                                                    size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   WriteOutcome outcome;
   outcome.prefix = size;
 
@@ -97,7 +97,7 @@ FaultInjector::WriteOutcome FaultInjector::OnWrite(const std::string& path,
 
 Status FaultInjector::OnRename(const std::string& /*from*/,
                                const std::string& to) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (rename_fault_.has_value()) {
     return Status::FromCode(*rename_fault_, to + ": injected rename fault");
   }
@@ -105,17 +105,17 @@ Status FaultInjector::OnRename(const std::string& /*from*/,
 }
 
 uint64_t FaultInjector::writes_seen() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return write_index_;
 }
 
 uint64_t FaultInjector::opens_seen() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return open_index_;
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   write_index_ = 0;
   open_index_ = 0;
   write_faults_.clear();

@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -100,15 +101,18 @@ class FaultInjector {
     uint64_t keep_bytes = 0;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  /// Written only during construction / FromSpec, before the injector is
+  /// installed on an Env; immutable afterwards, so unguarded.
   uint64_t seed_;
-  uint64_t write_index_ = 0;
-  uint64_t open_index_ = 0;
-  std::map<uint64_t, WriteFault> write_faults_;
-  std::map<uint64_t, uint32_t> transient_remaining_;
-  std::vector<std::pair<uint64_t, uint32_t>> bit_flips_;
-  std::map<uint64_t, StatusCode> open_faults_;
-  std::optional<StatusCode> rename_fault_;
+  uint64_t write_index_ MBI_GUARDED_BY(mutex_) = 0;
+  uint64_t open_index_ MBI_GUARDED_BY(mutex_) = 0;
+  std::map<uint64_t, WriteFault> write_faults_ MBI_GUARDED_BY(mutex_);
+  std::map<uint64_t, uint32_t> transient_remaining_ MBI_GUARDED_BY(mutex_);
+  std::vector<std::pair<uint64_t, uint32_t>> bit_flips_
+      MBI_GUARDED_BY(mutex_);
+  std::map<uint64_t, StatusCode> open_faults_ MBI_GUARDED_BY(mutex_);
+  std::optional<StatusCode> rename_fault_ MBI_GUARDED_BY(mutex_);
 };
 
 }  // namespace mbi

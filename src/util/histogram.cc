@@ -9,7 +9,7 @@
 namespace mbi {
 
 Histogram::Histogram(const Histogram& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(&other.mu_);
   samples_ = other.samples_;
 }
 
@@ -17,28 +17,28 @@ Histogram& Histogram::operator=(const Histogram& other) {
   if (this == &other) return *this;
   std::vector<double> copied;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     copied = other.samples_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   samples_ = std::move(copied);
   sorted_valid_ = false;
   return *this;
 }
 
 void Histogram::Add(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   samples_.push_back(value);
   sorted_valid_ = false;
 }
 
 size_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return samples_.size();
 }
 
 bool Histogram::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return samples_.empty();
 }
 
@@ -50,14 +50,14 @@ void Histogram::EnsureSortedLocked() const {
 }
 
 double Histogram::Min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MBI_CHECK(!samples_.empty());
   EnsureSortedLocked();
   return sorted_.front();
 }
 
 double Histogram::Max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MBI_CHECK(!samples_.empty());
   EnsureSortedLocked();
   return sorted_.back();
@@ -71,14 +71,14 @@ double Histogram::MeanLocked() const {
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return MeanLocked();
 }
 
 double Histogram::StdDev() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MBI_CHECK(!samples_.empty());
-  double mean = MeanLocked();
+  const double mean = MeanLocked();
   double sum_sq = 0.0;
   for (double value : samples_) sum_sq += (value - mean) * (value - mean);
   return std::sqrt(sum_sq / static_cast<double>(samples_.size()));
@@ -89,20 +89,20 @@ double Histogram::QuantileLocked(double q) const {
   MBI_CHECK(q >= 0.0 && q <= 1.0);
   EnsureSortedLocked();
   if (sorted_.size() == 1) return sorted_[0];
-  double position = q * static_cast<double>(sorted_.size() - 1);
-  size_t low = static_cast<size_t>(position);
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const size_t low = static_cast<size_t>(position);
   if (low + 1 >= sorted_.size()) return sorted_.back();
-  double fraction = position - static_cast<double>(low);
+  const double fraction = position - static_cast<double>(low);
   return sorted_[low] * (1.0 - fraction) + sorted_[low + 1] * fraction;
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return QuantileLocked(q);
 }
 
 std::string Histogram::Summary(const std::string& unit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (samples_.empty()) return "count=0";
   EnsureSortedLocked();
   char buffer[256];

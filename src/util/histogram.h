@@ -2,9 +2,11 @@
 #define MBI_UTIL_HISTOGRAM_H_
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -44,14 +46,14 @@ class Histogram {
 
  private:
   /// Rebuilds the sorted cache; caller must hold `mu_`.
-  void EnsureSortedLocked() const;
-  double QuantileLocked(double q) const;
-  double MeanLocked() const;
+  void EnsureSortedLocked() const MBI_REQUIRES(mu_);
+  double QuantileLocked(double q) const MBI_REQUIRES(mu_);
+  double MeanLocked() const MBI_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  mutable Mutex mu_;
+  std::vector<double> samples_ MBI_GUARDED_BY(mu_);
+  mutable std::vector<double> sorted_ MBI_GUARDED_BY(mu_);
+  mutable bool sorted_valid_ MBI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mbi

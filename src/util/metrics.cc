@@ -194,7 +194,7 @@ Metric* MetricsRegistry::Register(Map* target, const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& unit,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return Register<Counter>(&counters_, name, unit, help,
                            gauges_.count(name) != 0 ||
                                histograms_.count(name) != 0);
@@ -203,7 +203,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& unit,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return Register<Gauge>(&gauges_, name, unit, help,
                          counters_.count(name) != 0 ||
                              histograms_.count(name) != 0);
@@ -212,33 +212,33 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                                 const std::string& unit,
                                                 const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return Register<LatencyHistogram>(&histograms_, name, unit, help,
                                     counters_.count(name) != 0 ||
                                         gauges_.count(name) != 0);
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.metric.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.metric.get();
 }
 
 const LatencyHistogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.metric.get();
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, entry] : counters_) {
     entry.metric->value_.store(0, std::memory_order_relaxed);
   }
@@ -257,7 +257,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\n  \"schema\": \"mbi.metrics.v1\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, entry] : counters_) {

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -208,16 +210,18 @@ class MetricsRegistry {
 
   /// Shared registration logic: intern into `target`, check the name is not
   /// claimed by another kind, and enforce unit stability on re-registration.
-  /// Caller holds mu_.
+  /// Caller holds mu_ (static, so the requirement is on the call sites; the
+  /// maps themselves carry MBI_GUARDED_BY below).
   template <typename Metric, typename Map>
   static Metric* Register(Map* target, const std::string& name,
                           const std::string& unit, const std::string& help,
                           bool taken_elsewhere);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<LatencyHistogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_ MBI_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ MBI_GUARDED_BY(mu_);
+  std::map<std::string, Entry<LatencyHistogram>> histograms_
+      MBI_GUARDED_BY(mu_);
 };
 
 }  // namespace mbi

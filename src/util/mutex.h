@@ -1,0 +1,92 @@
+#ifndef MBI_UTIL_MUTEX_H_
+#define MBI_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace mbi {
+
+/// Annotated mutual-exclusion capability over std::mutex.
+///
+/// Every lock in src/ is one of these (policy enforced by the CI
+/// thread-safety job): pairing the lock with MBI_GUARDED_BY field
+/// annotations lets `clang++ -Wthread-safety -Werror` prove the lock
+/// discipline at compile time, so an unguarded access to shared state is a
+/// build break instead of a flaky TSan reproduction. The wrapper is
+/// zero-cost: all members are inline forwards and the only data member is
+/// the std::mutex itself.
+///
+/// Prefer the RAII MutexLock; Lock()/Unlock() exist for the rare
+/// conditional-release shapes and for CondVar's internals.
+class MBI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MBI_ACQUIRE() { mu_.lock(); }
+  void Unlock() MBI_RELEASE() { mu_.unlock(); }
+  bool TryLock() MBI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Analysis-only assertion that the calling thread holds this mutex; use
+  /// in helpers that are documented "caller must hold mu_" but are reached
+  /// through a pointer the analysis cannot follow. No runtime effect.
+  void AssertHeld() const MBI_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (the std::lock_guard shape, carrying
+/// the MBI_SCOPED_CAPABILITY annotation so the analysis tracks the scope).
+class MBI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MBI_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MBI_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to mbi::Mutex.
+///
+/// Wait() is annotated MBI_REQUIRES(mu): the analysis models it as "mutex
+/// held across the call", which matches the caller-visible contract (Wait
+/// atomically releases while blocked and always reacquires before
+/// returning). Use the classic predicate loop:
+///
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). Caller must hold `mu`;
+  /// returns with `mu` held.
+  void Wait(Mutex* mu) MBI_REQUIRES(mu) {
+    // Adopt the caller's hold so std::condition_variable can do its atomic
+    // unlock-wait-relock, then release the unique_lock's ownership claim
+    // without unlocking — the caller still holds the mutex afterwards.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_MUTEX_H_

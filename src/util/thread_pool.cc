@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "util/macros.h"
 
@@ -16,27 +18,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   MBI_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     MBI_CHECK_MSG(!shutting_down_, "submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(&mutex_);
 }
 
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn,
@@ -49,14 +51,14 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   }
   // Shard by an atomic cursor so uneven task costs balance dynamically; each
   // grab claims `chunk` consecutive indices.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  size_t shards = std::min((count + chunk - 1) / chunk, workers_.size());
+  const auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const size_t shards = std::min((count + chunk - 1) / chunk, workers_.size());
   for (size_t s = 0; s < shards; ++s) {
     Submit([cursor, count, chunk, &fn] {
       while (true) {
-        size_t begin = cursor->fetch_add(chunk, std::memory_order_relaxed);
+        const size_t begin = cursor->fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= count) break;
-        size_t end = std::min(count, begin + chunk);
+        const size_t end = std::min(count, begin + chunk);
         for (size_t index = begin; index < end; ++index) fn(index);
       }
     });
@@ -68,18 +70,17 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && tasks_.empty()) work_available_.Wait(&mutex_);
       if (tasks_.empty()) return;  // Shutting down and drained.
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,0 +1,213 @@
+// Tests for the annotated mbi::Mutex / MutexLock / CondVar capability
+// wrappers (util/mutex.h) — the lock vocabulary every component in src/
+// uses so that Clang's -Wthread-safety can prove the lock discipline at
+// compile time.
+//
+// The runtime tests here prove the wrappers are deadlock-free under the
+// patterns the codebase uses (scoped locking, predicate-loop waits,
+// try-lock, handoff between threads). The *static* side — that an unguarded
+// access to an MBI_GUARDED_BY field fails the thread-safety build — lives
+// in the negative-compile block at the bottom of this file, driven by
+// tools/check_thread_safety.sh.
+
+#include "util/mutex.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.h"
+
+namespace mbi {
+namespace {
+
+TEST(MutexTest, LockUnlockIsReentrantAcrossScopes) {
+  Mutex mu;
+  int value = 0;
+  // Sequential re-acquisition from one thread must not deadlock: each
+  // MutexLock fully releases at scope end.
+  for (int i = 0; i < 1000; ++i) {
+    MutexLock lock(&mu);
+    ++value;
+  }
+  {
+    MutexLock lock(&mu);
+    EXPECT_EQ(value, 1000);
+  }
+  // Manual Lock/Unlock interleaves with scoped locking.
+  mu.Lock();
+  ++value;
+  mu.Unlock();
+  MutexLock lock(&mu);
+  EXPECT_EQ(value, 1001);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Held by this thread: another thread's TryLock must fail, not block.
+  std::atomic<bool> contended{false};
+  std::thread other([&] {
+    if (!mu.TryLock()) {
+      contended = true;
+    } else {
+      mu.Unlock();
+    }
+  });
+  other.join();
+  EXPECT_TRUE(contended.load());
+  mu.Unlock();
+  // Released: TryLock succeeds again.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, GuardedCounterIsRaceFreeAcrossThreads) {
+  // The canonical GUARDED_BY shape, hammered from several threads; run
+  // under TSan this also certifies the wrapper forwards to a real mutex.
+  class Counter {
+   public:
+    void Increment() {
+      MutexLock lock(&mu_);
+      ++value_;
+    }
+    int value() const {
+      MutexLock lock(&mu_);
+      return value_;
+    }
+
+   private:
+    mutable Mutex mu_;
+    int value_ MBI_GUARDED_BY(mu_) = 0;
+  };
+
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 25'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(CondVarTest, WaitReleasesMutexWhileBlocked) {
+  // If Wait failed to release the mutex, the producer below could never
+  // acquire it and the test would deadlock — finishing at all is the proof.
+  Mutex mu;
+  CondVar cv;
+  bool ready MBI_GUARDED_BY(mu) = false;
+  int payload MBI_GUARDED_BY(mu) = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_EQ(payload, 42);
+  });
+  {
+    MutexLock lock(&mu);
+    payload = 42;
+    ready = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go MBI_GUARDED_BY(mu) = false;
+  int woken MBI_GUARDED_BY(mu) = 0;
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& waiter : waiters) waiter.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(woken, kWaiters);
+}
+
+TEST(CondVarTest, PingPongHandoffDoesNotDeadlock) {
+  // Two threads alternating strictly via one mutex + one condvar: the
+  // tightest reacquisition loop the ThreadPool's worker/waiter pairing
+  // produces. 2000 round trips complete or the test hangs (and the ctest
+  // timeout flags it).
+  Mutex mu;
+  CondVar cv;
+  int turn MBI_GUARDED_BY(mu) = 0;
+  constexpr int kRounds = 2000;
+
+  std::thread odd([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      MutexLock lock(&mu);
+      while (turn % 2 == 0) cv.Wait(&mu);
+      ++turn;
+      cv.NotifyOne();
+    }
+  });
+  {
+    for (int i = 0; i < kRounds; ++i) {
+      MutexLock lock(&mu);
+      while (turn % 2 == 1) cv.Wait(&mu);
+      ++turn;
+      cv.NotifyOne();
+    }
+  }
+  odd.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(turn, 2 * kRounds);
+}
+
+TEST(MutexTest, AssertHeldCompilesAndIsFreeOfSideEffects) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();  // Analysis-only; must not touch the lock state.
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Negative-compile proof: with MBI_THREAD_SAFETY_NEGATIVE defined and a
+// Clang `-Wthread-safety -Werror` build, this block MUST fail to compile —
+// it reads and writes an MBI_GUARDED_BY field without holding its mutex.
+// tools/check_thread_safety.sh compiles this file both ways and asserts the
+// negative build errors out, proving the analysis is actually wired (a
+// silently no-op'd macro set would pass the positive build too).
+// ---------------------------------------------------------------------------
+#ifdef MBI_THREAD_SAFETY_NEGATIVE
+class Unguarded {
+ public:
+  int Read() const { return value_; }      // error: reading without mu_
+  void Write(int v) { value_ = v; }        // error: writing without mu_
+
+ private:
+  mutable Mutex mu_;
+  int value_ MBI_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, NegativeCompileWitness) {
+  Unguarded unguarded;
+  unguarded.Write(1);
+  EXPECT_EQ(unguarded.Read(), 1);
+}
+#endif  // MBI_THREAD_SAFETY_NEGATIVE
+
+}  // namespace
+}  // namespace mbi

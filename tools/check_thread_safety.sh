@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Compile-time lock-proof gate (see DESIGN.md §9).
+#
+#   tools/check_thread_safety.sh [build-dir]
+#
+# Two checks, both requiring a Clang toolchain:
+#
+#  1. Positive: the full tree builds with -Wthread-safety -Werror, i.e.
+#     every access to an MBI_GUARDED_BY field provably happens under its
+#     mutex (src/util/thread_annotations.h, util/mutex.h).
+#  2. Negative: tests/mutex_test.cc compiled with -DMBI_THREAD_SAFETY_NEGATIVE
+#     MUST fail — it deliberately reads a guarded field without the lock.
+#     This proves the analysis is live, not silently no-op'd (the annotation
+#     macros expand to nothing off Clang, so a misconfigured toolchain would
+#     otherwise pass check 1 vacuously).
+#
+# Without clang++ on PATH the script prints a notice and exits 0, mirroring
+# run_tidy.sh: gcc-only environments (this container) still run the full
+# ctest suite; the dedicated CI thread-safety job installs clang and
+# enforces both checks.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-thread-safety}"
+
+clang_bin=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clang_bin="$candidate"
+    break
+  fi
+done
+if [[ -z "$clang_bin" ]]; then
+  echo "check_thread_safety: no clang++ on PATH; skipping (install clang to" \
+       "enforce the -Wthread-safety gate locally)" >&2
+  exit 0
+fi
+
+echo "check_thread_safety: positive build ($clang_bin, -Wthread-safety -Werror)" >&2
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_CXX_COMPILER="$clang_bin" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMBI_WERROR=ON || exit 1
+cmake --build "$build_dir" -j "$(nproc)" || {
+  echo "check_thread_safety: FAIL — the tree does not build clean under" \
+       "-Wthread-safety -Werror" >&2
+  exit 1
+}
+
+echo "check_thread_safety: negative compile (unguarded access must fail)" >&2
+negative_out="$build_dir/thread_safety_negative.o"
+if "$clang_bin" -std=c++20 -Wthread-safety -Werror \
+     -DMBI_THREAD_SAFETY_NEGATIVE -DGTEST_HAS_PTHREAD=1 \
+     -I"$repo_root/src" \
+     -c "$repo_root/tests/mutex_test.cc" -o "$negative_out" 2>/dev/null; then
+  echo "check_thread_safety: FAIL — the unguarded access in mutex_test.cc" \
+       "compiled; the thread-safety analysis is not firing" >&2
+  exit 1
+fi
+rm -f "$negative_out"
+echo "check_thread_safety: OK (positive build clean, negative compile rejected)" >&2

@@ -1,18 +1,38 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
-# sources, using the compilation database the CMake configure step exports.
+# Runs clang-tidy (config: .clang-tidy at the repo root, plus the stricter
+# src/.clang-tidy overlay for library code) over the first-party sources,
+# using the compilation database the CMake configure step exports.
 #
-#   tools/run_tidy.sh [build-dir]
+#   tools/run_tidy.sh [--changed-only] [build-dir]
 #
-# Exits non-zero if clang-tidy reports any finding (WarningsAsErrors: '*').
-# If no clang-tidy binary is installed, prints a notice and exits 0 so that
-# environments without LLVM (like the minimal CI/container images that only
-# carry gcc) can still run the full check suite; the dedicated CI job
-# installs clang-tidy and enforces the gate.
+#   --changed-only   Scan only files changed relative to the merge base with
+#                    origin/main (or main, or HEAD~1 as fallbacks) plus any
+#                    uncommitted changes — what PR CI wants, so the tidy job
+#                    stops re-scanning the whole tree on every pull request.
+#                    A change to any header or .clang-tidy config widens the
+#                    scan back to the full tree, since header edits can
+#                    introduce findings in every includer.
+#
+# Default (no flag) remains the full tree: local runs and the post-merge
+# main-branch job keep whole-repo coverage.
+#
+# Exits non-zero if clang-tidy reports any finding (WarningsAsErrors in the
+# configs). If no clang-tidy binary is installed, prints a notice and exits 0
+# so that environments without LLVM (like the minimal CI/container images
+# that only carry gcc) can still run the full check suite; the dedicated CI
+# job installs clang-tidy and enforces the gate.
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+changed_only=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --changed-only) changed_only=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+build_dir="${build_dir:-$repo_root/build}"
 
 # Accept versioned binaries (clang-tidy-18 etc.) so distro packages work.
 tidy_bin=""
@@ -43,6 +63,51 @@ cd "$repo_root" || exit 1
 mapfile -t sources < <(git ls-files \
   'src/**/*.cc' 'tools/*.cc' 'tests/*.cc' 'bench/*.cc' 'bench/common/*.cc' \
   'examples/*.cc')
+
+if [[ "$changed_only" -eq 1 ]]; then
+  # Diff base: the merge base with the main line, so a stacked PR is only
+  # charged for its own commits; fall back to HEAD~1 for shallow clones.
+  base=""
+  for ref in origin/main main; do
+    if base="$(git merge-base HEAD "$ref" 2>/dev/null)" && [[ -n "$base" ]]; then
+      break
+    fi
+    base=""
+  done
+  [[ -z "$base" ]] && base="$(git rev-parse HEAD~1 2>/dev/null || true)"
+  if [[ -z "$base" ]]; then
+    echo "run_tidy: --changed-only could not resolve a diff base;" \
+         "falling back to the full tree" >&2
+  else
+    mapfile -t changed < <( { git diff --name-only "$base" HEAD;
+                              git diff --name-only HEAD;
+                              git diff --name-only --cached; } | sort -u)
+    if [[ "${#changed[@]}" -eq 0 ]]; then
+      echo "run_tidy: no files changed since $base; nothing to scan" >&2
+      exit 0
+    fi
+    # Header or tidy-config changes can surface findings in any includer:
+    # widen back to the full tree rather than under-scan.
+    widen=0
+    for file in "${changed[@]}"; do
+      case "$file" in
+        *.h|*.clang-tidy|.clang-tidy) widen=1 ;;
+      esac
+    done
+    if [[ "$widen" -eq 1 ]]; then
+      echo "run_tidy: changed set touches headers/config; scanning full tree" >&2
+    else
+      mapfile -t sources < <(printf '%s\n' "${sources[@]}" "${changed[@]}" \
+                             | sort | uniq -d)
+      if [[ "${#sources[@]}" -eq 0 ]]; then
+        echo "run_tidy: no first-party .cc files in the changed set;" \
+             "nothing to scan" >&2
+        exit 0
+      fi
+      echo "run_tidy: --changed-only vs $base" >&2
+    fi
+  fi
+fi
 
 if [[ "${#sources[@]}" -eq 0 ]]; then
   echo "run_tidy: no sources found" >&2
