@@ -78,6 +78,21 @@ void SequentialScanner::RecordScan(bool is_range, double elapsed_us) const {
   metrics_.latency->Record(elapsed_us);
 }
 
+MBI_HOT void SequentialScanner::ScoreAllCandidates(
+    const PackedTarget& packed, const SimilarityFunction& similarity,
+    IoStats* stats, uint32_t page_size_bytes,
+    std::vector<Neighbor>* scored) const {
+  SequentialIoCharger charger(stats, page_size_bytes);
+  for (TransactionId id = 0; id < database_->size(); ++id) {
+    const Transaction& candidate = database_->Get(id);
+    charger.Charge(candidate);
+    size_t match = 0, hamming = 0;
+    packed.MatchAndHamming(candidate, &match, &hamming);
+    scored->push_back({id, similarity.Evaluate(static_cast<int>(match),
+                                               static_cast<int>(hamming))});
+  }
+}
+
 std::vector<Neighbor> SequentialScanner::FindKNearest(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     IoStats* stats, uint32_t page_size_bytes) const {
@@ -87,17 +102,9 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
 
   PackedTarget packed;
   packed.Assign(target, database_->universe_size());
-  SequentialIoCharger charger(stats, page_size_bytes);
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
-  for (TransactionId id = 0; id < database_->size(); ++id) {
-    const Transaction& candidate = database_->Get(id);
-    charger.Charge(candidate);
-    size_t match = 0, hamming = 0;
-    packed.MatchAndHamming(candidate, &match, &hamming);
-    scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
-                                               static_cast<int>(hamming))});
-  }
+  ScoreAllCandidates(packed, *similarity, stats, page_size_bytes, &scored);
   SortBestFirst(&scored);
   if (scored.size() > k) scored.resize(k);
   RecordScan(/*is_range=*/false, timer.ElapsedUs());

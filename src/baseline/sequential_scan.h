@@ -7,6 +7,8 @@
 #include "core/similarity.h"
 #include "storage/io_stats.h"
 #include "txn/database.h"
+#include "txn/packed_target.h"
+#include "util/hot_path.h"
 #include "util/metrics.h"
 
 namespace mbi {
@@ -57,6 +59,15 @@ class SequentialScanner {
   };
 
   void RecordScan(bool is_range, double elapsed_us) const;
+
+  /// The scan's inner loop: scores every transaction against the packed
+  /// target, appending to the caller-owned `scored` buffer and charging the
+  /// streaming I/O model. MBI_HOT: growth of `*scored` aside, the loop must
+  /// not allocate (util/hot_path.h).
+  MBI_HOT void ScoreAllCandidates(const PackedTarget& packed,
+                                  const SimilarityFunction& similarity,
+                                  IoStats* stats, uint32_t page_size_bytes,
+                                  std::vector<Neighbor>* scored) const;
 
   const TransactionDatabase* database_;
   MetricHandles metrics_;

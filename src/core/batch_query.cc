@@ -15,8 +15,21 @@ std::vector<NearestNeighborResult> FindKNearestBatch(
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
     size_t k, const SearchOptions& options, size_t num_threads,
     ThreadPool* pool) {
-  std::vector<NearestNeighborResult> results(targets.size());
-  if (targets.empty()) return results;
+  BatchQueryWorkspace workspace;
+  std::vector<NearestNeighborResult> results;
+  FindKNearestBatch(engine, targets, family, k, options, num_threads, pool,
+                    &workspace, &results);
+  return results;
+}
+
+void FindKNearestBatch(const BranchAndBoundEngine& engine,
+                       const std::vector<Transaction>& targets,
+                       const SimilarityFamily& family, size_t k,
+                       const SearchOptions& options, size_t num_threads,
+                       ThreadPool* pool, BatchQueryWorkspace* workspace,
+                       std::vector<NearestNeighborResult>* results) {
+  results->resize(targets.size());
+  if (targets.empty()) return;
 
   size_t shards;
   if (pool != nullptr) {
@@ -28,14 +41,15 @@ std::vector<NearestNeighborResult> FindKNearestBatch(
     shards = std::max(1u, std::thread::hardware_concurrency());
   }
   shards = std::min(shards, targets.size());
+  while (workspace->contexts.size() < shards) workspace->contexts.emplace_back();
 
   if (shards == 1) {
-    QueryContext context;
+    QueryContext& context = workspace->contexts.front();
     for (size_t i = 0; i < targets.size(); ++i) {
-      results[i] = engine.FindKNearest(targets[i], family, k, options,
-                                       &context);
+      engine.FindKNearest(targets[i], family, k, options, &context,
+                          &(*results)[i]);
     }
-    return results;
+    return;
   }
 
   // Fall back to a call-local pool only when the caller didn't provide one.
@@ -53,22 +67,21 @@ std::vector<NearestNeighborResult> FindKNearestBatch(
   // disjoint results[i] slice claimed off the atomic cursor, per-shard
   // QueryContexts are never shared, and the latch supplies the final
   // happens-before edge back to this thread.
-  std::vector<QueryContext> contexts(shards);
   std::atomic<size_t> cursor{0};
   std::latch done(static_cast<std::ptrdiff_t>(shards));
   for (size_t s = 0; s < shards; ++s) {
     pool->Submit([&, s] {
+      QueryContext& context = workspace->contexts[s];
       while (true) {
         const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= targets.size()) break;
-        results[i] =
-            engine.FindKNearest(targets[i], family, k, options, &contexts[s]);
+        engine.FindKNearest(targets[i], family, k, options, &context,
+                            &(*results)[i]);
       }
       done.count_down();
     });
   }
   done.wait();
-  return results;
 }
 
 }  // namespace mbi

@@ -2,12 +2,24 @@
 #define MBI_CORE_BATCH_QUERY_H_
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "core/branch_and_bound.h"
+#include "core/query_context.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
+
+/// Reusable scratch for FindKNearestBatch: the per-shard QueryContexts.
+/// A caller running batches in a loop (benchmarks, a serving loop) keeps
+/// one workspace per concurrent batch; warm contexts make the single-shard
+/// steady state allocation-free (see the result-out overload below).
+/// A deque because QueryContext is pinned (non-copyable, non-movable):
+/// growing for a larger batch never relocates the warm contexts.
+struct BatchQueryWorkspace {
+  std::deque<QueryContext> contexts;
+};
 
 /// Answers many independent k-NN queries against one engine concurrently.
 ///
@@ -32,6 +44,20 @@ std::vector<NearestNeighborResult> FindKNearestBatch(
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
     size_t k, const SearchOptions& options = {}, size_t num_threads = 0,
     ThreadPool* pool = nullptr);
+
+/// Fully reusable variant: shard contexts come from `workspace` and results
+/// are written into `*results` (resized to targets.size(); element capacity
+/// kept). Identical output to the returning overload. With one shard —
+/// `num_threads == 1`, or a single target — a warm (workspace, results)
+/// pair answers the whole batch without allocating (the steady state
+/// query_context_test pins under ScopedAllocationBan). Multi-shard batches
+/// still allocate the per-shard task closures they submit to the pool.
+void FindKNearestBatch(const BranchAndBoundEngine& engine,
+                       const std::vector<Transaction>& targets,
+                       const SimilarityFamily& family, size_t k,
+                       const SearchOptions& options, size_t num_threads,
+                       ThreadPool* pool, BatchQueryWorkspace* workspace,
+                       std::vector<NearestNeighborResult>* results);
 
 }  // namespace mbi
 

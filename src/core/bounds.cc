@@ -31,7 +31,8 @@ void BoundCalculator::Reset(const std::vector<int>& target_counts,
   }
 }
 
-OptimisticBounds BoundCalculator::Compute(Supercoordinate coordinate) const {
+MBI_HOT OptimisticBounds BoundCalculator::Compute(
+    Supercoordinate coordinate) const {
   OptimisticBounds bounds;
   const size_t k = dist_if_zero_.size();
   for (size_t j = 0; j < k; ++j) {
@@ -46,7 +47,7 @@ OptimisticBounds BoundCalculator::Compute(Supercoordinate coordinate) const {
   return bounds;
 }
 
-double BoundCalculator::OptimisticSimilarity(
+MBI_HOT double BoundCalculator::OptimisticSimilarity(
     Supercoordinate coordinate, const SimilarityFunction& similarity) const {
   OptimisticBounds bounds = Compute(coordinate);
   return similarity.Evaluate(bounds.match_upper, bounds.dist_lower);

@@ -6,6 +6,7 @@
 
 #include "core/similarity.h"
 #include "core/supercoordinate.h"
+#include "util/hot_path.h"
 
 namespace mbi {
 
@@ -48,12 +49,12 @@ class BoundCalculator {
   void Reset(const std::vector<int>& target_counts, int activation_threshold);
 
   /// Evaluates the bounds for one entry's supercoordinate. O(K).
-  OptimisticBounds Compute(Supercoordinate coordinate) const;
+  MBI_HOT OptimisticBounds Compute(Supercoordinate coordinate) const;
 
   /// Convenience: the optimistic similarity bound f(M_opt, D_opt), valid by
   /// Lemma 2.1 for every transaction indexed under `coordinate`.
-  double OptimisticSimilarity(Supercoordinate coordinate,
-                              const SimilarityFunction& similarity) const;
+  MBI_HOT double OptimisticSimilarity(
+      Supercoordinate coordinate, const SimilarityFunction& similarity) const;
 
   uint32_t cardinality() const {
     return static_cast<uint32_t>(dist_if_zero_.size());

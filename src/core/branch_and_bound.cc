@@ -63,46 +63,83 @@ NearestNeighborResult BranchAndBoundEngine::FindKNearest(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     const SearchOptions& options) const {
   QueryContext context;
-  return RunKNearest(&target, 1, family, k, options, &context);
+  NearestNeighborResult result;
+  RunKNearest(&target, 1, family, k, options, &context, &result);
+  return result;
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindKNearest(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     const SearchOptions& options, QueryContext* context) const {
-  return RunKNearest(&target, 1, family, k, options, context);
+  NearestNeighborResult result;
+  RunKNearest(&target, 1, family, k, options, context, &result);
+  return result;
+}
+
+MBI_HOT void BranchAndBoundEngine::FindKNearest(
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const SearchOptions& options, QueryContext* context,
+    NearestNeighborResult* result) const {
+  RunKNearest(&target, 1, family, k, options, context, result);
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTarget(
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
     size_t k, const SearchOptions& options) const {
   QueryContext context;
-  return RunKNearest(targets.data(), targets.size(), family, k, options,
-                     &context);
+  NearestNeighborResult result;
+  RunKNearest(targets.data(), targets.size(), family, k, options, &context,
+              &result);
+  return result;
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTarget(
     const std::vector<Transaction>& targets, const SimilarityFamily& family,
     size_t k, const SearchOptions& options, QueryContext* context) const {
-  return RunKNearest(targets.data(), targets.size(), family, k, options,
-                     context);
+  NearestNeighborResult result;
+  RunKNearest(targets.data(), targets.size(), family, k, options, context,
+              &result);
+  return result;
 }
 
-NearestNeighborResult BranchAndBoundEngine::RunKNearest(
+MBI_HOT void BranchAndBoundEngine::FindKNearestMultiTarget(
+    const std::vector<Transaction>& targets, const SimilarityFamily& family,
+    size_t k, const SearchOptions& options, QueryContext* context,
+    NearestNeighborResult* result) const {
+  RunKNearest(targets.data(), targets.size(), family, k, options, context,
+              result);
+}
+
+MBI_HOT void BranchAndBoundEngine::RunKNearest(
     const Transaction* targets, size_t num_targets,
     const SimilarityFamily& family, size_t k, const SearchOptions& options,
-    QueryContext* context) const {
+    QueryContext* context, NearestNeighborResult* result_out) const {
   MBI_CHECK(context != nullptr);
+  MBI_CHECK(result_out != nullptr);
   MBI_CHECK(num_targets >= 1);
   MBI_CHECK(k >= 1);
   MBI_CHECK_MSG(options.optimality_gap >= 0.0,
                 "optimality_gap must be non-negative");
   QueryContext& ctx = *context;
 
+  // Reset the output in place: capacity survives, so a warm result object
+  // costs nothing to refill.
+  NearestNeighborResult& result = *result_out;
+  result.neighbors.clear();
+  result.trace.clear();
+  result.stats = QueryStats{};
+  result.guaranteed_exact = false;
+  result.unexplored_optimistic_bound = 0.0;
+  result.best_unscanned_bound = 0.0;
+
   // Bind the similarity function, bound calculator, and packed bitmap to
-  // each target, reusing the context's buffers. The ForTarget binding is the
-  // one steady-state allocation left on this path (a small polymorphic
-  // object per target; the family API is an extension point).
-  ctx.functions_.clear();
+  // each target, reusing the context's buffers. RebindTarget re-targets a
+  // warm function object in place (built-in families), so with a warm
+  // context this loop allocates nothing; slots beyond num_targets keep
+  // their bindings but never participate (all loops run to num_targets).
+  if (ctx.functions_.size() < num_targets) {
+    ctx.functions_.resize(num_targets);
+  }
   if (ctx.calculators_.size() < num_targets) {
     ctx.calculators_.resize(num_targets);
   }
@@ -110,7 +147,7 @@ NearestNeighborResult BranchAndBoundEngine::RunKNearest(
     ctx.packed_targets_.resize(num_targets);
   }
   for (size_t t = 0; t < num_targets; ++t) {
-    ctx.functions_.push_back(family.ForTarget(targets[t]));
+    family.RebindTarget(targets[t], &ctx.functions_[t]);
     table_->partition().CountsPerSignature(targets[t], &ctx.counts_scratch_);
     ctx.calculators_[t].Reset(ctx.counts_scratch_,
                               table_->activation_threshold());
@@ -190,7 +227,6 @@ NearestNeighborResult BranchAndBoundEngine::RunKNearest(
     return order_heap[--remaining];
   };
 
-  NearestNeighborResult result;
   result.stats.database_size = database_->size();
   result.stats.entries_total = num_entries;
   const uint64_t budget =
@@ -311,7 +347,6 @@ NearestNeighborResult BranchAndBoundEngine::RunKNearest(
               return a.id < b.id;
             });
   result.neighbors.assign(knn_heap.begin(), knn_heap.end());
-  return result;
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindKNearestReference(

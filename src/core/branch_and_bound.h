@@ -9,6 +9,7 @@
 #include "core/similarity.h"
 #include "txn/database.h"
 #include "txn/transaction.h"
+#include "util/hot_path.h"
 
 namespace mbi {
 
@@ -168,6 +169,16 @@ class BranchAndBoundEngine {
                                      const SearchOptions& options,
                                      QueryContext* context) const;
 
+  /// Fully reusable variant: scratch comes from `context` AND the output is
+  /// written into `*result` (cleared first, capacity kept), so a warm
+  /// (context, result) pair makes repeat queries allocate nothing at all —
+  /// the steady state query_context_test pins under ScopedAllocationBan.
+  MBI_HOT void FindKNearest(const Transaction& target,
+                            const SimilarityFamily& family, size_t k,
+                            const SearchOptions& options,
+                            QueryContext* context,
+                            NearestNeighborResult* result) const;
+
   /// Multi-target variant (paper §4.3): maximizes the *average* similarity
   /// to `targets`; an entry's optimistic bound is the average of its
   /// per-target optimistic bounds.
@@ -179,6 +190,13 @@ class BranchAndBoundEngine {
   NearestNeighborResult FindKNearestMultiTarget(
       const std::vector<Transaction>& targets, const SimilarityFamily& family,
       size_t k, const SearchOptions& options, QueryContext* context) const;
+
+  /// Fully reusable multi-target variant (see the result-out FindKNearest).
+  MBI_HOT void FindKNearestMultiTarget(const std::vector<Transaction>& targets,
+                                       const SimilarityFamily& family,
+                                       size_t k, const SearchOptions& options,
+                                       QueryContext* context,
+                                       NearestNeighborResult* result) const;
 
   /// Frozen pre-overhaul implementation: full std::sort of all occupied
   /// entries, fresh allocations per query, merge-scan MatchAndHamming.
@@ -228,12 +246,13 @@ class BranchAndBoundEngine {
  private:
   /// Shared implementation of the k-NN variants. `targets` is a borrowed
   /// span (pointer + count) so the single-target entry point doesn't have to
-  /// materialize a one-element vector per call.
-  NearestNeighborResult RunKNearest(const Transaction* targets,
-                                    size_t num_targets,
-                                    const SimilarityFamily& family, size_t k,
-                                    const SearchOptions& options,
-                                    QueryContext* context) const;
+  /// materialize a one-element vector per call. `*result` is cleared
+  /// (keeping capacity) and filled; with a warm context and result this is
+  /// allocation-free in steady state (the MBI_HOT contract, util/hot_path.h).
+  MBI_HOT void RunKNearest(const Transaction* targets, size_t num_targets,
+                           const SimilarityFamily& family, size_t k,
+                           const SearchOptions& options, QueryContext* context,
+                           NearestNeighborResult* result) const;
 
   const TransactionDatabase* database_;
   const SignatureTable* table_;

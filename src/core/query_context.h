@@ -22,9 +22,13 @@ namespace mbi {
 /// here. A caller that answers many queries (batch mode, benchmarks, the
 /// `mbi query` CLI loop) constructs one context and passes it to every call;
 /// after the first few queries have grown the buffers, the steady state
-/// allocates nothing beyond the returned result vectors and the per-target
-/// similarity binding (one small SimilarityFamily::ForTarget object per
-/// target, an extension-point API that returns by unique_ptr).
+/// allocates nothing beyond the returned result vectors — and the
+/// result-out FindKNearest overload eliminates those too: with a warm
+/// (context, result) pair the whole query is allocation-free, which
+/// query_context_test enforces at runtime with ScopedAllocationBan and
+/// mbi-lint enforces statically via the MBI_HOT rules (util/hot_path.h).
+/// Per-target similarity bindings reuse warm function objects through
+/// SimilarityFamily::RebindTarget.
 ///
 /// A context carries no semantic state between queries: every buffer is
 /// rebound or cleared at query entry, so results are bit-identical to using

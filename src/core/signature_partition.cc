@@ -35,8 +35,8 @@ std::vector<int> SignaturePartition::CountsPerSignature(
   return counts;
 }
 
-void SignaturePartition::CountsPerSignature(const Transaction& transaction,
-                                            std::vector<int>* counts) const {
+MBI_HOT void SignaturePartition::CountsPerSignature(
+    const Transaction& transaction, std::vector<int>* counts) const {
   counts->assign(cardinality_, 0);
   for (ItemId item : transaction.items()) {
     ++(*counts)[SignatureOf(item)];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "txn/transaction.h"
+#include "util/hot_path.h"
 
 namespace mbi {
 
@@ -47,8 +48,8 @@ class SignaturePartition {
   /// Scratch-output variant for per-query reuse: resizes `*counts` to the
   /// cardinality and overwrites it (no allocation once the buffer has grown
   /// to K). Result is identical to the returning overload.
-  void CountsPerSignature(const Transaction& transaction,
-                          std::vector<int>* counts) const;
+  MBI_HOT void CountsPerSignature(const Transaction& transaction,
+                                  std::vector<int>* counts) const;
 
   /// Renders as "S0={1,4} S1={2,3}" for diagnostics.
   std::string ToString() const;

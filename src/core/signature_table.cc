@@ -76,7 +76,7 @@ std::vector<TransactionId> SignatureTable::FetchEntryTransactions(
   return store_.FetchBucket(entries_[entry_index].bucket, stats);
 }
 
-void SignatureTable::FetchEntryTransactions(
+MBI_HOT void SignatureTable::FetchEntryTransactions(
     size_t entry_index, IoStats* stats, std::vector<TransactionId>* ids) const {
   MBI_CHECK(entry_index < entries_.size());
   store_.FetchBucket(entries_[entry_index].bucket, stats, ids);

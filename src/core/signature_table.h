@@ -8,6 +8,7 @@
 #include "core/supercoordinate.h"
 #include "storage/transaction_store.h"
 #include "txn/database.h"
+#include "util/hot_path.h"
 
 namespace mbi {
 
@@ -99,8 +100,8 @@ class SignatureTable {
   /// it with the entry's transaction ids. A buffer reused across entry scans
   /// allocates nothing once grown to the largest bucket; ids and I/O
   /// accounting are identical to the returning overload.
-  void FetchEntryTransactions(size_t entry_index, IoStats* stats,
-                              std::vector<TransactionId>* ids) const;
+  MBI_HOT void FetchEntryTransactions(size_t entry_index, IoStats* stats,
+                                      std::vector<TransactionId>* ids) const;
 
   /// Pages backing one entry (for I/O-shape assertions in tests).
   const std::vector<PageId>& PagesOfEntry(size_t entry_index) const;

@@ -58,10 +58,26 @@ double CustomSimilarity::Evaluate(int matches, int hamming) const {
   return fn_(matches, hamming);
 }
 
+void SimilarityFamily::RebindTarget(
+    const Transaction& target,
+    std::unique_ptr<SimilarityFunction>* slot) const {
+  *slot = ForTarget(target);
+}
+
 std::unique_ptr<SimilarityFunction> InverseHammingFamily::ForTarget(
     const Transaction& target) const {
   (void)target;
   return std::make_unique<InverseHammingSimilarity>();
+}
+
+void InverseHammingFamily::RebindTarget(
+    const Transaction& target,
+    std::unique_ptr<SimilarityFunction>* slot) const {
+  // Target-independent: a warm InverseHammingSimilarity is already bound.
+  // The function classes are final, so the dynamic_cast is an exact type
+  // test, not an is-a approximation.
+  if (dynamic_cast<InverseHammingSimilarity*>(slot->get()) != nullptr) return;
+  *slot = ForTarget(target);
 }
 
 std::unique_ptr<SimilarityFunction> MatchRatioFamily::ForTarget(
@@ -70,15 +86,40 @@ std::unique_ptr<SimilarityFunction> MatchRatioFamily::ForTarget(
   return std::make_unique<MatchRatioSimilarity>();
 }
 
+void MatchRatioFamily::RebindTarget(
+    const Transaction& target,
+    std::unique_ptr<SimilarityFunction>* slot) const {
+  if (dynamic_cast<MatchRatioSimilarity*>(slot->get()) != nullptr) return;
+  *slot = ForTarget(target);
+}
+
 std::unique_ptr<SimilarityFunction> CosineFamily::ForTarget(
     const Transaction& target) const {
   return std::make_unique<CosineSimilarity>(target.size());
+}
+
+void CosineFamily::RebindTarget(
+    const Transaction& target,
+    std::unique_ptr<SimilarityFunction>* slot) const {
+  auto* cosine = dynamic_cast<CosineSimilarity*>(slot->get());
+  if (cosine != nullptr) {
+    cosine->set_target_size(target.size());
+    return;
+  }
+  *slot = ForTarget(target);
 }
 
 std::unique_ptr<SimilarityFunction> JaccardFamily::ForTarget(
     const Transaction& target) const {
   (void)target;
   return std::make_unique<JaccardSimilarity>();
+}
+
+void JaccardFamily::RebindTarget(
+    const Transaction& target,
+    std::unique_ptr<SimilarityFunction>* slot) const {
+  if (dynamic_cast<JaccardSimilarity*>(slot->get()) != nullptr) return;
+  *slot = ForTarget(target);
 }
 
 CustomFamily::CustomFamily(std::string name,

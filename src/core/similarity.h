@@ -74,6 +74,12 @@ class CosineSimilarity final : public SimilarityFunction {
   double Evaluate(int matches, int hamming) const override;
   std::string name() const override { return "cosine"; }
 
+  /// Re-targets this instance in place (CosineFamily::RebindTarget uses it
+  /// to reuse a warm allocation instead of constructing a new function).
+  void set_target_size(size_t target_size) {
+    target_size_ = static_cast<double>(target_size);
+  }
+
  private:
   double target_size_;
 };
@@ -118,14 +124,28 @@ class SimilarityFamily {
   virtual std::unique_ptr<SimilarityFunction> ForTarget(
       const Transaction& target) const = 0;
 
+  /// Binds `*slot` to `target`, reusing the existing instance when it is
+  /// already this family's function type (the MBI_HOT query path calls this
+  /// per query through a warm QueryContext, where reuse makes it
+  /// allocation-free in steady state). The base implementation falls back
+  /// to ForTarget — correct for any family, allocating. Overrides must be
+  /// exactly equivalent to `*slot = ForTarget(target)`.
+  virtual void RebindTarget(const Transaction& target,
+                            std::unique_ptr<SimilarityFunction>* slot) const;
+
   virtual std::string name() const = 0;
 };
 
-/// Families for the paper's three evaluation functions.
+/// Families for the paper's three evaluation functions. Each overrides
+/// RebindTarget to reuse a slot already holding its (final) function type:
+/// the target-independent families leave the instance untouched, cosine
+/// re-targets in place via set_target_size.
 class InverseHammingFamily final : public SimilarityFamily {
  public:
   std::unique_ptr<SimilarityFunction> ForTarget(
       const Transaction& target) const override;
+  void RebindTarget(const Transaction& target,
+                    std::unique_ptr<SimilarityFunction>* slot) const override;
   std::string name() const override { return "hamming"; }
 };
 
@@ -133,6 +153,8 @@ class MatchRatioFamily final : public SimilarityFamily {
  public:
   std::unique_ptr<SimilarityFunction> ForTarget(
       const Transaction& target) const override;
+  void RebindTarget(const Transaction& target,
+                    std::unique_ptr<SimilarityFunction>* slot) const override;
   std::string name() const override { return "match_ratio"; }
 };
 
@@ -140,6 +162,8 @@ class CosineFamily final : public SimilarityFamily {
  public:
   std::unique_ptr<SimilarityFunction> ForTarget(
       const Transaction& target) const override;
+  void RebindTarget(const Transaction& target,
+                    std::unique_ptr<SimilarityFunction>* slot) const override;
   std::string name() const override { return "cosine"; }
 };
 
@@ -147,6 +171,8 @@ class JaccardFamily final : public SimilarityFamily {
  public:
   std::unique_ptr<SimilarityFunction> ForTarget(
       const Transaction& target) const override;
+  void RebindTarget(const Transaction& target,
+                    std::unique_ptr<SimilarityFunction>* slot) const override;
   std::string name() const override { return "jaccard"; }
 };
 

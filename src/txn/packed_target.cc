@@ -4,7 +4,8 @@
 
 namespace mbi {
 
-void PackedTarget::Assign(const Transaction& target, size_t universe_size) {
+MBI_HOT void PackedTarget::Assign(const Transaction& target,
+                                  size_t universe_size) {
   if (bits_.size() != universe_size) {
     bits_ = Bitset(universe_size);
   } else {

@@ -5,6 +5,7 @@
 
 #include "txn/transaction.h"
 #include "util/bitset.h"
+#include "util/hot_path.h"
 
 namespace mbi {
 
@@ -39,7 +40,8 @@ class PackedTarget {
 
   /// Binds the target: (re)sizes the bitmap to `universe_size` bits, clears
   /// it, and sets the target's item bits. Items must be < universe_size.
-  void Assign(const Transaction& target, size_t universe_size);
+  /// Reallocates only when the universe size changes.
+  MBI_HOT void Assign(const Transaction& target, size_t universe_size);
 
   /// |target| of the bound target.
   size_t target_size() const { return target_size_; }
@@ -50,8 +52,8 @@ class PackedTarget {
   /// Match count x = |target ∩ candidate| and Hamming distance
   /// y = |target △ candidate|, bit-identical to
   /// mbi::MatchAndHamming(target, candidate, ...).
-  void MatchAndHamming(const Transaction& candidate, size_t* match,
-                       size_t* hamming) const {
+  MBI_HOT void MatchAndHamming(const Transaction& candidate, size_t* match,
+                               size_t* hamming) const {
     size_t x = 0;
     for (ItemId item : candidate.items()) {
       x += bits_.GetUnchecked(item) ? size_t{1} : size_t{0};

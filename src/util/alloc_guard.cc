@@ -1,0 +1,154 @@
+#include "util/alloc_guard.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+// Active only in debug builds. The sanitizer CI configurations compile with
+// -UNDEBUG (cmake/Sanitizers.cmake), so ASan/UBSan/TSan runs exercise the
+// counting operators too; plain Release builds compile the inert branch.
+#if !defined(NDEBUG) && !defined(MBI_NO_ALLOC_GUARD)
+#define MBI_ALLOC_GUARD_ACTIVE 1
+#else
+#define MBI_ALLOC_GUARD_ACTIVE 0
+#endif
+
+namespace mbi {
+namespace {
+
+#if MBI_ALLOC_GUARD_ACTIVE
+// POD thread-locals with constant initialization: their access never
+// allocates, which matters because operator new reads them. (A non-trivial
+// thread_local would need a dynamic guard and could recurse into new.)
+thread_local int ban_depth = 0;
+thread_local const char* ban_what = nullptr;
+thread_local uint64_t violation_count = 0;
+
+void NoteAllocation(std::size_t size) {
+  if (ban_depth <= 0) return;
+  ++violation_count;
+  // Diagnose to stderr (no allocation: fprintf with a static format). The
+  // test asserts on the counter; the message is for humans reading logs.
+  std::fprintf(stderr,
+               "[alloc_guard] %zu-byte allocation under ban \"%s\" "
+               "(violation #%llu on this thread)\n",
+               size, ban_what != nullptr ? ban_what : "?",
+               static_cast<unsigned long long>(violation_count));
+}
+#endif  // MBI_ALLOC_GUARD_ACTIVE
+
+}  // namespace
+
+bool AllocGuardEnabled() { return MBI_ALLOC_GUARD_ACTIVE != 0; }
+
+uint64_t AllocGuardViolations() {
+#if MBI_ALLOC_GUARD_ACTIVE
+  return violation_count;
+#else
+  return 0;
+#endif
+}
+
+ScopedAllocationBan::ScopedAllocationBan(const char* what) : what_(what) {
+#if MBI_ALLOC_GUARD_ACTIVE
+  if (ban_depth == 0) ban_what = what_;
+  ++ban_depth;
+#endif
+}
+
+ScopedAllocationBan::~ScopedAllocationBan() {
+#if MBI_ALLOC_GUARD_ACTIVE
+  --ban_depth;
+  if (ban_depth == 0) ban_what = nullptr;
+#else
+  (void)what_;
+#endif
+}
+
+}  // namespace mbi
+
+#if MBI_ALLOC_GUARD_ACTIVE
+
+// Replaceable global allocation functions ([new.delete.single] /
+// [new.delete.array]): malloc-backed, counting allocations made under a
+// ban. Sized deletes forward to the unsized forms; alignment is handled
+// with aligned_alloc. This file is the one sanctioned home for raw
+// malloc/free in the codebase (mbi-lint allowlists it for no-naked-new).
+
+namespace {
+
+void* GuardedAlloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  mbi::NoteAllocation(size);
+  void* ptr;
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    std::size_t rounded = (size + align - 1) / align * align;
+    ptr = std::aligned_alloc(align, rounded);
+  } else {
+    ptr = std::malloc(size);
+  }
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = GuardedAlloc(size, 0);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = GuardedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return GuardedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+#endif  // MBI_ALLOC_GUARD_ACTIVE

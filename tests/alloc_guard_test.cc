@@ -1,0 +1,119 @@
+// The allocation interposer itself (util/alloc_guard.h): the ban must see
+// allocations made under it, nest correctly, stay thread-local, and
+// degrade to an inert no-op when the library was built with NDEBUG. The
+// MBI_HOT steady-state assertions in query_context_test.cc stand on these
+// properties, so they get their own coverage.
+
+#include "util/alloc_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace mbi {
+namespace {
+
+/// A heap allocation the optimizer cannot elide: the pointer escapes
+/// through a volatile sink before being freed.
+void ForceHeapAllocation() {
+  int* raw = new int(42);
+  volatile int* sink = raw;
+  (void)sink;
+  delete raw;
+}
+
+TEST(AllocGuardTest, UnbannedAllocationsAreNotViolations) {
+  const uint64_t before = AllocGuardViolations();
+  ForceHeapAllocation();
+  auto owned = std::make_unique<int>(7);
+  EXPECT_EQ(*owned, 7);
+  EXPECT_EQ(AllocGuardViolations(), before);
+}
+
+TEST(AllocGuardTest, BanTriggersOnNew) {
+  const uint64_t before = AllocGuardViolations();
+  {
+    ScopedAllocationBan ban("BanTriggersOnNew");
+    ForceHeapAllocation();
+  }
+  if (AllocGuardEnabled()) {
+    EXPECT_GT(AllocGuardViolations(), before)
+        << "debug build: an allocation under the ban must count";
+  } else {
+    EXPECT_EQ(AllocGuardViolations(), before)
+        << "release build: the guard must be a no-op";
+  }
+  // Either way the ban has lifted: allocations are free again.
+  const uint64_t after = AllocGuardViolations();
+  ForceHeapAllocation();
+  EXPECT_EQ(AllocGuardViolations(), after);
+}
+
+TEST(AllocGuardTest, NestedBansAreReentrancySafe) {
+  const uint64_t before = AllocGuardViolations();
+  {
+    ScopedAllocationBan outer("outer");
+    {
+      ScopedAllocationBan inner("inner");
+      ForceHeapAllocation();
+    }
+    // The inner ban's destruction must not lift the outer ban.
+    ForceHeapAllocation();
+  }
+  if (AllocGuardEnabled()) {
+    EXPECT_EQ(AllocGuardViolations(), before + 2);
+  } else {
+    EXPECT_EQ(AllocGuardViolations(), before);
+  }
+  ForceHeapAllocation();  // Fully unbanned again.
+  EXPECT_EQ(AllocGuardViolations(),
+            AllocGuardEnabled() ? before + 2 : before);
+}
+
+TEST(AllocGuardTest, BanIsThreadLocal) {
+  const uint64_t before = AllocGuardViolations();
+  // The worker is spawned BEFORE the ban (std::thread construction itself
+  // allocates) and allocates only while the main thread is banned: not a
+  // violation on either thread (batch-pool workers must stay invisible to
+  // a caller-side ban).
+  std::atomic<int> stage{0};
+  std::thread worker([&stage] {
+    while (stage.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    const uint64_t worker_before = AllocGuardViolations();
+    ForceHeapAllocation();
+    EXPECT_EQ(AllocGuardViolations(), worker_before);
+    stage.store(2, std::memory_order_release);
+  });
+  {
+    ScopedAllocationBan ban("main thread only");
+    stage.store(1, std::memory_order_release);
+    while (stage.load(std::memory_order_acquire) != 2) {
+      std::this_thread::yield();
+    }
+  }
+  worker.join();
+  EXPECT_EQ(AllocGuardViolations(), before);
+}
+
+TEST(AllocGuardTest, ViolationCountIsMonotonic) {
+  const uint64_t a = AllocGuardViolations();
+  {
+    ScopedAllocationBan ban("first");
+    ForceHeapAllocation();
+  }
+  const uint64_t b = AllocGuardViolations();
+  EXPECT_GE(b, a);
+  {
+    ScopedAllocationBan ban("second");
+    ForceHeapAllocation();
+  }
+  EXPECT_GE(AllocGuardViolations(), b);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,29 @@
+// Negative probe: mbi-lint rule `no-alloc-in-hot` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <memory>
+#include <string>
+
+#define MBI_HOT
+
+namespace probe {
+
+struct Scratch {
+  int value = 0;
+};
+
+MBI_HOT int EvaluateOnce(int x) {
+  auto owned = std::make_unique<Scratch>();       // violation
+  int* raw = new int(x);                          // violation
+  delete raw;                                     // violation
+  std::string s = std::to_string(x);              // violation (to_string)
+  return owned->value + static_cast<int>(s.size());
+}
+
+// This must NOT fire: cold code may allocate freely.
+int ColdSetup() {
+  auto owned = std::make_unique<Scratch>();
+  return owned->value;
+}
+
+}  // namespace probe

@@ -1,0 +1,25 @@
+// Negative probe: mbi-lint rule `no-naked-new` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <cstdlib>
+
+namespace probe {
+
+struct Node {
+  int value = 0;
+};
+
+Node* Leak() {
+  int* raw = static_cast<int*>(std::malloc(sizeof(int)));  // violation
+  std::free(raw);                                          // violation
+  Node* node = new Node();                                 // violation
+  delete node;                                             // violation
+  return new Node();                                       // violation
+}
+
+// This must NOT fire: deleted functions are declarations, not deallocations.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};
+
+}  // namespace probe

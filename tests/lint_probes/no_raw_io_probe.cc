@@ -1,0 +1,18 @@
+// Negative probe: mbi-lint rule `no-raw-io` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <cstdio>
+#include <fstream>
+
+namespace probe {
+
+bool DumpBytes(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");  // violation: fopen off the Env seam
+  if (f == nullptr) return false;
+  std::fwrite("x", 1, 1, f);  // violation
+  std::fclose(f);            // violation
+  std::ofstream out(path);   // violation: ofstream bypasses Env
+  return out.good();
+}
+
+}  // namespace probe

@@ -1,0 +1,18 @@
+// Negative probe: mbi-lint rule `no-raw-mutex` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <mutex>
+
+namespace probe {
+
+struct Counter {
+  std::mutex mu;  // violation: raw std::mutex outside util/mutex.h
+  int value = 0;
+
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);  // violation: raw lock_guard
+    ++value;
+  }
+};
+
+}  // namespace probe

@@ -1,0 +1,16 @@
+// Negative probe: mbi-lint rule `no-raw-thread` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <thread>
+
+namespace probe {
+
+void SpawnDetached() {
+  std::thread worker([] {});  // violation: raw std::thread outside ThreadPool
+  worker.detach();
+}
+
+// This must NOT fire: a static query, not a spawn.
+unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+}  // namespace probe

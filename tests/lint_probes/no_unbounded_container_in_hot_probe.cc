@@ -1,0 +1,30 @@
+// Negative probe: mbi-lint rule `no-unbounded-container-in-hot` must fire.
+// Not compiled; linter input only (see README.md).
+
+#include <string>
+#include <vector>
+
+#define MBI_HOT
+
+namespace probe {
+
+MBI_HOT double ScoreAll(const std::vector<int>& input) {
+  std::vector<double> scores;  // violation: local owning container in hot code
+  for (int v : input) scores.push_back(v * 0.5);
+  std::string label = "hot";  // violation
+  return scores.empty() ? 0.0 : scores.back() + label.size();
+}
+
+// This must NOT fire: references and pointers do not own, and cold code is
+// out of scope for the rule.
+double ColdPath() {
+  std::vector<double> fine;
+  return fine.size();
+}
+
+MBI_HOT double UsesCallerBuffer(std::vector<double>& scratch) {
+  const std::vector<double>& view = scratch;  // reference binding: fine
+  return view.size();
+}
+
+}  // namespace probe

@@ -1,0 +1,18 @@
+// Negative probe: mbi-lint rule `status-discipline` must fire on this file.
+// Not compiled; linter input only (see README.md).
+//
+// The probe drops the result of a Status-returning call in statement
+// position. RenameFile is harvested from the real src/storage/env.h
+// declaration, so this also proves the harvest step sees the headers.
+
+namespace probe {
+
+class Env;
+Env* TestEnv();
+
+void CommitWithoutChecking(Env* env) {
+  (void)env;
+  TestEnv()->RenameFile("a.tmp", "a");  // violation: dropped Status
+}
+
+}  // namespace probe

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/index_builder.h"
 #include "core/query_context.h"
 #include "gen/quest_generator.h"
+#include "util/alloc_guard.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
@@ -238,6 +240,90 @@ TEST(QueryContextTest, ConcurrentBatchesShareOnePool) {
                        "batch " + std::to_string(b) + " query " +
                            std::to_string(i));
     }
+  }
+}
+
+/// The MBI_HOT zero-allocation contract (util/hot_path.h), dynamically: once
+/// a (context, result) pair is warm, repeating the same query sequence
+/// through the result-out overloads must not touch the heap. mbi-lint proves
+/// the hot path clean statically; this pins it at runtime via the debug-build
+/// allocation interposer. In release builds (guard inert) the test still runs
+/// the sequence and checks results, it just can't observe allocations.
+///
+/// One context per family: RebindTarget reuses a warm function object only
+/// when the family matches the previous binding, so alternating families
+/// through one context would (correctly) re-allocate the function.
+TEST(QueryContextTest, SteadyStateQueriesDoNotAllocate) {
+  Fixture fixture = MakeFixture(606, 9, 1000, 8);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto hamming = MakeSimilarityFamily("hamming");
+  auto cosine = MakeSimilarityFamily("cosine");
+  SearchOptions options;
+  options.max_access_fraction = 0.5;
+
+  QueryContext hamming_context;
+  QueryContext cosine_context;
+  NearestNeighborResult result;
+  auto run_pass = [&] {
+    for (const Transaction& target : fixture.queries) {
+      engine.FindKNearest(target, *hamming, 5, options, &hamming_context,
+                          &result);
+      engine.FindKNearest(target, *cosine, 3, options, &cosine_context,
+                          &result);
+    }
+  };
+  run_pass();  // Cold pass: grows every buffer to its steady-state size.
+  run_pass();  // Warm pass: confirms sizes are stable before the ban.
+
+  const uint64_t before = AllocGuardViolations();
+  {
+    ScopedAllocationBan ban("steady-state FindKNearest");
+    run_pass();
+  }
+  EXPECT_EQ(AllocGuardViolations(), before)
+      << "warm FindKNearest allocated; AllocGuardEnabled()="
+      << AllocGuardEnabled();
+
+  // The banned pass must still produce correct answers.
+  engine.FindKNearest(fixture.queries[0], *hamming, 5, options,
+                      &hamming_context, &result);
+  NearestNeighborResult fresh =
+      engine.FindKNearest(fixture.queries[0], *hamming, 5, options);
+  ExpectSameResult(result, fresh, "after banned passes");
+}
+
+/// Same contract for the batch entry point: a warm (workspace, results) pair
+/// on the single-shard serial path answers the whole batch without
+/// allocating.
+TEST(QueryContextTest, SteadyStateBatchDoesNotAllocate) {
+  Fixture fixture = MakeFixture(707, 8, 900, 10);
+  BranchAndBoundEngine engine(&fixture.db, &fixture.table);
+  auto family = MakeSimilarityFamily("match_ratio");
+
+  BatchQueryWorkspace workspace;
+  std::vector<NearestNeighborResult> results;
+  auto run_batch = [&] {
+    FindKNearestBatch(engine, fixture.queries, *family, 4, {},
+                      /*num_threads=*/1, /*pool=*/nullptr, &workspace,
+                      &results);
+  };
+  run_batch();
+  run_batch();
+
+  const uint64_t before = AllocGuardViolations();
+  {
+    ScopedAllocationBan ban("steady-state FindKNearestBatch");
+    run_batch();
+  }
+  EXPECT_EQ(AllocGuardViolations(), before)
+      << "warm single-shard batch allocated; AllocGuardEnabled()="
+      << AllocGuardEnabled();
+
+  ASSERT_EQ(results.size(), fixture.queries.size());
+  for (size_t i = 0; i < fixture.queries.size(); ++i) {
+    NearestNeighborResult fresh =
+        engine.FindKNearest(fixture.queries[i], *family, 4);
+    ExpectSameResult(results[i], fresh, "batch query " + std::to_string(i));
   }
 }
 

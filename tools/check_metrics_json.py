@@ -11,8 +11,15 @@ Checks, per file:
   - counters are {"unit": str, "value": non-negative int};
   - gauges are {"unit": str, "value": number or "+inf"/"-inf"/"nan"};
   - histograms are {"unit", "count", "sum", "max", "buckets"} where buckets
-    is a list of {"le", "count"} with strictly increasing bounds ending in
-    "+inf", and the bucket counts sum to "count";
+    is a list of {"le", "count"} with strictly increasing positive bounds
+    ending in "+inf", and the bucket counts sum to "count";
+  - histogram cumulative bucket counts are monotone: every prefix sum is
+    <= "count" (a corrupt per-bucket count surfaces at the first bad index,
+    not just in the final total);
+  - histogram "sum" and "max" are finite and non-negative — "nan", "+inf",
+    "-inf", and negative latencies are recording bugs, never valid data
+    (LatencyHistogram::Record clamps NaN/negative samples to 0); an empty
+    histogram (count 0) must have sum == 0 and max == 0;
   - no metric name appears in more than one section.
 
 Exits non-zero with one diagnostic line per violation.
@@ -75,15 +82,28 @@ def check_histogram(name, body, errors):
     if not isinstance(count, int) or isinstance(count, bool) or count < 0:
         errors.append(f"{where}: 'count' must be a non-negative integer")
         count = None
+    # Latencies are clamped non-negative at record time, so a NaN, infinite,
+    # or negative aggregate is always a recording/serialization bug.
     for field in ("sum", "max"):
-        if not is_json_number(body.get(field)):
+        value = body.get(field)
+        if not is_json_number(value):
             errors.append(f"{where}: '{field}' must be a number")
+        elif value in SPECIAL_NUMBERS:
+            errors.append(f"{where}: '{field}' must be finite, got {value!r}")
+        elif value < 0:
+            errors.append(f"{where}: '{field}' must be non-negative, "
+                          f"got {value!r}")
+    if count == 0:
+        for field in ("sum", "max"):
+            if body.get(field) not in (0, 0.0):
+                errors.append(f"{where}: empty histogram (count 0) must have "
+                              f"'{field}' == 0, got {body.get(field)!r}")
     buckets = body.get("buckets")
     if not isinstance(buckets, list) or not buckets:
         errors.append(f"{where}: 'buckets' must be a non-empty list")
         return
     previous = None
-    total = 0
+    cumulative = 0
     for i, bucket in enumerate(buckets):
         if not isinstance(bucket, dict) or set(bucket) != {"le", "count"}:
             errors.append(f"{where}: bucket {i} must be {{'le', 'count'}}")
@@ -93,7 +113,15 @@ def check_histogram(name, body, errors):
                 or bucket_count < 0):
             errors.append(f"{where}: bucket {i} count must be a non-negative "
                           f"integer")
-        total += bucket_count if isinstance(bucket_count, int) else 0
+        else:
+            # Cumulative monotonicity: the running total is non-decreasing by
+            # construction once per-bucket counts are non-negative, and no
+            # prefix may exceed the histogram's total count. Flagging at the
+            # first offending bucket localizes a corrupt counter.
+            cumulative += bucket_count
+            if count is not None and cumulative > count:
+                errors.append(f"{where}: cumulative bucket count {cumulative} "
+                              f"exceeds 'count' {count} at index {i}")
         is_last = i == len(buckets) - 1
         if is_last:
             if le != "+inf":
@@ -104,12 +132,15 @@ def check_histogram(name, body, errors):
                 errors.append(f"{where}: bucket {i} bound must be a finite "
                               f"number, got {le!r}")
                 return
+            if le <= 0:
+                errors.append(f"{where}: bucket {i} bound must be positive, "
+                              f"got {le!r}")
             if previous is not None and le <= previous:
                 errors.append(f"{where}: bucket bounds not strictly "
                               f"increasing at index {i}")
             previous = le
-    if count is not None and total != count:
-        errors.append(f"{where}: bucket counts sum to {total}, "
+    if count is not None and cumulative != count:
+        errors.append(f"{where}: bucket counts sum to {cumulative}, "
                       f"'count' says {count}")
     extra = set(body) - {"unit", "count", "sum", "max", "buckets"}
     if extra:

@@ -50,7 +50,8 @@ if [[ -z "$tidy_bin" ]]; then
 fi
 
 # The compilation database is exported by every configure
-# (CMAKE_EXPORT_COMPILE_COMMANDS is hard-enabled in CMakeLists.txt).
+# (CMAKE_EXPORT_COMPILE_COMMANDS is hard-enabled in CMakeLists.txt); the
+# same file drives tools/mbi_lint.py, so one configure serves both gates.
 if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   echo "run_tidy: $build_dir/compile_commands.json not found; configuring..." >&2
   cmake -B "$build_dir" -S "$repo_root" >/dev/null || exit 1
