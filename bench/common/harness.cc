@@ -2,6 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "util/flags.h"
 #include "util/macros.h"
@@ -43,6 +48,42 @@ bool HarnessFlags::Parse(const std::string& description, int argc, char** argv,
   MBI_CHECK_MSG(flags->scale >= 1, "--scale must be >= 1");
   MBI_CHECK_MSG(flags->queries >= 1, "--queries must be >= 1");
   return true;
+}
+
+int PinBenchmarkThread() {
+#ifdef __linux__
+  int cpu = -1;
+  if (const char* env = std::getenv("MBI_BENCH_CPU")) {
+    cpu = std::atoi(env);
+  } else {
+    // First CPU we are already allowed on (respects container cpusets).
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return -1;
+    for (size_t c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &allowed)) {
+        cpu = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+  if (cpu < 0) return -1;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<size_t>(cpu), &mask);
+  if (sched_setaffinity(0, sizeof(mask), &mask) != 0) return -1;
+  return cpu;
+#else
+  return -1;
+#endif
+}
+
+uint64_t WarmDatabase(const TransactionDatabase& database) {
+  uint64_t checksum = 0;
+  for (TransactionId id = 0; id < database.size(); ++id) {
+    for (ItemId item : database.Get(id).items()) checksum += item;
+  }
+  return checksum;
 }
 
 QuestGeneratorConfig PaperGeneratorConfig(double avg_transaction_size,

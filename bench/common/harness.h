@@ -73,6 +73,19 @@ std::vector<double> AccuracyAtTerminationLevels(
 void PrintBanner(const std::string& figure, const std::string& what,
                  const std::string& dataset, const HarnessFlags& flags);
 
+/// Pins the calling thread to one CPU so timed sections stop migrating
+/// between cores mid-measurement (each migration costs cold caches and,
+/// on heterogeneous parts, a different clock). The CPU defaults to the
+/// first one in the current affinity mask and can be overridden with
+/// MBI_BENCH_CPU=<n>. Returns the pinned CPU, or -1 when pinning is
+/// unsupported/denied (the benchmark still runs, unpinned).
+int PinBenchmarkThread();
+
+/// Touches every transaction of `database` once so the timed sections
+/// measure query work, not first-touch page faults on the data. Returns a
+/// checksum of the visited items (forces the reads to happen).
+uint64_t WarmDatabase(const TransactionDatabase& database);
+
 /// Figure 6/9/12 driver: pruning efficiency vs database size for one
 /// similarity family, K in {13, 14, 15}.
 int RunPruningVsDbSize(const std::string& figure,

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_env.h"
+#include "common/harness.h"
 #include "core/batch_query.h"
 #include "core/branch_and_bound.h"
 #include "core/index_builder.h"
@@ -258,6 +260,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
     return 1;
   }
+  // Committed-numbers discipline: refuse (or loudly mark, with
+  // MBI_ALLOW_DEBUG_BENCH=1) non-Release builds, stamp build + dispatched-ISA
+  // provenance into the JSON context, and pin to one CPU with the dataset
+  // paged in before any timed section (common/bench_env.h, common/harness.h).
+  mbi::bench::RequireReleaseBuild("perf_smoke");
+  mbi::bench::StampBuildContext();
+  const int cpu = mbi::bench::PinBenchmarkThread();
+  benchmark::AddCustomContext("mbi_pinned_cpu", std::to_string(cpu));
+  benchmark::AddCustomContext(
+      "mbi_warm_checksum",
+      std::to_string(mbi::bench::WarmDatabase(mbi::SharedData::Get().db)));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

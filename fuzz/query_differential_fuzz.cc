@@ -42,6 +42,7 @@
 #include "core/similarity.h"
 #include "engine/engine.h"
 #include "fuzz_input.h"
+#include "kernel/dispatch.h"
 #include "txn/database.h"
 #include "txn/transaction.h"
 
@@ -89,6 +90,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const bool balanced_partitioner = input.TakeByte() % 2 == 1;
   const uint8_t family_selector = input.TakeByte();
   const uint32_t k = input.TakeInRange(1, 8);
+  // Force a SIMD dispatch path from the input so the differential check
+  // also covers every kernel ISA (unsupported requests clamp to the widest
+  // available one — see kernel/dispatch.h). The scan below runs through the
+  // same kernels, so divergence here means an ISA variant broke
+  // bit-identity, exactly what tests/kernel_test.cc guards deterministically.
+  mbi::kernel::ForceIsa(static_cast<mbi::kernel::Isa>(input.TakeByte() % 4));
 
   mbi::TransactionDatabase database(universe_size);
   for (uint32_t i = 0; i < num_transactions; ++i) {

@@ -17,6 +17,7 @@ InvertedIndex::InvertedIndex(const TransactionDatabase* database,
       compressed_postings_(compress_postings ? database->universe_size() : 0),
       sequential_store_(
           TransactionStore::BuildSequential(*database, page_size_bytes)),
+      layout_(CandidateLayout::Build(*database)),
       buffer_pool_pages_(buffer_pool_pages) {
   MBI_CHECK(database != nullptr);
   for (TransactionId id = 0; id < database_->size(); ++id) {
@@ -96,19 +97,37 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
   // Phase 2: fetch candidates in id order through an optional buffer pool,
   // tracking the distinct pages the scattered fetches touch. Re-ranking
   // probes the packed target bitmap (bit-identical to the merge scan).
+  const bool use_layout = layout_.num_rows() >= database_->size();
   PackedTarget packed;
-  packed.Assign(target, database_->universe_size());
+  packed.Assign(target, database_->universe_size(),
+                use_layout ? &layout_ : nullptr);
+  // One gather-form kernel batch over the whole candidate list (ids are
+  // sorted ascending, so the kernel's row prefetch streams forward).
+  std::vector<uint32_t> batch_match;
+  std::vector<uint32_t> batch_hamming;
+  if (use_layout) {
+    batch_match.resize(candidates.size());
+    batch_hamming.resize(candidates.size());
+    packed.MatchAndHammingBatch(candidates.data(), candidates.size(),
+                                batch_match.data(), batch_hamming.data());
+  }
   BufferPool pool(&sequential_store_.page_store(), buffer_pool_pages_);
   pool.set_metrics(metrics_registry_);
   std::unordered_set<PageId> touched;
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
-  for (TransactionId id : candidates) {
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const TransactionId id = candidates[c];
     touched.insert(sequential_store_.PageOfTransaction(id));
     sequential_store_.FetchTransaction(
         id, buffer_pool_pages_ > 0 ? &pool : nullptr, &result.io);
     size_t match = 0, hamming = 0;
-    packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+    if (use_layout) {
+      match = batch_match[c];
+      hamming = batch_hamming[c];
+    } else {
+      packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+    }
     scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
                                                static_cast<int>(hamming))});
   }

@@ -9,6 +9,7 @@
 #include "core/similarity.h"
 #include "storage/buffer_pool.h"
 #include "storage/transaction_store.h"
+#include "txn/candidate_layout.h"
 #include "txn/database.h"
 #include "util/metrics.h"
 
@@ -108,6 +109,10 @@ class InvertedIndex {
   std::vector<std::vector<TransactionId>> postings_;           // Uncompressed.
   std::vector<CompressedPostingList> compressed_postings_;    // Compressed.
   TransactionStore sequential_store_;
+  /// Blocked candidate bitmap for phase-2 re-ranking through the SIMD match
+  /// kernel (built over the construction-time database snapshot; queries
+  /// against a grown database fall back to the per-candidate probe).
+  CandidateLayout layout_;
   size_t buffer_pool_pages_;
   MetricsRegistry* metrics_registry_ = nullptr;
   MetricHandles metrics_;

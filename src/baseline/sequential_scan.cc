@@ -48,8 +48,9 @@ class SequentialIoCharger {
 
 }  // namespace
 
-SequentialScanner::SequentialScanner(const TransactionDatabase* database)
-    : database_(database) {
+SequentialScanner::SequentialScanner(const TransactionDatabase* database,
+                                     const CandidateLayout* layout)
+    : database_(database), layout_(layout) {
   MBI_CHECK(database != nullptr);
 }
 
@@ -83,6 +84,28 @@ MBI_HOT void SequentialScanner::ScoreAllCandidates(
     IoStats* stats, uint32_t page_size_bytes,
     std::vector<Neighbor>* scored) const {
   SequentialIoCharger charger(stats, page_size_bytes);
+  if (packed.has_layout()) {
+    // Stream the blocked layout through the SIMD match kernel in fixed-size
+    // chunks. The buffers live on the stack (const method, no mutable
+    // scratch), so the zero-allocation contract holds without state.
+    constexpr size_t kChunk = 256;
+    uint32_t match[kChunk];
+    uint32_t hamming[kChunk];
+    const size_t n = database_->size();
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t len = std::min(kChunk, n - base);
+      packed.MatchAndHammingRows(static_cast<TransactionId>(base), len, match,
+                                 hamming);
+      for (size_t i = 0; i < len; ++i) {
+        const auto id = static_cast<TransactionId>(base + i);
+        charger.Charge(database_->Get(id));
+        scored->push_back(
+            {id, similarity.Evaluate(static_cast<int>(match[i]),
+                                     static_cast<int>(hamming[i]))});
+      }
+    }
+    return;
+  }
   for (TransactionId id = 0; id < database_->size(); ++id) {
     const Transaction& candidate = database_->Get(id);
     charger.Charge(candidate);
@@ -101,7 +124,7 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
 
   PackedTarget packed;
-  packed.Assign(target, database_->universe_size());
+  packed.Assign(target, database_->universe_size(), EffectiveLayout());
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
   ScoreAllCandidates(packed, *similarity, stats, page_size_bytes, &scored);
@@ -147,17 +170,36 @@ std::vector<Neighbor> SequentialScanner::FindInRange(
   ScopedTimer timer(nullptr);
   std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
   PackedTarget packed;
-  packed.Assign(target, database_->universe_size());
+  packed.Assign(target, database_->universe_size(), EffectiveLayout());
   SequentialIoCharger charger(stats, page_size_bytes);
   std::vector<Neighbor> matches;
-  for (TransactionId id = 0; id < database_->size(); ++id) {
-    const Transaction& candidate = database_->Get(id);
-    charger.Charge(candidate);
-    size_t match = 0, hamming = 0;
-    packed.MatchAndHamming(candidate, &match, &hamming);
-    double value = similarity->Evaluate(static_cast<int>(match),
-                                        static_cast<int>(hamming));
-    if (value >= threshold) matches.push_back({id, value});
+  if (packed.has_layout()) {
+    constexpr size_t kChunk = 256;
+    uint32_t match[kChunk];
+    uint32_t hamming[kChunk];
+    const size_t n = database_->size();
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t len = std::min(kChunk, n - base);
+      packed.MatchAndHammingRows(static_cast<TransactionId>(base), len, match,
+                                 hamming);
+      for (size_t i = 0; i < len; ++i) {
+        const auto id = static_cast<TransactionId>(base + i);
+        charger.Charge(database_->Get(id));
+        double value = similarity->Evaluate(static_cast<int>(match[i]),
+                                            static_cast<int>(hamming[i]));
+        if (value >= threshold) matches.push_back({id, value});
+      }
+    }
+  } else {
+    for (TransactionId id = 0; id < database_->size(); ++id) {
+      const Transaction& candidate = database_->Get(id);
+      charger.Charge(candidate);
+      size_t match = 0, hamming = 0;
+      packed.MatchAndHamming(candidate, &match, &hamming);
+      double value = similarity->Evaluate(static_cast<int>(match),
+                                          static_cast<int>(hamming));
+      if (value >= threshold) matches.push_back({id, value});
+    }
   }
   SortBestFirst(&matches);
   RecordScan(/*is_range=*/true, timer.ElapsedUs());

@@ -24,7 +24,14 @@ namespace mbi {
 /// quarantine fallback reports real I/O for range queries too.
 class SequentialScanner {
  public:
-  explicit SequentialScanner(const TransactionDatabase* database);
+  /// With a non-null `layout` (a blocked candidate bitmap covering
+  /// `database`, see txn/candidate_layout.h), single-target scans stream
+  /// the dense rows through the runtime-dispatched SIMD match kernel in
+  /// fixed-size chunks; the default keeps the legacy per-candidate probe,
+  /// preserving this class's role as an independent oracle. Results are
+  /// bit-identical either way.
+  explicit SequentialScanner(const TransactionDatabase* database,
+                             const CandidateLayout* layout = nullptr);
 
   /// Enables aggregate instrumentation: per-query counters and a latency
   /// histogram in `registry` (names mbi.scan.*, see DESIGN.md §8). Pass
@@ -69,7 +76,16 @@ class SequentialScanner {
                                   IoStats* stats, uint32_t page_size_bytes,
                                   std::vector<Neighbor>* scored) const;
 
+  /// The layout in effect for this query, or null when the (optional)
+  /// layout does not cover every current database row.
+  const CandidateLayout* EffectiveLayout() const {
+    return layout_ != nullptr && layout_->num_rows() >= database_->size()
+               ? layout_
+               : nullptr;
+  }
+
   const TransactionDatabase* database_;
+  const CandidateLayout* layout_;
   MetricHandles metrics_;
   bool metrics_enabled_ = false;
 };

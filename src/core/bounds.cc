@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernel/dispatch.h"
 #include "util/macros.h"
 
 namespace mbi {
@@ -45,6 +46,14 @@ MBI_HOT OptimisticBounds BoundCalculator::Compute(
     }
   }
   return bounds;
+}
+
+MBI_HOT void BoundCalculator::ComputeBatch(const Supercoordinate* coords,
+                                           size_t count, int32_t* match_out,
+                                           int32_t* dist_out) const {
+  kernel::ActiveKernels().bounds_batch(
+      coords, count, cardinality(), dist_if_zero_.data(), dist_if_one_.data(),
+      match_if_zero_.data(), match_if_one_.data(), dist_out, match_out);
 }
 
 MBI_HOT double BoundCalculator::OptimisticSimilarity(

@@ -1,6 +1,7 @@
 #ifndef MBI_CORE_BOUNDS_H_
 #define MBI_CORE_BOUNDS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,13 @@ class BoundCalculator {
   /// Evaluates the bounds for one entry's supercoordinate. O(K).
   MBI_HOT OptimisticBounds Compute(Supercoordinate coordinate) const;
 
+  /// Batch form over a contiguous run of supercoordinates: writes M_opt to
+  /// `match_out[i]` and D_opt to `dist_out[i]` for each `coords[i]`.
+  /// Delegates to the runtime-dispatched SIMD bounds kernel
+  /// (kernel/dispatch.h); bit-identical to Compute on every element.
+  MBI_HOT void ComputeBatch(const Supercoordinate* coords, size_t count,
+                            int32_t* match_out, int32_t* dist_out) const;
+
   /// Convenience: the optimistic similarity bound f(M_opt, D_opt), valid by
   /// Lemma 2.1 for every transaction indexed under `coordinate`.
   MBI_HOT double OptimisticSimilarity(
@@ -61,10 +69,11 @@ class BoundCalculator {
   }
 
  private:
-  std::vector<int> dist_if_zero_;   // D contribution when b_j = 0.
-  std::vector<int> dist_if_one_;    // D contribution when b_j = 1.
-  std::vector<int> match_if_zero_;  // M contribution when b_j = 0.
-  std::vector<int> match_if_one_;   // M contribution when b_j = 1.
+  // int32_t (not int) so the tables feed the SIMD bounds kernel directly.
+  std::vector<int32_t> dist_if_zero_;   // D contribution when b_j = 0.
+  std::vector<int32_t> dist_if_one_;    // D contribution when b_j = 1.
+  std::vector<int32_t> match_if_zero_;  // M contribution when b_j = 0.
+  std::vector<int32_t> match_if_one_;   // M contribution when b_j = 1.
 };
 
 }  // namespace mbi

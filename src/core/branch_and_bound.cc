@@ -47,10 +47,16 @@ uint64_t AccessBudget(double fraction, uint64_t database_size) {
 }  // namespace
 
 BranchAndBoundEngine::BranchAndBoundEngine(const TransactionDatabase* database,
-                                           const SignatureTable* table)
-    : database_(database), table_(table) {
+                                           const SignatureTable* table,
+                                           const CandidateLayout* layout)
+    : database_(database), table_(table), layout_(layout) {
   MBI_CHECK(database != nullptr && table != nullptr);
   MBI_CHECK(database->universe_size() == table->partition().universe_size());
+  if (layout_ == nullptr) {
+    owned_layout_ =
+        std::make_shared<const CandidateLayout>(CandidateLayout::Build(*database));
+    layout_ = owned_layout_.get();
+  }
 }
 
 NearestNeighborResult BranchAndBoundEngine::FindNearest(
@@ -146,29 +152,49 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
   if (ctx.packed_targets_.size() < num_targets) {
     ctx.packed_targets_.resize(num_targets);
   }
+  // The blocked layout only serves ids it covers; transactions appended
+  // after its build take the legacy probe path (checked once per query so
+  // a dynamic insert mid-stream can never read past the layout).
+  const bool use_layout =
+      layout_ != nullptr && layout_->num_rows() >= database_->size();
   for (size_t t = 0; t < num_targets; ++t) {
     family.RebindTarget(targets[t], &ctx.functions_[t]);
     table_->partition().CountsPerSignature(targets[t], &ctx.counts_scratch_);
     ctx.calculators_[t].Reset(ctx.counts_scratch_,
                               table_->activation_threshold());
-    ctx.packed_targets_[t].Assign(targets[t], database_->universe_size());
+    ctx.packed_targets_[t].Assign(targets[t], database_->universe_size(),
+                                  use_layout ? layout_ : nullptr);
   }
   const double target_count = static_cast<double>(num_targets);
 
   // FindOptimisticBound for every occupied entry: the average over targets
   // of f_t(M_opt, D_opt) (paper §4.3 for the multi-target case; with a single
-  // target this is exactly Figure 3's FindOptimisticBound). Chunks write
-  // disjoint slots of the output array, so the parallel fan-out is
-  // deterministic: identical bounds for any thread count.
+  // target this is exactly Figure 3's FindOptimisticBound). The M/D bounds
+  // for a chunk come from the SIMD bounds kernel over the table's dense
+  // coordinate array, one target at a time (t-major scratch, so chunks touch
+  // disjoint slices). Chunks write disjoint slots of the output array, so
+  // the parallel fan-out is deterministic: identical bounds for any thread
+  // count — and the per-candidate sum accumulates targets in ascending t
+  // exactly as before, keeping the doubles bit-identical.
   const auto& entries = table_->entries();
+  const Supercoordinate* coords = table_->coordinates().data();
   const size_t num_entries = entries.size();
   ctx.optimistic_.resize(num_entries);
+  ctx.bound_match_.resize(num_targets * num_entries);
+  ctx.bound_dist_.resize(num_targets * num_entries);
   auto compute_bounds = [&](size_t begin, size_t end) {
+    for (size_t t = 0; t < num_targets; ++t) {
+      const size_t base = t * num_entries;
+      ctx.calculators_[t].ComputeBatch(coords + begin, end - begin,
+                                       ctx.bound_match_.data() + base + begin,
+                                       ctx.bound_dist_.data() + base + begin);
+    }
     for (size_t i = begin; i < end; ++i) {
       double sum = 0.0;
       for (size_t t = 0; t < num_targets; ++t) {
-        sum += ctx.calculators_[t].OptimisticSimilarity(entries[i].coordinate,
-                                                        *ctx.functions_[t]);
+        const size_t base = t * num_entries;
+        sum += ctx.functions_[t]->Evaluate(ctx.bound_match_[base + i],
+                                           ctx.bound_dist_[base + i]);
       }
       ctx.optimistic_[i] = sum / target_count;
     }
@@ -239,6 +265,18 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
   auto pessimistic = [&]() {
     return knn_heap.size() == k ? knn_heap.front().similarity : kNegInfinity;
   };
+  auto finish_candidate = [&](TransactionId id, double similarity) {
+    ++result.stats.transactions_evaluated;
+    Neighbor incoming{id, similarity};
+    if (knn_heap.size() < k) {
+      knn_heap.push_back(incoming);
+      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+    } else if (BetterThan()(incoming, knn_heap.front())) {
+      std::pop_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+      knn_heap.back() = incoming;
+      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+    }
+  };
   auto evaluate_candidate = [&](TransactionId id) {
     const Transaction& candidate = database_->Get(id);
     double sum = 0.0;
@@ -251,16 +289,31 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
     }
     // Divide (not multiply by a reciprocal) so the value is bit-identical to
     // an oracle computing sum / n — ties then compare exactly.
-    double similarity = sum / target_count;
-    ++result.stats.transactions_evaluated;
-    Neighbor incoming{id, similarity};
-    if (knn_heap.size() < k) {
-      knn_heap.push_back(incoming);
-      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
-    } else if (BetterThan()(incoming, knn_heap.front())) {
-      std::pop_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
-      knn_heap.back() = incoming;
-      std::push_heap(knn_heap.begin(), knn_heap.end(), BetterThan());
+    finish_candidate(id, sum / target_count);
+  };
+  // Batched evaluation of one entry's candidate list through the SIMD
+  // match kernel. Same integer x/y per candidate, same ascending-t
+  // accumulation, same division, same heap-update order as
+  // evaluate_candidate — bit-identical results, proven at the engine level
+  // by kernel_test.cc's forced-ISA sweep against FindKNearestReference.
+  auto evaluate_candidates_batch = [&](const TransactionId* ids, size_t n) {
+    if (ctx.match_scratch_.size() < n) {
+      ctx.match_scratch_.resize(n);
+      ctx.hamming_scratch_.resize(n);
+    }
+    if (ctx.score_scratch_.size() < n) ctx.score_scratch_.resize(n);
+    std::fill_n(ctx.score_scratch_.begin(), n, 0.0);
+    for (size_t t = 0; t < num_targets; ++t) {
+      ctx.packed_targets_[t].MatchAndHammingBatch(
+          ids, n, ctx.match_scratch_.data(), ctx.hamming_scratch_.data());
+      for (size_t i = 0; i < n; ++i) {
+        ctx.score_scratch_[i] += ctx.functions_[t]->Evaluate(
+            static_cast<int>(ctx.match_scratch_[i]),
+            static_cast<int>(ctx.hamming_scratch_[i]));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      finish_candidate(ids[i], ctx.score_scratch_[i] / target_count);
     }
   };
 
@@ -304,7 +357,12 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
     table_->FetchEntryTransactions(entry_index, &result.stats.io,
                                    &ctx.candidate_ids_);
     ++result.stats.entries_scanned;
-    for (TransactionId id : ctx.candidate_ids_) evaluate_candidate(id);
+    if (use_layout) {
+      evaluate_candidates_batch(ctx.candidate_ids_.data(),
+                                ctx.candidate_ids_.size());
+    } else {
+      for (TransactionId id : ctx.candidate_ids_) evaluate_candidate(id);
+    }
     if (result.stats.transactions_evaluated >= budget && remaining > 0) {
       terminated_early = true;
       break;
@@ -553,8 +611,11 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
   }
   BoundCalculator calculator(table_->partition().CountsPerSignature(target),
                              table_->activation_threshold());
+  const bool use_layout =
+      layout_ != nullptr && layout_->num_rows() >= database_->size();
   PackedTarget packed;
-  packed.Assign(target, database_->universe_size());
+  packed.Assign(target, database_->universe_size(),
+                use_layout ? layout_ : nullptr);
 
   RangeQueryResult result;
   result.stats.database_size = database_->size();
@@ -564,17 +625,23 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
 
   bool terminated_early = false;
   const auto& entries = table_->entries();
+  // All entry bounds in one SIMD batch up front (range queries visit the
+  // directory in index order, so there is no lazy prefix to exploit).
+  std::vector<int32_t> bound_match(entries.size());
+  std::vector<int32_t> bound_dist(entries.size());
+  calculator.ComputeBatch(table_->coordinates().data(), entries.size(),
+                          bound_match.data(), bound_dist.data());
   std::vector<TransactionId> ids;
+  std::vector<uint32_t> match_scratch;
+  std::vector<uint32_t> hamming_scratch;
   for (uint32_t i = 0; i < entries.size(); ++i) {
     if (terminated_early) {
       ++result.stats.entries_unexplored;
       continue;
     }
-    OptimisticBounds bounds = calculator.Compute(entries[i].coordinate);
     bool prunable = false;
     for (size_t f = 0; f < functions.size(); ++f) {
-      double optimistic =
-          functions[f]->Evaluate(bounds.match_upper, bounds.dist_lower);
+      double optimistic = functions[f]->Evaluate(bound_match[i], bound_dist[i]);
       if (optimistic < thresholds[f]) {
         prunable = true;
         break;
@@ -586,10 +653,21 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
     }
     table_->FetchEntryTransactions(i, &result.stats.io, &ids);
     ++result.stats.entries_scanned;
-    for (TransactionId id : ids) {
-      const Transaction& candidate = database_->Get(id);
+    if (use_layout) {
+      match_scratch.resize(ids.size());
+      hamming_scratch.resize(ids.size());
+      packed.MatchAndHammingBatch(ids.data(), ids.size(), match_scratch.data(),
+                                  hamming_scratch.data());
+    }
+    for (size_t c = 0; c < ids.size(); ++c) {
+      const TransactionId id = ids[c];
       size_t match = 0, hamming = 0;
-      packed.MatchAndHamming(candidate, &match, &hamming);
+      if (use_layout) {
+        match = match_scratch[c];
+        hamming = hamming_scratch[c];
+      } else {
+        packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+      }
       ++result.stats.transactions_evaluated;
       bool qualifies = true;
       double primary_similarity = 0.0;

@@ -2,11 +2,13 @@
 #define MBI_CORE_BRANCH_AND_BOUND_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/query_stats.h"
 #include "core/signature_table.h"
 #include "core/similarity.h"
+#include "txn/candidate_layout.h"
 #include "txn/database.h"
 #include "txn/transaction.h"
 #include "util/hot_path.h"
@@ -146,8 +148,15 @@ struct RangeQueryResult {
 /// oracle_equivalence_test.cc.
 class BranchAndBoundEngine {
  public:
+  /// `layout` is the blocked candidate bitmap the SIMD match kernel scans;
+  /// null builds a private one from `database`. Pass a shared layout
+  /// (SignatureTableEngine does) when several engines serve one database.
+  /// The layout is a snapshot: queries issued after the database grows past
+  /// `layout->num_rows()` automatically fall back to the per-candidate
+  /// probe path (bit-identical, just slower) until a fresh layout is bound.
   BranchAndBoundEngine(const TransactionDatabase* database,
-                       const SignatureTable* table);
+                       const SignatureTable* table,
+                       const CandidateLayout* layout = nullptr);
 
   /// Finds the single nearest neighbour of `target` under `family`.
   NearestNeighborResult FindNearest(const Transaction& target,
@@ -256,6 +265,10 @@ class BranchAndBoundEngine {
 
   const TransactionDatabase* database_;
   const SignatureTable* table_;
+  /// Set only when the engine built its own layout (shared_ptr keeps the
+  /// engine copyable); layout_ always points at the layout in use.
+  std::shared_ptr<const CandidateLayout> owned_layout_;
+  const CandidateLayout* layout_;
 };
 
 }  // namespace mbi

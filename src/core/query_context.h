@@ -83,9 +83,19 @@ class QueryContext {
   std::vector<uint32_t> entry_heap_;
   std::vector<double> optimistic_;  // Optimistic bound per entry index.
   std::vector<double> order_keys_;  // Sort keys for the alternative order.
+  // SIMD bounds-kernel output, t-major: slot t * num_entries + i holds
+  // target t's M_opt / D_opt for entry i. Parallel bound chunks write
+  // disjoint column ranges of every row, so no synchronization is needed.
+  std::vector<int32_t> bound_match_;
+  std::vector<int32_t> bound_dist_;
 
   // --- Candidate evaluation scratch. ---
   std::vector<TransactionId> candidate_ids_;
+  // SIMD match-kernel output for one entry's candidate batch, plus the
+  // per-candidate similarity accumulator across targets.
+  std::vector<uint32_t> match_scratch_;
+  std::vector<uint32_t> hamming_scratch_;
+  std::vector<double> score_scratch_;
   std::vector<Neighbor> knn_heap_;
 
   ThreadPool* bound_pool_ = nullptr;

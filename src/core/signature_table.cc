@@ -16,7 +16,10 @@ SignatureTable::SignatureTable(
       config_(config),
       entries_(std::move(entries)),
       coordinate_of_transaction_(std::move(coordinate_of_transaction)),
-      store_(std::move(store)) {}
+      store_(std::move(store)) {
+  coordinates_.reserve(entries_.size());
+  for (const Entry& entry : entries_) coordinates_.push_back(entry.coordinate);
+}
 
 SignatureTable SignatureTable::Build(const TransactionDatabase& database,
                                      SignaturePartition partition,
@@ -108,6 +111,8 @@ void SignatureTable::InsertTransaction(TransactionId id,
     fresh.coordinate = coordinate;
     fresh.bucket = store_.AddBucket();
     it = entries_.insert(it, fresh);
+    coordinates_.insert(coordinates_.begin() + (it - entries_.begin()),
+                        coordinate);
   }
   ++it->transaction_count;
   store_.AppendToBucket(it->bucket, id,
@@ -144,13 +149,16 @@ void SignatureTable::CheckInvariants(
                                          << partition_.cardinality();
 
   // Directory shape: strictly sorted coordinates inside the 2^K range,
-  // valid and mutually distinct bucket references.
+  // valid and mutually distinct bucket references, and the dense coordinate
+  // mirror (for the SIMD bounds kernel) in lockstep with the entries.
+  MBI_CHECK_EQ(coordinates_.size(), entries_.size());
   std::vector<bool> bucket_used(store_.num_buckets(), false);
   uint64_t counted = 0;
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& entry = entries_[i];
     if (i > 0) MBI_CHECK_LT(entries_[i - 1].coordinate, entry.coordinate);
     MBI_CHECK_LT(entry.coordinate, directory_size);
+    MBI_CHECK_EQ(coordinates_[i], entry.coordinate);
     MBI_CHECK_LT(entry.bucket, store_.num_buckets());
     MBI_CHECK_MSG(!bucket_used[entry.bucket],
                   "two directory entries share a bucket");

@@ -88,6 +88,14 @@ class SignatureTable {
   /// Occupied entries, ascending by supercoordinate value.
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// The entries' supercoordinates as a contiguous array parallel to
+  /// `entries()` (coordinates()[i] == entries()[i].coordinate). The SIMD
+  /// bounds kernel (BoundCalculator::ComputeBatch) wants a dense uint32
+  /// stream; maintained alongside entries_ on insert.
+  const std::vector<Supercoordinate>& coordinates() const {
+    return coordinates_;
+  }
+
   /// Supercoordinate the table assigned to a database transaction.
   Supercoordinate CoordinateOfTransaction(TransactionId id) const;
 
@@ -151,6 +159,7 @@ class SignatureTable {
   SignaturePartition partition_;
   SignatureTableConfig config_;
   std::vector<Entry> entries_;
+  std::vector<Supercoordinate> coordinates_;  // Parallel to entries_.
   std::vector<Supercoordinate> coordinate_of_transaction_;
   TransactionStore store_;
 };

@@ -8,7 +8,11 @@
 namespace mbi {
 
 SignatureTableEngine::SignatureTableEngine(const TransactionDatabase* database)
-    : database_(database), scanner_(database) {}
+    : database_(database), scanner_(database, &layout_) {
+  // After the scanner's null check: the layout address handed to the
+  // scanner stays valid across this assignment.
+  layout_ = CandidateLayout::Build(*database_);
+}
 
 Status SignatureTableEngine::OpenIndex(const std::string& path, Env* env) {
   StatusOr<SignatureTable> loaded = LoadSignatureTable(path, *database_, env);
@@ -33,7 +37,12 @@ void SignatureTableEngine::AdoptTable(SignatureTable table) {
   engine_.reset();  // Points into the old table; drop it first.
   table_.emplace(std::move(table));
   table_->set_metrics(metrics_registry_);
-  engine_.emplace(database_, &*table_);
+  // Refresh the shared candidate layout when the database outgrew it, so a
+  // rebuilt index queries at full kernel speed again.
+  if (layout_.num_rows() < database_->size()) {
+    layout_ = CandidateLayout::Build(*database_);
+  }
+  engine_.emplace(database_, &*table_, &layout_);
   {
     MutexLock lock(&state_mu_);
     quarantined_ = false;

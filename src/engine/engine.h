@@ -12,6 +12,7 @@
 #include "core/signature_table.h"
 #include "core/table_io.h"
 #include "storage/env.h"
+#include "txn/candidate_layout.h"
 #include "txn/database.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
@@ -156,6 +157,12 @@ class SignatureTableEngine {
                    double elapsed_us) const;
 
   const TransactionDatabase* database_;
+  /// Blocked candidate bitmap shared by the branch-and-bound engine and the
+  /// sequential fallback (one build per database snapshot instead of one
+  /// per component). Rebuilt by AdoptTable when the database has grown;
+  /// queries issued against rows beyond its coverage fall back to the
+  /// per-candidate probe path inside each component.
+  CandidateLayout layout_;
   SequentialScanner scanner_;
   /// table_/engine_ are written only by OpenIndex/AdoptTable, which the
   /// caller must not run concurrently with queries (the engine swaps the

@@ -1,0 +1,46 @@
+#ifndef MBI_KERNEL_ALIGNED_BUFFER_H_
+#define MBI_KERNEL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace mbi::kernel {
+
+/// Zero-initialized uint64_t buffer whose data() is 64-byte aligned — one
+/// cache line, and the natural alignment for 512-bit vector rows. Built on
+/// make_unique over-allocation rather than aligned new so it works with the
+/// allocation interposer and every toolchain in CI.
+class AlignedWordBuffer {
+ public:
+  AlignedWordBuffer() = default;
+
+  explicit AlignedWordBuffer(size_t words) { Reset(words); }
+
+  /// Reallocates to `words` zeroed words. Invalidates prior data().
+  void Reset(size_t words) {
+    words_ = words;
+    storage_ = std::make_unique<uint64_t[]>(words + kSlackWords);
+    auto addr = reinterpret_cast<uintptr_t>(storage_.get());
+    const uintptr_t aligned = (addr + kAlignment - 1) & ~uintptr_t{kAlignment - 1};
+    data_ = reinterpret_cast<uint64_t*>(aligned);
+  }
+
+  uint64_t* data() { return data_; }
+  const uint64_t* data() const { return data_; }
+  size_t size() const { return words_; }
+
+  static constexpr size_t kAlignment = 64;
+
+ private:
+  // Worst-case padding to reach the next 64-byte boundary.
+  static constexpr size_t kSlackWords = kAlignment / sizeof(uint64_t) - 1;
+
+  std::unique_ptr<uint64_t[]> storage_;
+  uint64_t* data_ = nullptr;
+  size_t words_ = 0;
+};
+
+}  // namespace mbi::kernel
+
+#endif  // MBI_KERNEL_ALIGNED_BUFFER_H_

@@ -1,0 +1,112 @@
+#include "kernel/blocked_layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mbi::kernel {
+
+ItemBandMap ItemBandMap::Build(const std::vector<uint64_t>& item_frequency,
+                               uint32_t max_dense_bits) {
+  ItemBandMap map;
+  const auto universe = static_cast<uint32_t>(item_frequency.size());
+  const uint32_t capacity = max_dense_bits & ~63u;
+  map.slots_.assign(universe, kNotDense);
+
+  if (universe <= capacity) {
+    // Whole universe fits: identity mapping, no sparse tail at all.
+    std::iota(map.slots_.begin(), map.slots_.end(), 0u);
+    map.dense_items_ = universe;
+    map.dense_bits_ = (universe + 63u) & ~63u;
+    return map;
+  }
+
+  if (capacity == 0) return map;
+
+  // Top-`capacity` items by (frequency desc, id asc); nth_element keeps the
+  // build O(universe) rather than a full sort.
+  std::vector<uint32_t> order(universe);
+  std::iota(order.begin(), order.end(), 0u);
+  auto hotter = [&](uint32_t a, uint32_t b) {
+    if (item_frequency[a] != item_frequency[b]) {
+      return item_frequency[a] > item_frequency[b];
+    }
+    return a < b;
+  };
+  std::nth_element(order.begin(), order.begin() + capacity, order.end(),
+                   hotter);
+  order.resize(capacity);
+  // Slots in ascending item-id order: dense rows stay bit-comparable when
+  // the same band is chosen from a grown database.
+  std::sort(order.begin(), order.end());
+  for (uint32_t slot = 0; slot < capacity; ++slot) {
+    map.slots_[order[slot]] = slot;
+  }
+  map.dense_items_ = capacity;
+  map.dense_bits_ = capacity;
+  return map;
+}
+
+BlockedLayout::Builder::Builder(ItemBandMap band_map, size_t reserve_rows,
+                                size_t reserve_items)
+    : band_map_(std::move(band_map)) {
+  row_offsets_.reserve(reserve_rows + 1);
+  row_offsets_.push_back(0);
+  flat_items_.reserve(reserve_items);
+}
+
+void BlockedLayout::Builder::AddRow(const uint32_t* items, size_t count) {
+  flat_items_.insert(flat_items_.end(), items, items + count);
+  row_offsets_.push_back(flat_items_.size());
+}
+
+BlockedLayout BlockedLayout::Builder::Build() && {
+  BlockedLayout layout;
+  layout.num_rows_ = row_offsets_.size() - 1;
+  // Round the pitch to 8 words so each row starts on its own 64-byte line
+  // and the AVX-512 full-block loop never splits a row.
+  layout.stride_words_ =
+      band_map_.dense_words() == 0 ? 0 : (band_map_.dense_words() + 7) & ~size_t{7};
+  layout.bits_.Reset(layout.num_rows_ * layout.stride_words_);
+  layout.row_sizes_.resize(layout.num_rows_);
+  layout.tail_offsets_.assign(layout.num_rows_ + 1, 0);
+
+  uint64_t* bits = layout.bits_.data();
+  // Pass 1: dense bits + tail counts.
+  for (size_t r = 0; r < layout.num_rows_; ++r) {
+    uint64_t* row = bits + r * layout.stride_words_;
+    size_t tail_count = 0;
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const uint32_t slot = band_map_.DenseSlot(flat_items_[k]);
+      if (slot == ItemBandMap::kNotDense) {
+        ++tail_count;
+      } else {
+        row[slot / 64] |= uint64_t{1} << (slot % 64);
+      }
+    }
+    layout.row_sizes_[r] =
+        static_cast<uint32_t>(row_offsets_[r + 1] - row_offsets_[r]);
+    layout.tail_offsets_[r + 1] = layout.tail_offsets_[r] + tail_count;
+  }
+
+  // Pass 2: CSR tail fill, then per-row sort for deterministic probes.
+  layout.tail_items_.resize(layout.tail_offsets_.back());
+  std::vector<size_t> cursor = layout.tail_offsets_;
+  for (size_t r = 0; r < layout.num_rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const uint32_t item = flat_items_[k];
+      if (band_map_.DenseSlot(item) == ItemBandMap::kNotDense) {
+        layout.tail_items_[cursor[r]++] = item;
+      }
+    }
+    std::sort(layout.tail_items_.begin() +
+                  static_cast<std::ptrdiff_t>(layout.tail_offsets_[r]),
+              layout.tail_items_.begin() +
+                  static_cast<std::ptrdiff_t>(layout.tail_offsets_[r + 1]));
+  }
+
+  layout.band_map_ = std::move(band_map_);
+  return layout;
+}
+
+}  // namespace mbi::kernel

@@ -1,0 +1,60 @@
+#ifndef MBI_KERNEL_DISPATCH_H_
+#define MBI_KERNEL_DISPATCH_H_
+
+#include "kernel/kernels.h"
+
+// Runtime (cpuid-based) kernel dispatch.
+//
+// The first call to ActiveKernels() probes the CPU once and selects the
+// widest kernel family both compiled into this binary and supported by the
+// host; every later call is an atomic pointer load. The selection can be
+// narrowed (never widened past hardware support) two ways:
+//
+//   * the MBI_FORCE_ISA environment variable ("scalar", "avx2", "avx512",
+//     "neon"), read at first dispatch — how CI sweeps every variant on one
+//     host (requests the hardware cannot honor clamp to the widest
+//     supported path, so MBI_FORCE_ISA=avx512 is safe on an AVX2-only
+//     runner);
+//   * ForceIsa() below, the in-process hook tests, fuzzers, and the
+//     micro_kernels bench use to pin a specific variant.
+//
+// All variants are bit-identical (tests/kernel_test.cc), so dispatch is
+// purely a performance decision and never changes query results.
+
+namespace mbi::kernel {
+
+/// The dispatch table in effect. Resolved once (cpuid + MBI_FORCE_ISA) on
+/// first use; thread-safe, allocation-free.
+const KernelOps& ActiveKernels();
+
+/// ISA of the table ActiveKernels() returns.
+Isa ActiveIsa();
+
+/// Human-readable name ("scalar", "avx2", "avx512", "neon").
+const char* IsaName(Isa isa);
+
+/// True when `isa` is both compiled into this binary and runnable on this
+/// CPU. kScalar is always supported.
+bool IsaSupported(Isa isa);
+
+/// Widest supported ISA on this host (the default dispatch choice).
+Isa WidestSupportedIsa();
+
+/// The dispatch table for one specific ISA, or nullptr when unsupported on
+/// this build/host. Lets benches and tests drive a variant directly.
+const KernelOps* KernelsFor(Isa isa);
+
+/// Parses an ISA name (case-insensitive). Returns false on unknown names.
+bool ParseIsaName(const char* name, Isa* out);
+
+/// Testing/bench hook: re-points ActiveKernels() at `isa`, clamped to the
+/// widest supported path when the request cannot run here. Returns the ISA
+/// actually installed. Not for production call sites.
+Isa ForceIsa(Isa isa);
+
+/// Undoes ForceIsa: re-resolves from cpuid and MBI_FORCE_ISA.
+void ResetIsaForTesting();
+
+}  // namespace mbi::kernel
+
+#endif  // MBI_KERNEL_DISPATCH_H_

@@ -1,0 +1,100 @@
+// AVX-512 kernel variants. This TU is compiled with
+// -mavx512f -mavx512vpopcntdq on any x86-64 toolchain; dispatch.cc only
+// installs the table when the host reports both avx512f and avx512vpopcntdq
+// (hosts without VPOPCNTDQ fall back to the AVX2 family).
+
+#include "kernel/kernels.h"
+
+#if MBI_KERNEL_BUILD_AVX512
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hot_path.h"
+
+// GCC's AVX-512 headers pass deliberately-undefined operands as
+// `__m256i __Y = __Y;`, which -Wmaybe-uninitialized flags through inlining
+// at -O2 (false positive; the lanes are fully overwritten). The warning
+// originates in the system header, so suppress it for this TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace mbi::kernel {
+namespace {
+
+constexpr size_t kPrefetchAhead = 8;
+
+}  // namespace
+
+MBI_HOT void MatchRowsAvx512(const uint64_t* target_row, const uint64_t* rows,
+                             size_t stride_words, size_t words,
+                             const uint32_t* ids, size_t count,
+                             uint32_t* match_out) {
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row_index = ids != nullptr ? size_t{ids[i]} : i;
+    const uint64_t* row = rows + row_index * stride_words;
+    if (ids != nullptr && i + kPrefetchAhead < count) {
+      __builtin_prefetch(rows + size_t{ids[i + kPrefetchAhead]} * stride_words);
+    }
+    __m512i acc = _mm512_setzero_si512();
+    size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i t = _mm512_loadu_si512(target_row + w);
+      const __m512i c = _mm512_loadu_si512(row + w);
+      acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(t, c)));
+    }
+    if (w < words) {
+      // Ragged tail in one masked load instead of a scalar loop.
+      const __mmask8 tail =
+          static_cast<__mmask8>((1u << (words - w)) - 1u);
+      const __m512i t = _mm512_maskz_loadu_epi64(tail, target_row + w);
+      const __m512i c = _mm512_maskz_loadu_epi64(tail, row + w);
+      acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(t, c)));
+    }
+    match_out[i] =
+        static_cast<uint32_t>(_mm512_reduce_add_epi64(acc));
+  }
+}
+
+MBI_HOT void BoundsBatchAvx512(const uint32_t* coords, size_t count,
+                               uint32_t cardinality,
+                               const int32_t* dist_if_zero,
+                               const int32_t* dist_if_one,
+                               const int32_t* match_if_zero,
+                               const int32_t* match_if_one, int32_t* dist_out,
+                               int32_t* match_out) {
+  const __m512i one = _mm512_set1_epi32(1);
+  size_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    __m512i c = _mm512_loadu_si512(coords + i);
+    __m512i dist = _mm512_setzero_si512();
+    __m512i match = _mm512_setzero_si512();
+    // Shift right by one each round so the tested bit is always bit 0.
+    for (uint32_t j = 0; j < cardinality; ++j) {
+      const __mmask16 bit_set = _mm512_test_epi32_mask(c, one);
+      const __m512i d = _mm512_mask_blend_epi32(
+          bit_set, _mm512_set1_epi32(dist_if_zero[j]),
+          _mm512_set1_epi32(dist_if_one[j]));
+      const __m512i m = _mm512_mask_blend_epi32(
+          bit_set, _mm512_set1_epi32(match_if_zero[j]),
+          _mm512_set1_epi32(match_if_one[j]));
+      dist = _mm512_add_epi32(dist, d);
+      match = _mm512_add_epi32(match, m);
+      c = _mm512_srli_epi32(c, 1);
+    }
+    _mm512_storeu_si512(dist_out + i, dist);
+    _mm512_storeu_si512(match_out + i, match);
+  }
+  if (i < count) {
+    BoundsBatchScalar(coords + i, count - i, cardinality, dist_if_zero,
+                      dist_if_one, match_if_zero, match_if_one, dist_out + i,
+                      match_out + i);
+  }
+}
+
+}  // namespace mbi::kernel
+
+#endif  // MBI_KERNEL_BUILD_AVX512

@@ -1,0 +1,87 @@
+// NEON kernel variants for AArch64, where Advanced SIMD is architectural
+// baseline — no runtime probe needed beyond compiling for the target.
+
+#include "kernel/kernels.h"
+
+#if MBI_KERNEL_BUILD_NEON
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hot_path.h"
+
+namespace mbi::kernel {
+namespace {
+
+constexpr size_t kPrefetchAhead = 8;
+
+}  // namespace
+
+MBI_HOT void MatchRowsNeon(const uint64_t* target_row, const uint64_t* rows,
+                           size_t stride_words, size_t words,
+                           const uint32_t* ids, size_t count,
+                           uint32_t* match_out) {
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row_index = ids != nullptr ? size_t{ids[i]} : i;
+    const uint64_t* row = rows + row_index * stride_words;
+    if (ids != nullptr && i + kPrefetchAhead < count) {
+      __builtin_prefetch(rows + size_t{ids[i + kPrefetchAhead]} * stride_words);
+    }
+    uint64x2_t acc = vdupq_n_u64(0);
+    size_t w = 0;
+    for (; w + 2 <= words; w += 2) {
+      const uint64x2_t t = vld1q_u64(target_row + w);
+      const uint64x2_t c = vld1q_u64(row + w);
+      // vcntq_u8 counts per byte; widening pairwise adds fold the byte
+      // counts up to one count per 64-bit lane.
+      const uint8x16_t bytes =
+          vcntq_u8(vreinterpretq_u8_u64(vandq_u64(t, c)));
+      acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes))));
+    }
+    uint64_t sum = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; w < words; ++w) {
+      sum += static_cast<uint64_t>(std::popcount(target_row[w] & row[w]));
+    }
+    match_out[i] = static_cast<uint32_t>(sum);
+  }
+}
+
+MBI_HOT void BoundsBatchNeon(const uint32_t* coords, size_t count,
+                             uint32_t cardinality, const int32_t* dist_if_zero,
+                             const int32_t* dist_if_one,
+                             const int32_t* match_if_zero,
+                             const int32_t* match_if_one, int32_t* dist_out,
+                             int32_t* match_out) {
+  const uint32x4_t one = vdupq_n_u32(1);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    uint32x4_t c = vld1q_u32(coords + i);
+    int32x4_t dist = vdupq_n_s32(0);
+    int32x4_t match = vdupq_n_s32(0);
+    // Shift right by one each round so the tested bit is always bit 0.
+    for (uint32_t j = 0; j < cardinality; ++j) {
+      const uint32x4_t bit_set = vtstq_u32(c, one);
+      const int32x4_t d = vbslq_s32(bit_set, vdupq_n_s32(dist_if_one[j]),
+                                    vdupq_n_s32(dist_if_zero[j]));
+      const int32x4_t m = vbslq_s32(bit_set, vdupq_n_s32(match_if_one[j]),
+                                    vdupq_n_s32(match_if_zero[j]));
+      dist = vaddq_s32(dist, d);
+      match = vaddq_s32(match, m);
+      c = vshrq_n_u32(c, 1);
+    }
+    vst1q_s32(dist_out + i, dist);
+    vst1q_s32(match_out + i, match);
+  }
+  if (i < count) {
+    BoundsBatchScalar(coords + i, count - i, cardinality, dist_if_zero,
+                      dist_if_one, match_if_zero, match_if_one, dist_out + i,
+                      match_out + i);
+  }
+}
+
+}  // namespace mbi::kernel
+
+#endif  // MBI_KERNEL_BUILD_NEON

@@ -1,0 +1,31 @@
+#include "txn/candidate_layout.h"
+
+#include <utility>
+#include <vector>
+
+namespace mbi {
+
+CandidateLayout CandidateLayout::Build(const TransactionDatabase& database,
+                                       const CandidateLayoutConfig& config) {
+  std::vector<uint64_t> item_frequency(database.universe_size(), 0);
+  size_t total_items = 0;
+  for (const Transaction& txn : database.transactions()) {
+    for (ItemId item : txn.items()) ++item_frequency[item];
+    total_items += txn.size();
+  }
+
+  kernel::ItemBandMap band_map =
+      kernel::ItemBandMap::Build(item_frequency, config.max_dense_bits);
+  kernel::BlockedLayout::Builder builder(std::move(band_map), database.size(),
+                                         total_items);
+  for (const Transaction& txn : database.transactions()) {
+    builder.AddRow(txn.items().data(), txn.size());
+  }
+
+  CandidateLayout layout;
+  layout.blocked_ = std::move(builder).Build();
+  layout.universe_size_ = database.universe_size();
+  return layout;
+}
+
+}  // namespace mbi

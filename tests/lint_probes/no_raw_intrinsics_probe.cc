@@ -1,0 +1,14 @@
+// Negative probe for the no-raw-intrinsics rule: a file outside src/kernel/
+// that includes an intrinsic header and uses x86 vector intrinsics directly.
+// mbi_lint.py --self-test requires the rule to fire on every line below;
+// if it stops firing, the ISA-confinement analysis has gone dead.
+//
+// (Never compiled — the probe corpus is input for the linter only.)
+
+#include <immintrin.h>
+
+int SumOfZeroVector() {
+  __m256i zero = _mm256_setzero_si256();
+  __m256i sum = _mm256_add_epi64(zero, zero);
+  return _mm256_extract_epi32(sum, 0);
+}

@@ -32,6 +32,12 @@ clang-tidy checks style and bug patterns per-TU; mbi-lint checks the
   no-alloc-in-hot              MBI_HOT code contains no per-call allocation
                                constructs (new, make_unique/make_shared,
                                malloc, std::to_string, stringstreams).
+  no-raw-intrinsics            raw SIMD intrinsics (immintrin.h /
+                               arm_neon.h, _mm*/__m*/v*q_* identifiers)
+                               live only under src/kernel/, behind the
+                               runtime dispatcher; everywhere else calls
+                               the KernelOps table so scalar/AVX2/AVX-512/
+                               NEON stay interchangeable and testable.
 
 Frontend: when the libclang Python bindings are importable the file is
 tokenized through clang.cindex against the compile command recorded in
@@ -407,6 +413,7 @@ ALLOWLIST = {
     "status-discipline": set(),
     "no-unbounded-container-in-hot": set(),
     "no-alloc-in-hot": set(),
+    "no-raw-intrinsics": set(),  # src/kernel/ is excluded by the rule itself.
 }
 
 _MUTEX_TYPES = {
@@ -736,6 +743,55 @@ def check_no_alloc_in_hot(source, emit):
                 if nxt in ("(", "<"):
                     emit(tok.line, f"std::{tok.spelling} allocates on every "
                                    f"call; not allowed in MBI_HOT code")
+
+
+# Intrinsic headers never appear as tokens (the lexer eats `#include <x>`
+# lines), so the rule matches them against the raw source text.
+_INTRINSIC_HEADER_RE = re.compile(
+    r'^[ \t]*#[ \t]*include[ \t]*[<"]('
+    r'immintrin|x86intrin|x86gprintrin|[a-z0-9]*mmintrin|avx[a-z0-9]*intrin|'
+    r'arm_neon|arm_sve|arm_acle'
+    r')\.h[>"]', re.MULTILINE)
+
+# x86 vector types/ops all share a handful of reserved prefixes; NEON has no
+# common prefix, so the distinctive q-form intrinsic families are listed.
+_X86_INTRINSIC_PREFIXES = ("_mm_", "_mm256_", "_mm512_", "__m128", "__m256",
+                           "__m512", "__mmask")
+_NEON_INTRINSIC_PREFIXES = (
+    "vld1", "vst1", "vandq", "vorrq", "veorq", "vbicq", "vcntq", "vaddq",
+    "vaddvq", "vpaddlq", "vpaddq", "vdupq", "vmovq", "vgetq", "vsetq",
+    "vbslq", "vtstq", "vceqq", "vshrq", "vshlq", "vreinterpretq",
+)
+
+
+@rule("no-raw-intrinsics", scope_prefixes=("src/", "tools/"))
+def check_no_raw_intrinsics(source, emit):
+    """SIMD intrinsics are confined to src/kernel/: every vector routine
+    there has a scalar twin behind the same KernelOps signature, kernel_test
+    proves them bit-identical, and MBI_FORCE_ISA can force any path. An
+    intrinsic anywhere else is an ISA dependency the dispatcher cannot see,
+    cannot clamp on older hardware, and the equivalence suite cannot cover."""
+    if source.rel_path.startswith("src/kernel/"):
+        return
+    try:
+        with open(source.path, "r", encoding="utf-8",
+                  errors="replace") as handle:
+            text = handle.read()
+    except OSError:
+        text = ""
+    for m in _INTRINSIC_HEADER_RE.finditer(text):
+        line = text.count("\n", 0, m.start()) + 1
+        emit(line, f"#include <{m.group(1)}.h> outside src/kernel/; "
+                   f"vector code goes behind the KernelOps dispatch table "
+                   f"(kernel/dispatch.h)")
+    for tok in source.tokens:
+        if tok.kind != "id":
+            continue
+        if tok.spelling.startswith(_X86_INTRINSIC_PREFIXES) or \
+                tok.spelling.startswith(_NEON_INTRINSIC_PREFIXES):
+            emit(tok.line, f"raw intrinsic {tok.spelling} outside "
+                           f"src/kernel/; add a kernel behind the dispatch "
+                           f"table instead (kernel/kernels.h)")
 
 
 # --------------------------------------------------------------------------
