@@ -20,6 +20,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -32,8 +35,10 @@
 #include "core/query_context.h"
 #include "engine/engine.h"
 #include "gen/quest_generator.h"
+#include "core/query_budget.h"
 #include "txn/packed_target.h"
 #include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
@@ -237,6 +242,108 @@ void BM_CandidateKernel_After(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateKernel_After)->Unit(benchmark::kMillisecond);
 
+// --- Overload sweep: latency and answer quality as the per-query deadline
+// tightens. Hand-rolled (google-benchmark owns one --benchmark_out file per
+// process, and this sweep wants its own BENCH_overload.json): for each
+// deadline the 64 shared queries are replayed through a warm QueryContext,
+// recording p50/p99 latency, the fraction still answered exactly, top-k
+// overlap with the unbudgeted answer (the quality-vs-budget curve), and how
+// much of the directory the cut-off queries managed to scan. ---
+
+void RunDeadlineSweep(const char* out_path) {
+  const SharedData& data = SharedData::Get();
+  BranchAndBoundEngine engine(&data.db, &data.table);
+  MatchRatioFamily family;
+  constexpr size_t kK = 10;
+  constexpr int kRounds = 4;  // 4 x 64 queries per sweep point
+
+  // Unbudgeted ground truth, once per target.
+  std::vector<NearestNeighborResult> full;
+  full.reserve(data.queries.size());
+  for (const Transaction& target : data.queries) {
+    full.push_back(engine.FindKNearest(target, family, kK));
+  }
+
+  // -1 encodes "no deadline" (the quality baseline and latency floor).
+  const double deadlines_us[] = {-1.0, 2000.0, 500.0, 200.0, 100.0, 50.0,
+                                 20.0};
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"context\": {\n");
+  std::fprintf(out, "    \"mbi_build_type\": \"%s\",\n", MBI_BENCH_BUILD_TYPE);
+  std::fprintf(out, "    \"mbi_kernel_isa\": \"%s\",\n",
+               kernel::IsaName(kernel::ActiveIsa()));
+  std::fprintf(out, "    \"queries_per_point\": %zu,\n",
+               data.queries.size() * kRounds);
+  std::fprintf(out, "    \"k\": %zu\n  },\n", kK);
+  std::fprintf(out, "  \"deadline_sweep\": [\n");
+
+  bool first_row = true;
+  for (double deadline_us : deadlines_us) {
+    std::vector<double> latencies_us;
+    latencies_us.reserve(data.queries.size() * kRounds);
+    QueryContext context;
+    NearestNeighborResult result;
+    size_t exact = 0, deadline_cut = 0;
+    double overlap_sum = 0.0, scanned_fraction_sum = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (size_t i = 0; i < data.queries.size(); ++i) {
+        SearchOptions options;
+        if (deadline_us > 0.0) {
+          options.budget =
+              QueryBudget::WithDeadlineAfterMs(deadline_us / 1000.0);
+        }
+        Stopwatch timer;
+        engine.FindKNearest(data.queries[i], family, kK, options, &context,
+                            &result);
+        latencies_us.push_back(timer.ElapsedMillis() * 1000.0);
+        exact += result.stats.is_exact;
+        deadline_cut += result.stats.termination == QueryTermination::kDeadline;
+        size_t hits = 0;
+        for (const Neighbor& neighbor : result.neighbors) {
+          for (const Neighbor& truth : full[i].neighbors) {
+            if (neighbor.id == truth.id) {
+              ++hits;
+              break;
+            }
+          }
+        }
+        overlap_sum += full[i].neighbors.empty()
+                           ? 1.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(full[i].neighbors.size());
+        scanned_fraction_sum +=
+            result.stats.entries_total == 0
+                ? 1.0
+                : static_cast<double>(result.stats.entries_scanned) /
+                      static_cast<double>(result.stats.entries_total);
+      }
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const size_t n = latencies_us.size();
+    auto quantile = [&](double q) {
+      return latencies_us[static_cast<size_t>(q * static_cast<double>(n - 1))];
+    };
+    const double count = static_cast<double>(n);
+    std::fprintf(out, "%s    {\"deadline_us\": %.0f, \"p50_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"exact_fraction\": %.4f, "
+                 "\"mean_topk_overlap\": %.4f, "
+                 "\"mean_entries_scanned_fraction\": %.4f, "
+                 "\"deadline_cut\": %zu}",
+                 first_row ? "" : ",\n", deadline_us, quantile(0.5),
+                 quantile(0.99), static_cast<double>(exact) / count,
+                 overlap_sum / count, scanned_fraction_sum / count,
+                 deadline_cut);
+    first_row = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "perf_smoke: wrote deadline sweep to %s\n", out_path);
+}
+
 }  // namespace
 }  // namespace mbi
 
@@ -272,6 +379,12 @@ int main(int argc, char** argv) {
       "mbi_warm_checksum",
       std::to_string(mbi::bench::WarmDatabase(mbi::SharedData::Get().db)));
   benchmark::RunSpecifiedBenchmarks();
+  // The overload sweep writes its own JSON (google-benchmark owns the
+  // --benchmark_out file). MBI_OVERLOAD_OUT overrides the path; an empty
+  // value skips the sweep.
+  const char* overload_out = std::getenv("MBI_OVERLOAD_OUT");
+  if (overload_out == nullptr) overload_out = "BENCH_overload.json";
+  if (overload_out[0] != '\0') mbi::RunDeadlineSweep(overload_out);
   benchmark::Shutdown();
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "baseline/inverted_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "txn/packed_target.h"
@@ -72,8 +73,8 @@ std::vector<TransactionId> InvertedIndex::Candidates(
 }
 
 InvertedIndex::Result InvertedIndex::FindKNearest(
-    const Transaction& target, const SimilarityFamily& family,
-    size_t k) const {
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const QueryBudget& budget) const {
   MBI_CHECK(k >= 1);
   ScopedTimer timer(nullptr);
   Result result;
@@ -101,38 +102,77 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
   PackedTarget packed;
   packed.Assign(target, database_->universe_size(),
                 use_layout ? &layout_ : nullptr);
-  // One gather-form kernel batch over the whole candidate list (ids are
-  // sorted ascending, so the kernel's row prefetch streams forward).
-  std::vector<uint32_t> batch_match;
-  std::vector<uint32_t> batch_hamming;
-  if (use_layout) {
-    batch_match.resize(candidates.size());
-    batch_hamming.resize(candidates.size());
-    packed.MatchAndHammingBatch(candidates.data(), candidates.size(),
-                                batch_match.data(), batch_hamming.data());
-  }
   BufferPool pool(&sequential_store_.page_store(), buffer_pool_pages_);
   pool.set_metrics(metrics_registry_);
   std::unordered_set<PageId> touched;
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    const TransactionId id = candidates[c];
-    touched.insert(sequential_store_.PageOfTransaction(id));
-    sequential_store_.FetchTransaction(
-        id, buffer_pool_pages_ > 0 ? &pool : nullptr, &result.io);
-    size_t match = 0, hamming = 0;
-    if (use_layout) {
-      match = batch_match[c];
-      hamming = batch_hamming[c];
-    } else {
-      packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+  // Phase 2 in kScanChunk-candidate slices: each slice goes through one
+  // gather-form kernel batch (ids are sorted ascending, so the kernel's row
+  // prefetch still streams forward), and the budget is checked between
+  // slices — never before the first, so a degraded answer always carries
+  // real candidates.
+  const size_t num_candidates = candidates.size();
+  const bool budget_limited = budget.limited();
+  QueryTermination termination = QueryTermination::kCompleted;
+  uint64_t chunks_scanned = 0;
+  uint32_t chunk_match[kScanChunk];
+  uint32_t chunk_hamming[kScanChunk];
+  for (size_t base = 0; base < num_candidates; base += kScanChunk) {
+    if (budget_limited && chunks_scanned > 0) {
+      if (budget.cancelled()) {
+        termination = QueryTermination::kCancelled;
+        break;
+      }
+      if (chunks_scanned >= budget.max_entries) {
+        termination = QueryTermination::kEntryBudget;
+        break;
+      }
+      if (budget.deadline_expired()) {
+        termination = QueryTermination::kDeadline;
+        break;
+      }
     }
-    scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
-                                               static_cast<int>(hamming))});
+    const size_t len = std::min(kScanChunk, num_candidates - base);
+    if (use_layout) {
+      packed.MatchAndHammingBatch(candidates.data() + base, len, chunk_match,
+                                  chunk_hamming);
+    }
+    for (size_t i = 0; i < len; ++i) {
+      const TransactionId id = candidates[base + i];
+      touched.insert(sequential_store_.PageOfTransaction(id));
+      sequential_store_.FetchTransaction(
+          id, buffer_pool_pages_ > 0 ? &pool : nullptr, &result.io);
+      size_t match = 0, hamming = 0;
+      if (use_layout) {
+        match = chunk_match[i];
+        hamming = chunk_hamming[i];
+      } else {
+        packed.MatchAndHamming(database_->Get(id), &match, &hamming);
+      }
+      scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
+                                                 static_cast<int>(hamming))});
+    }
+    ++chunks_scanned;
   }
   result.pages_touched = touched.size();
   result.pages_total = sequential_store_.page_store().size();
+
+  // Budget accounting + certificate (the same f(|target|, 0) pointwise bound
+  // the sequential scanner uses; phase-1 completeness is reported separately
+  // via candidates_complete).
+  result.stats.database_size = database_->size();
+  result.stats.entries_total = (num_candidates + kScanChunk - 1) / kScanChunk;
+  result.stats.entries_scanned = chunks_scanned;
+  result.stats.entries_unexplored =
+      result.stats.entries_total - chunks_scanned;
+  result.stats.transactions_evaluated = scored.size();
+  result.stats.termination = termination;
+  result.stats.is_exact = termination == QueryTermination::kCompleted;
+  result.stats.certificate_bound =
+      result.stats.is_exact
+          ? -std::numeric_limits<double>::infinity()
+          : similarity->Evaluate(static_cast<int>(target.size()), 0);
 
   // Every page pin taken during phase 2 must have been released, and the
   // pool's LRU bookkeeping must have survived the scattered access pattern.
@@ -148,6 +188,7 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
             });
   if (scored.size() > k) scored.resize(k);
   result.neighbors = std::move(scored);
+  result.stats.io = result.io;
   if (metrics_.queries != nullptr) {
     metrics_.queries->Increment();
     metrics_.candidates->Increment(result.candidates);

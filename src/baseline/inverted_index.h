@@ -53,6 +53,10 @@ class InvertedIndex {
     /// transactions could win).
     bool candidates_complete = false;
     IoStats io;
+    /// Budget accounting + quality certificate (termination, is_exact,
+    /// certificate_bound), in the same shape as the engine's QueryStats.
+    /// One "entry" is one kScanChunk-candidate slice of phase-2 re-ranking.
+    QueryStats stats;
   };
 
   /// Builds the index and a sequential page layout of `database`.
@@ -75,7 +79,19 @@ class InvertedIndex {
 
   /// Full two-phase k-NN.
   Result FindKNearest(const Transaction& target,
-                      const SimilarityFamily& family, size_t k) const;
+                      const SimilarityFamily& family, size_t k) const {
+    return FindKNearest(target, family, k, QueryBudget{});
+  }
+
+  /// Budget-aware two-phase k-NN: phase 1 always completes (the union is
+  /// the index's fixed cost), phase-2 re-ranking checks `budget` every
+  /// kScanChunk candidates and, on expiry, returns the best of the scored
+  /// prefix certified with f(|target|, 0) in Result::stats.
+  Result FindKNearest(const Transaction& target, const SimilarityFamily& family,
+                      size_t k, const QueryBudget& budget) const;
+
+  /// Candidates re-ranked per budget check in phase 2.
+  static constexpr size_t kScanChunk = 256;
 
   /// TID list of one item (decodes when the index is compressed).
   std::vector<TransactionId> PostingsOf(ItemId item) const;

@@ -1,6 +1,7 @@
 #include "baseline/sequential_scan.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "storage/page_store.h"
@@ -79,21 +80,42 @@ void SequentialScanner::RecordScan(bool is_range, double elapsed_us) const {
   metrics_.latency->Record(elapsed_us);
 }
 
-MBI_HOT void SequentialScanner::ScoreAllCandidates(
+MBI_HOT SequentialScanner::ScanOutcome SequentialScanner::ScoreAllCandidates(
     const PackedTarget& packed, const SimilarityFunction& similarity,
-    IoStats* stats, uint32_t page_size_bytes,
+    IoStats* stats, uint32_t page_size_bytes, const QueryBudget& budget,
     std::vector<Neighbor>* scored) const {
   SequentialIoCharger charger(stats, page_size_bytes);
-  if (packed.has_layout()) {
-    // Stream the blocked layout through the SIMD match kernel in fixed-size
-    // chunks. The buffers live on the stack (const method, no mutable
-    // scratch), so the zero-allocation contract holds without state.
-    constexpr size_t kChunk = 256;
-    uint32_t match[kChunk];
-    uint32_t hamming[kChunk];
-    const size_t n = database_->size();
-    for (size_t base = 0; base < n; base += kChunk) {
-      const size_t len = std::min(kChunk, n - base);
+  const size_t n = database_->size();
+  ScanOutcome outcome;
+  outcome.chunks_total = (n + kScanChunk - 1) / kScanChunk;
+  const bool budget_limited = budget.limited();
+  // SIMD match-kernel output for one chunk (layout path). The buffers live
+  // on the stack (const method, no mutable scratch), so the zero-allocation
+  // contract holds without state.
+  uint32_t match[kScanChunk];
+  uint32_t hamming[kScanChunk];
+  const bool use_layout = packed.has_layout();
+  for (size_t base = 0; base < n; base += kScanChunk) {
+    // Budget check between chunks, never before the first: a degraded scan
+    // always carries at least kScanChunk real candidates (or the whole
+    // database if smaller), mirroring RunKNearest's min-one-entry rule.
+    if (budget_limited && outcome.chunks_scanned > 0) {
+      if (budget.cancelled()) {
+        outcome.termination = QueryTermination::kCancelled;
+        break;
+      }
+      if (outcome.chunks_scanned >= budget.max_entries) {
+        outcome.termination = QueryTermination::kEntryBudget;
+        break;
+      }
+      if (budget.deadline_expired()) {
+        outcome.termination = QueryTermination::kDeadline;
+        break;
+      }
+    }
+    const size_t len = std::min(kScanChunk, n - base);
+    if (use_layout) {
+      // Stream the blocked layout through the SIMD match kernel.
       packed.MatchAndHammingRows(static_cast<TransactionId>(base), len, match,
                                  hamming);
       for (size_t i = 0; i < len; ++i) {
@@ -103,17 +125,20 @@ MBI_HOT void SequentialScanner::ScoreAllCandidates(
             {id, similarity.Evaluate(static_cast<int>(match[i]),
                                      static_cast<int>(hamming[i]))});
       }
+    } else {
+      for (size_t i = 0; i < len; ++i) {
+        const auto id = static_cast<TransactionId>(base + i);
+        const Transaction& candidate = database_->Get(id);
+        charger.Charge(candidate);
+        size_t m = 0, h = 0;
+        packed.MatchAndHamming(candidate, &m, &h);
+        scored->push_back({id, similarity.Evaluate(static_cast<int>(m),
+                                                   static_cast<int>(h))});
+      }
     }
-    return;
+    ++outcome.chunks_scanned;
   }
-  for (TransactionId id = 0; id < database_->size(); ++id) {
-    const Transaction& candidate = database_->Get(id);
-    charger.Charge(candidate);
-    size_t match = 0, hamming = 0;
-    packed.MatchAndHamming(candidate, &match, &hamming);
-    scored->push_back({id, similarity.Evaluate(static_cast<int>(match),
-                                               static_cast<int>(hamming))});
-  }
+  return outcome;
 }
 
 std::vector<Neighbor> SequentialScanner::FindKNearest(
@@ -127,11 +152,99 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
   packed.Assign(target, database_->universe_size(), EffectiveLayout());
   std::vector<Neighbor> scored;
   scored.reserve(database_->size());
-  ScoreAllCandidates(packed, *similarity, stats, page_size_bytes, &scored);
+  ScoreAllCandidates(packed, *similarity, stats, page_size_bytes,
+                     QueryBudget{}, &scored);
   SortBestFirst(&scored);
   if (scored.size() > k) scored.resize(k);
   RecordScan(/*is_range=*/false, timer.ElapsedUs());
   return scored;
+}
+
+namespace {
+
+/// Shared stats fill for the budget-aware scans: chunk accounting maps onto
+/// the entries_* fields (one chunk = one "entry"), and an incomplete scan is
+/// certified with f(|target|, 0) — no unscanned transaction can match more
+/// than the whole target or differ by less than nothing, so for admissible
+/// f (monotone up in matches, down in Hamming) this bound dominates every
+/// skipped similarity (Lemma 2.1 in pointwise form).
+void FillScanStats(const SequentialScanner::ScanOutcome& outcome,
+                   const SimilarityFunction& similarity,
+                   const Transaction& target, uint64_t evaluated,
+                   uint64_t database_size, QueryStats* stats) {
+  stats->database_size = database_size;
+  stats->entries_total = outcome.chunks_total;
+  stats->entries_scanned = outcome.chunks_scanned;
+  stats->entries_unexplored = outcome.chunks_total - outcome.chunks_scanned;
+  stats->transactions_evaluated = evaluated;
+  stats->termination = outcome.termination;
+  stats->is_exact = outcome.termination == QueryTermination::kCompleted;
+  stats->certificate_bound =
+      stats->is_exact
+          ? -std::numeric_limits<double>::infinity()
+          : similarity.Evaluate(static_cast<int>(target.size()), 0);
+}
+
+}  // namespace
+
+void SequentialScanner::FindKNearest(const Transaction& target,
+                                     const SimilarityFamily& family, size_t k,
+                                     const QueryBudget& budget,
+                                     NearestNeighborResult* result,
+                                     uint32_t page_size_bytes) const {
+  MBI_CHECK(k >= 1);
+  MBI_CHECK(result != nullptr);
+  ScopedTimer timer(nullptr);
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size(), EffectiveLayout());
+  result->neighbors.clear();
+  result->trace.clear();
+  result->stats = QueryStats{};
+  std::vector<Neighbor> scored;
+  scored.reserve(database_->size());
+  const ScanOutcome outcome =
+      ScoreAllCandidates(packed, *similarity, &result->stats.io,
+                         page_size_bytes, budget, &scored);
+  const auto evaluated = static_cast<uint64_t>(scored.size());
+  SortBestFirst(&scored);
+  if (scored.size() > k) scored.resize(k);
+  result->neighbors = std::move(scored);
+  FillScanStats(outcome, *similarity, target, evaluated, database_->size(),
+                &result->stats);
+  result->guaranteed_exact = result->stats.is_exact;
+  result->unexplored_optimistic_bound = result->stats.certificate_bound;
+  result->best_unscanned_bound = result->stats.certificate_bound;
+  RecordScan(/*is_range=*/false, timer.ElapsedUs());
+}
+
+void SequentialScanner::FindInRange(const Transaction& target,
+                                    const SimilarityFamily& family,
+                                    double threshold, const QueryBudget& budget,
+                                    RangeQueryResult* result,
+                                    uint32_t page_size_bytes) const {
+  MBI_CHECK(result != nullptr);
+  ScopedTimer timer(nullptr);
+  std::unique_ptr<SimilarityFunction> similarity = family.ForTarget(target);
+  PackedTarget packed;
+  packed.Assign(target, database_->universe_size(), EffectiveLayout());
+  result->matches.clear();
+  result->stats = QueryStats{};
+  std::vector<Neighbor> scored;
+  scored.reserve(database_->size());
+  const ScanOutcome outcome =
+      ScoreAllCandidates(packed, *similarity, &result->stats.io,
+                         page_size_bytes, budget, &scored);
+  const auto evaluated = static_cast<uint64_t>(scored.size());
+  for (const Neighbor& neighbor : scored) {
+    if (neighbor.similarity >= threshold) result->matches.push_back(neighbor);
+  }
+  SortBestFirst(&result->matches);
+  FillScanStats(outcome, *similarity, target, evaluated, database_->size(),
+                &result->stats);
+  result->guaranteed_complete = result->stats.is_exact;
+  RecordScan(/*is_range=*/true, timer.ElapsedUs());
 }
 
 std::vector<Neighbor> SequentialScanner::FindKNearestMultiTarget(

@@ -45,6 +45,35 @@ class SequentialScanner {
                                      IoStats* stats = nullptr,
                                      uint32_t page_size_bytes = 4096) const;
 
+  /// Budget-aware variant filling a full NearestNeighborResult (certificate
+  /// included) — the form the quarantine fallback propagates, so termination
+  /// fields are never dropped. The budget is checked at chunk granularity
+  /// (kScanChunk rows = one "entry" for QueryBudget::max_entries); on expiry
+  /// the returned prefix top-k is certified with f(|target|, 0), a pointwise
+  /// optimistic bound for every admissible similarity (matches cannot exceed
+  /// the target size and the Hamming distance cannot go below zero).
+  void FindKNearest(const Transaction& target, const SimilarityFamily& family,
+                    size_t k, const QueryBudget& budget,
+                    NearestNeighborResult* result,
+                    uint32_t page_size_bytes = 4096) const;
+
+  /// Budget-aware range query (see the budget-aware FindKNearest).
+  void FindInRange(const Transaction& target, const SimilarityFamily& family,
+                   double threshold, const QueryBudget& budget,
+                   RangeQueryResult* result,
+                   uint32_t page_size_bytes = 4096) const;
+
+  /// Rows scored per budget check in the budget-aware scans.
+  static constexpr size_t kScanChunk = 256;
+
+  /// How far a budgeted scan got: chunk accounting feeds the entries_*
+  /// stats, termination the certificate.
+  struct ScanOutcome {
+    QueryTermination termination = QueryTermination::kCompleted;
+    uint64_t chunks_total = 0;
+    uint64_t chunks_scanned = 0;
+  };
+
   /// Exact multi-target variant: maximizes average similarity to `targets`.
   std::vector<Neighbor> FindKNearestMultiTarget(
       const std::vector<Transaction>& targets, const SimilarityFamily& family,
@@ -67,14 +96,18 @@ class SequentialScanner {
 
   void RecordScan(bool is_range, double elapsed_us) const;
 
-  /// The scan's inner loop: scores every transaction against the packed
-  /// target, appending to the caller-owned `scored` buffer and charging the
-  /// streaming I/O model. MBI_HOT: growth of `*scored` aside, the loop must
-  /// not allocate (util/hot_path.h).
-  MBI_HOT void ScoreAllCandidates(const PackedTarget& packed,
-                                  const SimilarityFunction& similarity,
-                                  IoStats* stats, uint32_t page_size_bytes,
-                                  std::vector<Neighbor>* scored) const;
+  /// The scan's inner loop: scores transactions against the packed target in
+  /// kScanChunk-row chunks, appending to the caller-owned `scored` buffer
+  /// and charging the streaming I/O model, until the database is exhausted
+  /// or `budget` expires (checked between chunks, always after at least one
+  /// chunk). MBI_HOT: growth of `*scored` aside, the loop must not allocate
+  /// (util/hot_path.h).
+  MBI_HOT ScanOutcome ScoreAllCandidates(const PackedTarget& packed,
+                                         const SimilarityFunction& similarity,
+                                         IoStats* stats,
+                                         uint32_t page_size_bytes,
+                                         const QueryBudget& budget,
+                                         std::vector<Neighbor>* scored) const;
 
   /// The layout in effect for this query, or null when the (optional)
   /// layout does not cover every current database row.

@@ -257,6 +257,12 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
   result.stats.entries_total = num_entries;
   const uint64_t budget =
       AccessBudget(options.max_access_fraction, database_->size());
+  // Overload budget (tightest-wins between the per-call options and the
+  // context's session default). `limited` is hoisted so the unlimited case
+  // pays one branch per entry and zero clock reads.
+  const QueryBudget qbudget =
+      QueryBudget::Tightest(options.budget, ctx.budget_);
+  const bool budget_limited = qbudget.limited();
 
   // Min-heap of the k best candidates; front is the pessimistic bound once
   // the heap is full.
@@ -329,8 +335,32 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
   };
 
   bool terminated_early = false;
+  QueryTermination termination = QueryTermination::kCompleted;
   double max_pruned_bound = kNegInfinity;
   while (remaining > 0) {
+    // Cooperative budget check, entry granularity. Guarded on at least one
+    // scanned entry so a degraded answer always carries at least one real
+    // candidate (an already-expired deadline still returns the best of the
+    // top-ranked entry, never an empty neighbor list); the first pop can
+    // never prune (the k-heap cannot be full before the first scan), so
+    // entries_scanned > 0 always holds from the second iteration on.
+    if (budget_limited && result.stats.entries_scanned > 0) {
+      if (qbudget.cancelled()) {
+        terminated_early = true;
+        termination = QueryTermination::kCancelled;
+        break;
+      }
+      if (result.stats.entries_scanned >= qbudget.max_entries) {
+        terminated_early = true;
+        termination = QueryTermination::kEntryBudget;
+        break;
+      }
+      if (qbudget.deadline_expired()) {
+        terminated_early = true;
+        termination = QueryTermination::kDeadline;
+        break;
+      }
+    }
     uint32_t entry_index = pop_next();
     double optimistic = ctx.optimistic_[entry_index];
     if (knn_heap.size() == k &&
@@ -365,6 +395,7 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
     }
     if (result.stats.transactions_evaluated >= budget && remaining > 0) {
       terminated_early = true;
+      termination = QueryTermination::kAccessFraction;
       break;
     }
   }
@@ -396,6 +427,11 @@ MBI_HOT void BranchAndBoundEngine::RunKNearest(
   result.guaranteed_exact =
       knn_heap.size() == std::min<size_t>(k, database_->size()) &&
       result.best_unscanned_bound <= pessimistic();
+  // Paper-§4 quality certificate, duplicated into the stats so it survives
+  // paths that only propagate QueryStats (metrics, the quarantine fallback).
+  result.stats.termination = termination;
+  result.stats.is_exact = result.guaranteed_exact;
+  result.stats.certificate_bound = result.best_unscanned_bound;
 
   std::sort(knn_heap.begin(), knn_heap.end(),
             [](const Neighbor& a, const Neighbor& b) {
@@ -578,6 +614,13 @@ NearestNeighborResult BranchAndBoundEngine::FindKNearestMultiTargetReference(
   result.guaranteed_exact =
       heap.size() == std::min<size_t>(k, database_->size()) &&
       result.best_unscanned_bound <= pessimistic();
+  // Certificate mirror (the frozen reference ignores QueryBudget by design,
+  // so kAccessFraction is the only early termination it can report).
+  result.stats.termination = terminated_early
+                                 ? QueryTermination::kAccessFraction
+                                 : QueryTermination::kCompleted;
+  result.stats.is_exact = result.guaranteed_exact;
+  result.stats.certificate_bound = result.best_unscanned_bound;
 
   std::sort(heap.begin(), heap.end(), [](const Neighbor& a, const Neighbor& b) {
     if (a.similarity != b.similarity) return a.similarity > b.similarity;
@@ -622,8 +665,12 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
   result.stats.entries_total = table_->entries().size();
   const uint64_t budget =
       AccessBudget(options.max_access_fraction, database_->size());
+  const QueryBudget& qbudget = options.budget;
+  const bool budget_limited = qbudget.limited();
 
   bool terminated_early = false;
+  QueryTermination termination = QueryTermination::kCompleted;
+  double unexplored_bound = kNegInfinity;
   const auto& entries = table_->entries();
   // All entry bounds in one SIMD batch up front (range queries visit the
   // directory in index order, so there is no lazy prefix to exploit).
@@ -635,8 +682,28 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
   std::vector<uint32_t> match_scratch;
   std::vector<uint32_t> hamming_scratch;
   for (uint32_t i = 0; i < entries.size(); ++i) {
+    if (!terminated_early && budget_limited &&
+        result.stats.entries_scanned > 0) {
+      // Same min-one-entry guarantee as RunKNearest: the budget can only cut
+      // the enumeration after the first scanned entry, so a degraded range
+      // answer is never structurally empty.
+      if (qbudget.cancelled()) {
+        terminated_early = true;
+        termination = QueryTermination::kCancelled;
+      } else if (result.stats.entries_scanned >= qbudget.max_entries) {
+        terminated_early = true;
+        termination = QueryTermination::kEntryBudget;
+      } else if (qbudget.deadline_expired()) {
+        terminated_early = true;
+        termination = QueryTermination::kDeadline;
+      }
+    }
     if (terminated_early) {
       ++result.stats.entries_unexplored;
+      // Certificate over what was left behind: no skipped transaction can
+      // beat the primary function's optimistic bound for its entry.
+      unexplored_bound = std::max(
+          unexplored_bound, functions[0]->Evaluate(bound_match[i], bound_dist[i]));
       continue;
     }
     bool prunable = false;
@@ -685,10 +752,14 @@ RangeQueryResult BranchAndBoundEngine::FindInRangeMulti(
     if (result.stats.transactions_evaluated >= budget &&
         i + 1 < entries.size()) {
       terminated_early = true;
+      termination = QueryTermination::kAccessFraction;
     }
   }
 
   result.guaranteed_complete = !terminated_early;
+  result.stats.termination = termination;
+  result.stats.is_exact = result.guaranteed_complete;
+  result.stats.certificate_bound = unexplored_bound;
   std::sort(result.matches.begin(), result.matches.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.similarity != b.similarity) {

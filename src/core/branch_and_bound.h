@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/query_budget.h"
 #include "core/query_stats.h"
 #include "core/signature_table.h"
 #include "core/similarity.h"
@@ -74,6 +75,14 @@ struct SearchOptions {
   /// and time proportional to the number of occupied entries; off by
   /// default.
   bool collect_trace = false;
+
+  /// Cooperative overload budget (deadline / entry cap / cancellation),
+  /// checked at entry granularity. Merged tightest-wins with any budget
+  /// pinned on the QueryContext. Default-constructed = unlimited. On expiry
+  /// the query returns a certified degraded answer (never crashes, never
+  /// returns an inconsistent certificate); see QueryStats::termination.
+  /// The frozen *Reference paths ignore it by design.
+  QueryBudget budget;
 };
 
 /// Result of a (k-)nearest-neighbour query.

@@ -70,6 +70,13 @@ class QueryContext {
   static constexpr size_t kDefaultParallelBoundMinEntries = 4096;
   static constexpr size_t kDefaultParallelBoundChunk = 1024;
 
+  /// Session-wide budget default: merged tightest-wins with
+  /// SearchOptions::budget on every query through this context. The
+  /// admission controller uses this to tighten deadlines on queued batches
+  /// without touching each caller's options.
+  void set_budget(const QueryBudget& budget) { budget_ = budget; }
+  const QueryBudget& budget() const { return budget_; }
+
  private:
   friend class BranchAndBoundEngine;
 
@@ -101,6 +108,7 @@ class QueryContext {
   ThreadPool* bound_pool_ = nullptr;
   size_t parallel_bound_min_entries_ = kDefaultParallelBoundMinEntries;
   size_t parallel_bound_chunk_ = kDefaultParallelBoundChunk;
+  QueryBudget budget_;
 };
 
 }  // namespace mbi

@@ -3,10 +3,32 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "storage/io_stats.h"
 
 namespace mbi {
+
+/// Why a query stopped scanning. Everything except kCompleted means the
+/// answer may be degraded — consult `is_exact` / `certificate_bound`.
+enum class QueryTermination : uint8_t {
+  kCompleted = 0,      ///< Ran to completion (or proved optimality early).
+  kAccessFraction,     ///< SearchOptions::max_access_fraction tripped.
+  kEntryBudget,        ///< QueryBudget::max_entries tripped.
+  kDeadline,           ///< QueryBudget::deadline_us expired.
+  kCancelled,          ///< QueryBudget::cancel token was set.
+};
+
+inline const char* QueryTerminationName(QueryTermination t) {
+  switch (t) {
+    case QueryTermination::kCompleted: return "completed";
+    case QueryTermination::kAccessFraction: return "access_fraction";
+    case QueryTermination::kEntryBudget: return "entry_budget";
+    case QueryTermination::kDeadline: return "deadline";
+    case QueryTermination::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
 
 /// Per-query accounting reported by the branch-and-bound engine.
 struct QueryStats {
@@ -35,6 +57,24 @@ struct QueryStats {
   /// the index was quarantined (SignatureTableEngine; 0 on the healthy
   /// path). Results are still exact — only the speed degrades.
   uint64_t sequential_fallbacks = 0;
+
+  /// Why scanning stopped. Anything but kCompleted marks a potentially
+  /// degraded answer; these three fields together are the paper-§4 quality
+  /// certificate and must survive every result path (including the
+  /// quarantine fallback — see SignatureTableEngine::SequentialKNearest).
+  QueryTermination termination = QueryTermination::kCompleted;
+
+  /// True iff the returned neighbors are provably the exact top-k (either
+  /// everything was scanned, or Lemma 2.1 pruned the rest below the k-th
+  /// best). Mirrors NearestNeighborResult::guaranteed_exact so it survives
+  /// stats-only reporting paths.
+  bool is_exact = true;
+
+  /// Largest optimistic similarity bound over the entries left unexplored:
+  /// no unreturned transaction can beat this. -inf when nothing was left
+  /// unexplored. For a degraded answer this is the a-posteriori quality
+  /// guarantee: certificate_bound >= true k-th similarity >= returned k-th.
+  double certificate_bound = -std::numeric_limits<double>::infinity();
 
   /// The paper's pruning-efficiency metric: the percentage of the database
   /// *not* accessed when the algorithm runs to completion. Clamped to

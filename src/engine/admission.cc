@@ -1,0 +1,138 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "util/macros.h"
+
+namespace mbi {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : DeadlineClock::Real()) {
+  MBI_CHECK_MSG(options_.max_in_flight >= 1,
+                "max_in_flight must be at least 1");
+}
+
+void AdmissionController::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    metrics_enabled_ = false;
+    return;
+  }
+  metrics_.admitted = registry->GetCounter(
+      "mbi.admission.admitted", "requests", "requests granted a token");
+  metrics_.shed = registry->GetCounter(
+      "mbi.admission.shed", "requests",
+      "requests rejected with kUnavailable (queue full or wait timeout)");
+  metrics_.degraded = registry->GetCounter(
+      "mbi.admission.degraded", "requests",
+      "admitted requests whose budget deadline was tightened by queueing");
+  metrics_.queue_wait = registry->GetHistogram(
+      "mbi.admission.queue_wait", "us", "time from arrival to token grant");
+  metrics_.in_flight = registry->GetGauge(
+      "mbi.admission.in_flight", "requests", "tokens currently held");
+  metrics_.queue_depth = registry->GetGauge(
+      "mbi.admission.queue_depth", "requests", "requests waiting for a token");
+  metrics_enabled_ = true;
+}
+
+Status AdmissionController::Shed(const char* reason,
+                                 size_t depth_at_rejection) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled_) metrics_.shed->Increment();
+  // Hint scales with how deep the backlog was when this request bounced:
+  // the deeper the queue, the longer the drain, the later the retry.
+  const double hint_ms =
+      options_.retry_after_ms *
+      (1.0 + static_cast<double>(depth_at_rejection));
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%s; retry_after_ms=%.3f", reason,
+                hint_ms);
+  return Status::Unavailable(buffer);
+}
+
+Status AdmissionController::Admit(QueryBudget* budget) {
+  const double enqueue_us = clock_->NowUs();
+  bool queued = false;
+  {
+    MutexLock lock(&mu_);
+    if (in_flight_ >= options_.max_in_flight) {
+      if (queue_depth_ >= options_.max_queue_depth) {
+        return Shed("admission queue full", queue_depth_);
+      }
+      queued = true;
+      ++queue_depth_;
+      if (metrics_enabled_) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_depth_));
+      }
+      // Patience is an absolute deadline on the (mockable) admission clock;
+      // the cv wait itself is a relative duration, re-derived every lap so
+      // spurious wakeups never extend the total wait.
+      const double wait_deadline_us =
+          enqueue_us + options_.max_queue_wait_ms * 1000.0;
+      while (in_flight_ >= options_.max_in_flight) {
+        const double now_us = clock_->NowUs();
+        if (now_us >= wait_deadline_us) {
+          --queue_depth_;
+          if (metrics_enabled_) {
+            metrics_.queue_depth->Set(static_cast<double>(queue_depth_));
+          }
+          return Shed("admission wait timed out", queue_depth_);
+        }
+        token_free_.WaitFor(&mu_, (wait_deadline_us - now_us) / 1000.0);
+      }
+      --queue_depth_;
+      if (metrics_enabled_) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_depth_));
+      }
+    }
+    ++in_flight_;
+    if (metrics_enabled_) {
+      metrics_.in_flight->Set(static_cast<double>(in_flight_));
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const double waited_us = clock_->NowUs() - enqueue_us;
+  if (metrics_enabled_) {
+    metrics_.admitted->Increment();
+    metrics_.queue_wait->Record(std::max(waited_us, 0.0));
+  }
+  // Stage one of the shedding ladder: a request that had to queue has
+  // already spent part of its latency goal, so cap how much work the engine
+  // may still do for it — it answers degraded-but-certified instead of late.
+  if (queued && options_.degraded_deadline_ms > 0.0 && budget != nullptr) {
+    // Measure the tightened deadline on the budget's own clock when it has
+    // one (so a ManualClock query stays fully scripted); otherwise stamp the
+    // admission clock into the budget so the deadline and its checks agree.
+    const DeadlineClock* budget_clock =
+        budget->clock != nullptr ? budget->clock : clock_;
+    QueryBudget tightened;
+    tightened.clock = budget_clock;
+    tightened.deadline_us =
+        budget_clock->NowUs() + options_.degraded_deadline_ms * 1000.0;
+    const double before = budget->deadline_us;
+    *budget = QueryBudget::Tightest(*budget, tightened);
+    if (budget->deadline_us < before) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled_) metrics_.degraded->Increment();
+    }
+  }
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  {
+    MutexLock lock(&mu_);
+    MBI_CHECK_MSG(in_flight_ > 0, "Release without a matching Admit");
+    --in_flight_;
+    if (metrics_enabled_) {
+      metrics_.in_flight->Set(static_cast<double>(in_flight_));
+    }
+  }
+  token_free_.NotifyOne();
+}
+
+}  // namespace mbi

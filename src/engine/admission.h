@@ -1,0 +1,161 @@
+#ifndef MBI_ENGINE_ADMISSION_H_
+#define MBI_ENGINE_ADMISSION_H_
+
+// Admission control in front of the batch query path: a fixed pool of
+// execution tokens, a bounded wait queue, and a two-stage load-shedding
+// ladder. Under light load requests pass straight through; under pressure
+// they first keep full fidelity while queueing, then get their QueryBudget
+// deadline tightened (the engine answers with a certified degraded result
+// instead of queueing work it cannot finish), and when the queue itself is
+// full — or a queued request waits out its patience — they are rejected
+// with kUnavailable carrying a "retry_after_ms=" hint that util/retry's
+// RetryTransient folds into its backoff. Queue depth is bounded by
+// construction: memory and tail latency stay flat no matter the offered
+// load, which is the substrate the ROADMAP's `mbi serve` layer sits on.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/query_budget.h"
+#include "util/deadline_clock.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace mbi {
+
+struct AdmissionOptions {
+  /// Execution tokens: batches running concurrently past admission.
+  size_t max_in_flight = 4;
+
+  /// Requests allowed to wait for a token; arrivals beyond this are shed
+  /// immediately. The queue can never grow past it (overload_test asserts
+  /// this under a closed loop).
+  size_t max_queue_depth = 16;
+
+  /// Patience: how long one request may sit in the queue before it is shed
+  /// (measured on `clock`, so deterministically testable).
+  double max_queue_wait_ms = 50.0;
+
+  /// Stage-one shedding: a request that had to queue gets its budget
+  /// deadline tightened to at most this many ms past admission, so the
+  /// engine degrades the answer instead of blowing the latency goal.
+  /// 0 disables tightening (queueing never touches the budget).
+  double degraded_deadline_ms = 0.0;
+
+  /// Base of the retry-after hint attached to kUnavailable rejections; the
+  /// actual hint scales with the queue depth at rejection time.
+  double retry_after_ms = 5.0;
+
+  /// Time source for queue-wait accounting and deadline tightening.
+  /// Null = DeadlineClock::Real(); tests inject a ManualClock.
+  const DeadlineClock* clock = nullptr;
+};
+
+/// Thread-safe token bucket + bounded FIFO-ish wait queue (wakeup order is
+/// the condition variable's, not strictly FIFO; the bound is what matters).
+/// Use via the RAII AdmissionSlot, or Admit()/Release() directly.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Registers mbi.admission.* instrumentation: admitted/shed/degraded
+  /// counters, the in-queue-time histogram, and in-flight / queue-depth
+  /// gauges. Call before serving traffic (not thread-safe vs Admit).
+  void set_metrics(MetricsRegistry* registry);
+
+  /// Blocks until a token is granted (possibly tightening *budget — stage
+  /// one of the shedding ladder) or sheds the request:
+  ///   kUnavailable "admission queue full; retry_after_ms=..."  (queue at
+  ///     its bound on arrival), or
+  ///   kUnavailable "admission wait timed out; retry_after_ms=..." (queued
+  ///     longer than max_queue_wait_ms).
+  /// On Ok the caller MUST eventually call Release() exactly once (or hold
+  /// an AdmissionSlot). `budget` may be null when the caller has no budget
+  /// to tighten.
+  Status Admit(QueryBudget* budget) MBI_EXCLUDES(mu_);
+
+  /// Returns the token taken by a successful Admit().
+  void Release() MBI_EXCLUDES(mu_);
+
+  // --- Monotone shedding/throughput counters (overload_test asserts they
+  // never decrease and reconcile with the closed-loop totals). ---
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  size_t in_flight() const MBI_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return in_flight_;
+  }
+  size_t queue_depth() const MBI_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queue_depth_;
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct MetricHandles {
+    Counter* admitted = nullptr;
+    Counter* shed = nullptr;
+    Counter* degraded = nullptr;
+    LatencyHistogram* queue_wait = nullptr;
+    Gauge* in_flight = nullptr;
+    Gauge* queue_depth = nullptr;
+  };
+
+  Status Shed(const char* reason, size_t depth_at_rejection);
+
+  const AdmissionOptions options_;
+  const DeadlineClock* clock_;
+
+  mutable Mutex mu_;
+  CondVar token_free_;
+  size_t in_flight_ MBI_GUARDED_BY(mu_) = 0;
+  size_t queue_depth_ MBI_GUARDED_BY(mu_) = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> degraded_{0};
+
+  MetricHandles metrics_;
+  bool metrics_enabled_ = false;
+};
+
+/// RAII admission token: admit on construction, release on destruction.
+///
+///   AdmissionSlot slot(&controller, &budget);
+///   if (!slot.ok()) return slot.status();   // shed — propagate kUnavailable
+///   ... run the batch with `budget` ...
+class AdmissionSlot {
+ public:
+  AdmissionSlot(AdmissionController* controller, QueryBudget* budget)
+      : controller_(controller), status_(controller->Admit(budget)) {}
+
+  ~AdmissionSlot() {
+    if (status_.ok()) controller_->Release();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionController* controller_;
+  Status status_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_ENGINE_ADMISSION_H_

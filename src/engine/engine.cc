@@ -98,6 +98,16 @@ void SignatureTableEngine::set_metrics(MetricsRegistry* registry) {
   metrics_.quarantined = registry->GetGauge(
       "mbi.engine.quarantined", "bool", "1 while the index is quarantined");
   metrics_.quarantined->Set(quarantined() ? 1.0 : 0.0);
+  metrics_.degraded =
+      registry->GetCounter("mbi.engine.query.degraded", "queries",
+                           "queries answered with a certified non-exact "
+                           "(budget- or fraction-limited) result");
+  metrics_.deadline_expired =
+      registry->GetCounter("mbi.engine.query.deadline_expired", "queries",
+                           "queries cut short by a QueryBudget deadline");
+  metrics_.cancelled =
+      registry->GetCounter("mbi.engine.query.cancelled", "queries",
+                           "queries cut short by a cancellation token");
   metrics_enabled_ = true;
 }
 
@@ -116,6 +126,12 @@ void SignatureTableEngine::RecordQueryStats(const QueryStats& stats,
   metrics_.pages_cached->Increment(stats.io.pages_cached);
   metrics_.bytes_read->Increment(stats.io.bytes_read);
   metrics_.transactions_fetched->Increment(stats.io.transactions_fetched);
+  if (!stats.is_exact) metrics_.degraded->Increment();
+  if (stats.termination == QueryTermination::kDeadline) {
+    metrics_.deadline_expired->Increment();
+  } else if (stats.termination == QueryTermination::kCancelled) {
+    metrics_.cancelled->Increment();
+  }
 }
 
 void SignatureTableEngine::RecordQuery(const QueryStats& stats, bool is_range,
@@ -126,34 +142,25 @@ void SignatureTableEngine::RecordQuery(const QueryStats& stats, bool is_range,
 }
 
 NearestNeighborResult SignatureTableEngine::SequentialKNearest(
-    const Transaction& target, const SimilarityFamily& family,
-    size_t k) const {
+    const Transaction& target, const SimilarityFamily& family, size_t k,
+    const QueryBudget& budget) const {
   fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  // The budget-aware scanner fills the complete QueryStats — including the
+  // termination / is_exact / certificate_bound trio, which an earlier
+  // version of this path silently dropped by rebuilding the stats by hand
+  // (query_budget_test pins the regression).
   NearestNeighborResult result;
-  IoStats io;
-  result.neighbors = scanner_.FindKNearest(target, family, k, &io);
-  result.guaranteed_exact = true;  // The scan evaluated every transaction.
-  result.unexplored_optimistic_bound =
-      -std::numeric_limits<double>::infinity();
-  result.best_unscanned_bound = -std::numeric_limits<double>::infinity();
-  result.stats.database_size = database_->size();
-  result.stats.transactions_evaluated = database_->size();
-  result.stats.io = io;
+  scanner_.FindKNearest(target, family, k, budget, &result);
   result.stats.sequential_fallbacks = 1;
   return result;
 }
 
 RangeQueryResult SignatureTableEngine::SequentialInRange(
     const Transaction& target, const SimilarityFamily& family,
-    double threshold) const {
+    double threshold, const QueryBudget& budget) const {
   fallback_queries_.fetch_add(1, std::memory_order_relaxed);
   RangeQueryResult result;
-  IoStats io;
-  result.matches = scanner_.FindInRange(target, family, threshold, &io);
-  result.guaranteed_complete = true;
-  result.stats.database_size = database_->size();
-  result.stats.transactions_evaluated = database_->size();
-  result.stats.io = io;
+  scanner_.FindInRange(target, family, threshold, budget, &result);
   result.stats.sequential_fallbacks = 1;
   return result;
 }
@@ -161,7 +168,14 @@ RangeQueryResult SignatureTableEngine::SequentialInRange(
 NearestNeighborResult SignatureTableEngine::FindKNearestImpl(
     const Transaction& target, const SimilarityFamily& family, size_t k,
     const SearchOptions& options, QueryContext* context) const {
-  if (!healthy()) return SequentialKNearest(target, family, k);
+  if (!healthy()) {
+    // Same tightest-wins budget merge the branch-and-bound path applies.
+    return SequentialKNearest(
+        target, family, k,
+        context != nullptr
+            ? QueryBudget::Tightest(options.budget, context->budget())
+            : options.budget);
+  }
   if (context != nullptr) {
     return engine_->FindKNearest(target, family, k, options, context);
   }
@@ -184,7 +198,9 @@ NearestNeighborResult SignatureTableEngine::FindKNearest(
 RangeQueryResult SignatureTableEngine::FindInRangeImpl(
     const Transaction& target, const SimilarityFamily& family,
     double threshold, const SearchOptions& options) const {
-  if (!healthy()) return SequentialInRange(target, family, threshold);
+  if (!healthy()) {
+    return SequentialInRange(target, family, threshold, options.budget);
+  }
   return engine_->FindInRange(target, family, threshold, options);
 }
 
@@ -214,7 +230,7 @@ std::vector<NearestNeighborResult> SignatureTableEngine::FindKNearestBatch(
     // until the index is rebuilt.
     results.reserve(targets.size());
     for (const Transaction& target : targets) {
-      results.push_back(SequentialKNearest(target, family, k));
+      results.push_back(SequentialKNearest(target, family, k, options.budget));
     }
   }
   if (metrics_enabled_) {
@@ -225,6 +241,18 @@ std::vector<NearestNeighborResult> SignatureTableEngine::FindKNearestBatch(
     }
   }
   return results;
+}
+
+StatusOr<std::vector<NearestNeighborResult>>
+SignatureTableEngine::FindKNearestBatchAdmitted(
+    AdmissionController* controller, const std::vector<Transaction>& targets,
+    const SimilarityFamily& family, size_t k, const SearchOptions& options,
+    size_t num_threads, ThreadPool* pool) const {
+  MBI_CHECK(controller != nullptr);
+  SearchOptions admitted = options;
+  AdmissionSlot slot(controller, &admitted.budget);
+  if (!slot.ok()) return slot.status();
+  return FindKNearestBatch(targets, family, k, admitted, num_threads, pool);
 }
 
 }  // namespace mbi

@@ -9,6 +9,7 @@
 
 #include "baseline/sequential_scan.h"
 #include "core/branch_and_bound.h"
+#include "engine/admission.h"
 #include "core/signature_table.h"
 #include "core/table_io.h"
 #include "storage/env.h"
@@ -73,10 +74,13 @@ class SignatureTableEngine {
     return fallback_queries_.load(std::memory_order_relaxed);
   }
 
-  /// k-NN query: branch-and-bound when healthy, exact sequential scan when
-  /// quarantined (the result is then marked guaranteed_exact with
-  /// stats.sequential_fallbacks == 1). `context` is used only on the healthy
-  /// path.
+  /// k-NN query: branch-and-bound when healthy, sequential scan when
+  /// quarantined (stats.sequential_fallbacks == 1). `context` is used only
+  /// on the healthy path, except that a budget pinned on it applies to both.
+  /// SearchOptions::budget is honored on both paths; the fallback propagates
+  /// the scanner's full QueryStats — termination, is_exact, and
+  /// certificate_bound included — so a degraded fallback answer carries the
+  /// same certificate a degraded indexed answer would.
   NearestNeighborResult FindKNearest(const Transaction& target,
                                      const SimilarityFamily& family, size_t k,
                                      const SearchOptions& options = {},
@@ -97,6 +101,20 @@ class SignatureTableEngine {
   std::vector<NearestNeighborResult> FindKNearestBatch(
       const std::vector<Transaction>& targets, const SimilarityFamily& family,
       size_t k, const SearchOptions& options = {}, size_t num_threads = 0,
+      ThreadPool* pool = nullptr) const;
+
+  /// Admission-controlled batch k-NN: the batch first passes through
+  /// `controller` (token bucket + bounded queue). Under pressure the
+  /// controller may tighten the batch's QueryBudget deadline (every result
+  /// then carries a certified degraded answer instead of queueing
+  /// unboundedly) or shed the whole batch with kUnavailable carrying a
+  /// retry_after_ms hint — the code util/retry's RetryTransient backs off
+  /// on. This is the entry point the ROADMAP's `mbi serve` request
+  /// scheduler drives.
+  StatusOr<std::vector<NearestNeighborResult>> FindKNearestBatchAdmitted(
+      AdmissionController* controller, const std::vector<Transaction>& targets,
+      const SimilarityFamily& family, size_t k,
+      const SearchOptions& options = {}, size_t num_threads = 0,
       ThreadPool* pool = nullptr) const;
 
   /// Enables engine-level instrumentation in `registry` (names mbi.engine.*,
@@ -132,14 +150,21 @@ class SignatureTableEngine {
     LatencyHistogram* knn_latency = nullptr;
     LatencyHistogram* range_latency = nullptr;
     Gauge* quarantined = nullptr;
+    /// Overload accounting: queries whose answer was certified non-exact,
+    /// and the subset cut specifically by a deadline / a cancellation.
+    Counter* degraded = nullptr;
+    Counter* deadline_expired = nullptr;
+    Counter* cancelled = nullptr;
   };
 
   NearestNeighborResult SequentialKNearest(const Transaction& target,
                                            const SimilarityFamily& family,
-                                           size_t k) const;
+                                           size_t k,
+                                           const QueryBudget& budget) const;
   RangeQueryResult SequentialInRange(const Transaction& target,
                                      const SimilarityFamily& family,
-                                     double threshold) const;
+                                     double threshold,
+                                     const QueryBudget& budget) const;
   NearestNeighborResult FindKNearestImpl(const Transaction& target,
                                          const SimilarityFamily& family,
                                          size_t k, const SearchOptions& options,

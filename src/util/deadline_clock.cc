@@ -1,0 +1,21 @@
+#include "util/deadline_clock.h"
+
+namespace mbi {
+
+namespace {
+
+class RealClock final : public DeadlineClock {
+ public:
+  double NowUs() const override { return SteadyNowUs(); }
+};
+
+}  // namespace
+
+const DeadlineClock* DeadlineClock::Real() {
+  // Intentionally leaked singleton: queries may hold the pointer past any
+  // static-destruction order. mbi-lint: allow(no-naked-new)
+  static const RealClock* real = new RealClock();
+  return real;
+}
+
+}  // namespace mbi

@@ -117,22 +117,18 @@ LatencyHistogram::Snapshot LatencyHistogram::GetSnapshot() const {
 
 // --- QueryTrace / ScopedTimer ---
 
-QueryTrace::QueryTrace() : epoch_(std::chrono::steady_clock::now()) {}
+QueryTrace::QueryTrace() : epoch_us_(SteadyNowUs()) {}
 
 void QueryTrace::Clear() {
   spans_.clear();
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_us_ = SteadyNowUs();
 }
 
-void QueryTrace::Record(const char* name,
-                        std::chrono::steady_clock::time_point start,
-                        std::chrono::steady_clock::time_point end) {
+void QueryTrace::Record(const char* name, double start_us, double end_us) {
   TraceSpan span;
   span.name = name;
-  span.start_us =
-      std::chrono::duration<double, std::micro>(start - epoch_).count();
-  span.duration_us =
-      std::chrono::duration<double, std::micro>(end - start).count();
+  span.start_us = start_us - epoch_us_;
+  span.duration_us = end_us - start_us;
   spans_.push_back(std::move(span));
 }
 
@@ -148,21 +144,16 @@ std::string QueryTrace::ToString() const {
 }
 
 ScopedTimer::~ScopedTimer() {
-  const auto end = std::chrono::steady_clock::now();
+  const double end_us = SteadyNowUs();
   if (histogram_ != nullptr) {
-    histogram_->Record(
-        std::chrono::duration<double, std::micro>(end - start_).count());
+    histogram_->Record(end_us - start_us_);
   }
   if (trace_ != nullptr && span_name_ != nullptr) {
-    trace_->Record(span_name_, start_, end);
+    trace_->Record(span_name_, start_us_, end_us);
   }
 }
 
-double ScopedTimer::ElapsedUs() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - start_)
-      .count();
-}
+double ScopedTimer::ElapsedUs() const { return SteadyNowUs() - start_us_; }
 
 // --- MetricsRegistry ---
 

@@ -3,13 +3,13 @@
 
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "util/deadline_clock.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -120,11 +120,10 @@ class QueryTrace {
 
  private:
   friend class ScopedTimer;
-  void Record(const char* name,
-              std::chrono::steady_clock::time_point start,
-              std::chrono::steady_clock::time_point end);
+  void Record(const char* name, double start_us, double end_us);
 
-  std::chrono::steady_clock::time_point epoch_;
+  /// SteadyNowUs() timestamp taken at construction / the last Clear().
+  double epoch_us_;
   std::vector<TraceSpan> spans_;
 };
 
@@ -140,7 +139,7 @@ class ScopedTimer {
       : histogram_(histogram),
         trace_(trace),
         span_name_(span_name),
-        start_(std::chrono::steady_clock::now()) {}
+        start_us_(SteadyNowUs()) {}
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -152,7 +151,7 @@ class ScopedTimer {
   LatencyHistogram* histogram_;
   QueryTrace* trace_;
   const char* span_name_;
-  std::chrono::steady_clock::time_point start_;
+  double start_us_;
 };
 
 /// Thread-safe registry of named metrics.

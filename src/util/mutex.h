@@ -1,6 +1,7 @@
 #ifndef MBI_UTIL_MUTEX_H_
 #define MBI_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -78,6 +79,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Like Wait() but gives up after `timeout_ms` (relative, so no raw clock
+  /// is consulted here — time stays mockable everywhere else). Returns false
+  /// on timeout, true when notified (or spuriously woken) in time. Same
+  /// contract: caller holds `mu`, returns with `mu` held. Callers must
+  /// re-check their predicate either way.
+  bool WaitFor(Mutex* mu, double timeout_ms) MBI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                               timeout_ms < 0.0 ? 0.0 : timeout_ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

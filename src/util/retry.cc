@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 namespace mbi {
@@ -23,6 +25,20 @@ double BackoffDelayMs(const RetryOptions& options, int next_attempt, Rng* rng) {
 void SleepForMs(double ms) {
   if (ms <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+double RetryAfterHintMs(const Status& status) {
+  static constexpr char kKey[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kKey);
+  if (pos == std::string::npos) return 0.0;
+  const char* begin = message.c_str() + pos + sizeof(kKey) - 1;
+  char* end = nullptr;
+  const double hint = std::strtod(begin, &end);
+  // A malformed or negative hint reads as "no hint" — never let a mangled
+  // message turn into a surprise multi-second sleep.
+  if (end == begin || !(hint > 0.0) || hint > 60'000.0) return 0.0;
+  return hint;
 }
 
 }  // namespace mbi

@@ -1,6 +1,7 @@
 #ifndef MBI_UTIL_RETRY_H_
 #define MBI_UTIL_RETRY_H_
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -36,6 +37,13 @@ double BackoffDelayMs(const RetryOptions& options, int next_attempt, Rng* rng);
 /// Blocks the calling thread for `ms` milliseconds.
 void SleepForMs(double ms);
 
+/// Parses a server-supplied retry-after hint out of a status message. By
+/// convention an overloaded component rejects with kUnavailable and appends
+/// "retry_after_ms=<float>" to the message (the AdmissionController does);
+/// this returns that value, or 0 when the status carries no hint (so callers
+/// can always take max(backoff, hint)).
+double RetryAfterHintMs(const Status& status);
+
 /// What one RetryTransient call did, for instrumentation: how many times the
 /// body ran and how long the schedule (would have) slept. The Env layer
 /// aggregates these into the mbi.env.* metrics.
@@ -50,8 +58,11 @@ struct RetryStats {
 /// Runs `fn` (returning Status) up to `options.max_attempts` times, sleeping
 /// between attempts, until it returns anything other than kUnavailable.
 /// Every other code — success, corruption, ENOSPC — is returned immediately:
-/// only transient faults are worth paying latency for. When `stats` is
-/// non-null it is overwritten with this call's attempt/backoff accounting.
+/// only transient faults are worth paying latency for. When the kUnavailable
+/// status carries a retry_after_ms hint (RetryAfterHintMs), the delay before
+/// the next attempt is max(backoff, hint): the server knows how long its
+/// queue is, the client knows how often it has already failed. When `stats`
+/// is non-null it is overwritten with this call's attempt/backoff accounting.
 template <typename Fn>
 Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn,
                       RetryStats* stats = nullptr) {
@@ -62,7 +73,9 @@ Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn,
        !status.ok() && status.code() == StatusCode::kUnavailable &&
        attempt < options.max_attempts;
        ++attempt) {
-    const double delay_ms = BackoffDelayMs(options, attempt, rng);
+    const double delay_ms =
+        std::max(BackoffDelayMs(options, attempt, rng),
+                 RetryAfterHintMs(status));
     if (stats != nullptr) stats->backoff_ms += delay_ms;
     if (options.sleep_ms) {
       options.sleep_ms(delay_ms);

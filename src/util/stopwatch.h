@@ -1,29 +1,28 @@
 #ifndef MBI_UTIL_STOPWATCH_H_
 #define MBI_UTIL_STOPWATCH_H_
 
-#include <chrono>
+#include "util/deadline_clock.h"
 
 namespace mbi {
 
-/// Wall-clock stopwatch used by the benchmark harnesses.
+/// Wall-clock stopwatch used by the benchmark harnesses. Built on
+/// SteadyNowUs() so the benchmark code never touches std::chrono clocks
+/// directly (mbi-lint's no-raw-clock rule).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_us_(SteadyNowUs()) {}
 
   /// Restarts timing from now.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_us_ = SteadyNowUs(); }
 
   /// Seconds elapsed since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return (SteadyNowUs() - start_us_) / 1e6; }
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  double start_us_;
 };
 
 }  // namespace mbi

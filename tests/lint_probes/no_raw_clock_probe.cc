@@ -1,0 +1,15 @@
+// Negative probe: mbi-lint rule `no-raw-clock` must fire on this file.
+// Not compiled; linter input only (see README.md).
+
+#include <chrono>
+
+namespace probe {
+
+inline double NowMs() {
+  // violation: raw steady_clock read outside util/deadline_clock.{h,cc}
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace probe

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/index_builder.h"
+#include "engine/admission.h"
+#include "engine/engine.h"
+#include "gen/quest_generator.h"
+#include "util/deadline_clock.h"
+#include "util/retry.h"
+
+namespace mbi {
+namespace {
+
+/// Closed-loop overload tests for the AdmissionController and the
+/// admission-controlled batch path: queue depth stays at its configured
+/// bound no matter the offered load, shed/admit counters reconcile and only
+/// ever grow, and every answer produced under pressure is either exact or
+/// carries the paper-§4 degradation certificate. Designed to run under TSan
+/// (the CI overload job) — all cross-thread state is atomics or the
+/// controller's own lock.
+
+/// CI sweeps MBI_FAULT_SEED; fold it into the workload so each sweep point
+/// exercises a different interleaving and target mix.
+uint64_t TestSeed() {
+  const char* env = std::getenv("MBI_FAULT_SEED");
+  if (env == nullptr) return 1;
+  return std::strtoull(env, nullptr, 10) + 1;
+}
+
+TEST(AdmissionControllerTest, FastPathAdmitsWithoutQueueing) {
+  AdmissionOptions options;
+  options.max_in_flight = 2;
+  AdmissionController controller(options);
+  QueryBudget budget;
+  ASSERT_TRUE(controller.Admit(&budget).ok());
+  EXPECT_EQ(controller.in_flight(), 1u);
+  EXPECT_FALSE(budget.limited()) << "fast-path admission must not touch "
+                                    "the budget";
+  controller.Release();
+  EXPECT_EQ(controller.in_flight(), 0u);
+  EXPECT_EQ(controller.admitted(), 1u);
+  EXPECT_EQ(controller.shed(), 0u);
+}
+
+TEST(AdmissionControllerTest, FullQueueShedsImmediatelyWithRetryHint) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 0;  // no waiting room at all
+  options.retry_after_ms = 3.0;
+  AdmissionController controller(options);
+  QueryBudget budget;
+  ASSERT_TRUE(controller.Admit(&budget).ok());
+
+  Status second = controller.Admit(&budget);
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_GT(RetryAfterHintMs(second), 0.0);
+  EXPECT_EQ(controller.shed(), 1u);
+  controller.Release();
+}
+
+TEST(AdmissionControllerTest, PatienceTimeoutShedsQueuedRequest) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 4;
+  options.max_queue_wait_ms = 20.0;  // well under the holder's 500ms grip
+  AdmissionController controller(options);
+  QueryBudget budget;
+  ASSERT_TRUE(controller.Admit(&budget).ok());
+
+  Status waited = controller.Admit(&budget);  // times out; token never frees
+  EXPECT_EQ(waited.code(), StatusCode::kUnavailable);
+  EXPECT_GT(RetryAfterHintMs(waited), 0.0);
+  EXPECT_EQ(controller.queue_depth(), 0u) << "a shed waiter must leave the "
+                                             "queue";
+  controller.Release();
+}
+
+TEST(AdmissionControllerTest, QueueingTightensTheBudgetDeadline) {
+  ManualClock clock(10000.0);
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 2;
+  options.max_queue_wait_ms = 10000.0;  // patience is not under test here
+  options.degraded_deadline_ms = 5.0;
+  options.clock = &clock;
+  AdmissionController controller(options);
+
+  QueryBudget first;
+  ASSERT_TRUE(controller.Admit(&first).ok());
+  EXPECT_FALSE(first.limited()) << "un-queued admission stays full fidelity";
+
+  QueryBudget queued;
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(controller.Admit(&queued).ok());
+    admitted.store(true, std::memory_order_release);
+    controller.Release();
+  });
+  // Park until the waiter is actually queued, then free the token.
+  while (controller.queue_depth() == 0) std::this_thread::yield();
+  controller.Release();
+  waiter.join();
+
+  ASSERT_TRUE(admitted.load(std::memory_order_acquire));
+  EXPECT_TRUE(queued.limited());
+  EXPECT_LT(queued.deadline_us, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(queued.clock, &clock)
+      << "the tightened deadline must be measured on the clock it was "
+         "derived from";
+  EXPECT_EQ(controller.degraded(), 1u);
+}
+
+TEST(RetryAfterHintTest, ParsesShedStatusesAndRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(
+      RetryAfterHintMs(Status::Unavailable("queue full; retry_after_ms=12.5")),
+      12.5);
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(Status::Unavailable("no hint here")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      RetryAfterHintMs(Status::Unavailable("retry_after_ms=bogus")), 0.0);
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(Status::Unavailable("retry_after_ms=-4")),
+                   0.0);
+  // A mangled hint must not turn into a surprise multi-minute sleep.
+  EXPECT_DOUBLE_EQ(
+      RetryAfterHintMs(Status::Unavailable("retry_after_ms=9000000")), 0.0);
+}
+
+TEST(OverloadTest, ClosedLoopBoundsQueueDepthAndReconcilesCounters) {
+  AdmissionOptions options;
+  options.max_in_flight = 2;
+  options.max_queue_depth = 3;
+  options.max_queue_wait_ms = 1.0;  // shed fast: this is an overload test
+  options.retry_after_ms = 0.1;
+  AdmissionController controller(options);
+
+  constexpr int kProducers = 8;
+  constexpr int kRequestsPerProducer = 60;
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<size_t> max_queue_seen{0};
+  std::atomic<bool> stop_monitor{false};
+
+  // Monitor thread: the queue bound must hold at every instant, not just at
+  // the end.
+  std::thread monitor([&] {
+    while (!stop_monitor.load(std::memory_order_acquire)) {
+      const size_t depth = controller.queue_depth();
+      size_t seen = max_queue_seen.load(std::memory_order_relaxed);
+      while (depth > seen &&
+             !max_queue_seen.compare_exchange_weak(
+                 seen, depth, std::memory_order_relaxed)) {
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int r = 0; r < kRequestsPerProducer; ++r) {
+        QueryBudget budget;
+        Status admitted = controller.Admit(&budget);
+        if (admitted.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          // Hold the token briefly so contention actually builds.
+          if ((p + r) % 3 == 0) std::this_thread::yield();
+          controller.Release();
+        } else {
+          ASSERT_EQ(admitted.code(), StatusCode::kUnavailable);
+          shed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Monotonicity: sampled mid-flight, the shed/admitted counters only grow.
+  uint64_t last_shed = 0, last_admitted = 0;
+  for (int sample = 0; sample < 200; ++sample) {
+    const uint64_t shed_now = controller.shed();
+    const uint64_t admitted_now = controller.admitted();
+    EXPECT_GE(shed_now, last_shed);
+    EXPECT_GE(admitted_now, last_admitted);
+    last_shed = shed_now;
+    last_admitted = admitted_now;
+    std::this_thread::yield();
+  }
+  for (std::thread& producer : producers) producer.join();
+  stop_monitor.store(true, std::memory_order_release);
+  monitor.join();
+
+  const uint64_t total =
+      static_cast<uint64_t>(kProducers) * kRequestsPerProducer;
+  EXPECT_EQ(ok_count.load() + shed_count.load(), total);
+  EXPECT_EQ(controller.admitted(), ok_count.load());
+  EXPECT_EQ(controller.shed(), shed_count.load());
+  EXPECT_LE(max_queue_seen.load(), options.max_queue_depth);
+  EXPECT_EQ(controller.in_flight(), 0u);
+  EXPECT_EQ(controller.queue_depth(), 0u);
+}
+
+TEST(OverloadTest, AdmittedBatchesDegradeInsteadOfQueueingUnboundedly) {
+  QuestGeneratorConfig config;
+  config.universe_size = 150;
+  config.num_large_itemsets = 30;
+  config.seed = TestSeed();
+  QuestGenerator generator(config);
+  TransactionDatabase db = generator.GenerateDatabase(1500);
+  IndexBuildConfig build;
+  build.clustering.target_cardinality = 8;
+  SignatureTableEngine engine(&db);
+  engine.AdoptTable(BuildIndex(db, build));
+  ASSERT_TRUE(engine.healthy());
+  MatchRatioFamily family;
+  const size_t k = 5;
+
+  std::vector<Transaction> targets = generator.GenerateQueries(4);
+  // Unpressured oracle answers, for certificate dominance below.
+  std::vector<NearestNeighborResult> oracle;
+  for (const Transaction& target : targets) {
+    oracle.push_back(engine.FindKNearest(target, family, k));
+  }
+
+  AdmissionOptions admission_options;
+  admission_options.max_in_flight = 1;
+  admission_options.max_queue_depth = 8;
+  admission_options.max_queue_wait_ms = 2000.0;
+  // Stage-one shedding so tight that any queued batch must come back
+  // degraded-but-certified rather than exact-but-late.
+  admission_options.degraded_deadline_ms = 1e-6;
+  AdmissionController controller(admission_options);
+
+  // Hold the single token from the main thread before any client starts:
+  // the first wave of clients is then *guaranteed* to queue, so stage-one
+  // tightening deterministically fires (no scheduling luck involved).
+  QueryBudget held;
+  ASSERT_TRUE(controller.Admit(&held).ok());
+
+  constexpr int kClients = 6;
+  std::atomic<uint64_t> answers{0};
+  std::atomic<uint64_t> deadline_cut{0};
+  std::atomic<uint64_t> shed_batches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 6; ++round) {
+        StatusOr<std::vector<NearestNeighborResult>> results =
+            engine.FindKNearestBatchAdmitted(&controller, targets, family, k,
+                                             {}, /*num_threads=*/1);
+        if (!results.ok()) {
+          ASSERT_EQ(results.status().code(), StatusCode::kUnavailable);
+          shed_batches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ASSERT_EQ(results.value().size(), targets.size());
+        for (size_t i = 0; i < results.value().size(); ++i) {
+          const NearestNeighborResult& result = results.value()[i];
+          answers.fetch_add(1, std::memory_order_relaxed);
+          // Overload never yields a malformed answer: there is always at
+          // least one neighbor, and a budget-cut answer carries a
+          // certificate that dominates what an unpressured query found
+          // (Lemma 2.1).
+          ASSERT_FALSE(result.neighbors.empty());
+          if (result.stats.termination == QueryTermination::kDeadline) {
+            deadline_cut.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!result.stats.is_exact) {
+            const double reachable =
+                std::max(result.neighbors.back().similarity,
+                         result.stats.certificate_bound);
+            for (const Neighbor& truth : oracle[i].neighbors) {
+              // Lemma 2.1 a posteriori: any neighbor the degraded answer
+              // does NOT return is bounded by the certificate. Returned
+              // ones (e.g. a +inf exact duplicate the first scanned entry
+              // happened to hold) are covered by being in the answer.
+              const bool returned = std::any_of(
+                  result.neighbors.begin(), result.neighbors.end(),
+                  [&](const Neighbor& n) { return n.id == truth.id; });
+              if (!returned) ASSERT_GE(reachable, truth.similarity);
+            }
+          }
+        }
+      }
+    });
+  }
+  // Let the backlog build, then free the token and let the loop drain.
+  while (controller.queue_depth() == 0) std::this_thread::yield();
+  controller.Release();
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_GT(answers.load(), 0u);
+  // The closed loop reconciles: every batch was either admitted or shed
+  // (+1 for the main thread's token hold).
+  EXPECT_EQ(controller.admitted() + controller.shed(),
+            static_cast<uint64_t>(kClients) * 6 + 1);
+  // Every client that queued behind the held token had its budget
+  // tightened, and a pre-expired deadline must cut the search visibly.
+  EXPECT_GT(controller.degraded(), 0u);
+  EXPECT_GT(deadline_cut.load(), 0u)
+      << "tightened budgets should have produced deadline-terminated, "
+         "certified answers";
+  EXPECT_EQ(controller.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -38,6 +38,12 @@ clang-tidy checks style and bug patterns per-TU; mbi-lint checks the
                                runtime dispatcher; everywhere else calls
                                the KernelOps table so scalar/AVX2/AVX-512/
                                NEON stay interchangeable and testable.
+  no-raw-clock                 only util/deadline_clock.{h,cc} read
+                               std::chrono::steady_clock (or system /
+                               high_resolution); all other timing flows
+                               through SteadyNowUs() / DeadlineClock so
+                               query deadlines, admission patience, and
+                               latency metrics stay mockable in tests.
 
 Frontend: when the libclang Python bindings are importable the file is
 tokenized through clang.cindex against the compile command recorded in
@@ -414,6 +420,8 @@ ALLOWLIST = {
     "no-unbounded-container-in-hot": set(),
     "no-alloc-in-hot": set(),
     "no-raw-intrinsics": set(),  # src/kernel/ is excluded by the rule itself.
+    "no-raw-clock": {"src/util/deadline_clock.h",
+                     "src/util/deadline_clock.cc"},
 }
 
 _MUTEX_TYPES = {
@@ -792,6 +800,26 @@ def check_no_raw_intrinsics(source, emit):
             emit(tok.line, f"raw intrinsic {tok.spelling} outside "
                            f"src/kernel/; add a kernel behind the dispatch "
                            f"table instead (kernel/kernels.h)")
+
+
+_CLOCK_TYPES = {"steady_clock", "system_clock", "high_resolution_clock"}
+
+
+@rule("no-raw-clock", scope_prefixes=("src/", "tools/"))
+def check_no_raw_clock(source, emit):
+    """Every time read flows through SteadyNowUs() / the DeadlineClock seam
+    (util/deadline_clock.h): query deadlines, admission-queue patience, and
+    latency instrumentation are all testable only because a ManualClock can
+    stand in for the real clock. A raw std::chrono::*_clock::now() anywhere
+    else is a time source deadline tests cannot script — the same argument
+    that confines FILE* to the Env seam. (Durations like
+    std::chrono::milliseconds stay legal; the rule keys on clock *types*.)"""
+    for tok in source.tokens:
+        if tok.kind == "id" and tok.spelling in _CLOCK_TYPES:
+            emit(tok.line, f"raw std::chrono::{tok.spelling}; read time via "
+                           f"SteadyNowUs() or a DeadlineClock "
+                           f"(util/deadline_clock.h) so tests can inject a "
+                           f"ManualClock")
 
 
 # --------------------------------------------------------------------------

@@ -59,6 +59,12 @@ int RunQuery(int argc, char** argv) {
                   "if >= 0, run a range query with this threshold instead of "
                   "k-NN",
                   &range_threshold);
+  double deadline_ms;
+  flags.AddDouble("deadline_ms", 0.0,
+                  "per-query deadline in milliseconds; on expiry the engine "
+                  "returns a certified degraded answer instead of running to "
+                  "completion (0 = no deadline)",
+                  &deadline_ms);
   flags.AddInt64("target_seed", 1,
                  "seed for picking a random target when --items is empty",
                  &random_target_seed);
@@ -167,7 +173,12 @@ int RunQuery(int argc, char** argv) {
   if (range_threshold >= 0.0) {
     RangeQueryResult result = [&] {
       ScopedTimer span(nullptr, trace_sink, "range_query");
-      return engine.FindInRange(target, *family, range_threshold);
+      SearchOptions range_options;
+      if (deadline_ms > 0.0) {
+        range_options.budget = QueryBudget::WithDeadlineAfterMs(deadline_ms);
+      }
+      return engine.FindInRange(target, *family, range_threshold,
+                                range_options);
     }();
     std::printf(
         "range query %s >= %.4g: %zu matches in %.1f ms "
@@ -182,6 +193,11 @@ int RunQuery(int argc, char** argv) {
                   result.matches[i].similarity,
                   db->Get(result.matches[i].id).ToString().c_str());
     }
+    if (!result.guaranteed_complete) {
+      std::printf("degraded answer (%s): unexplored entries could reach %.4g\n",
+                  QueryTerminationName(result.stats.termination),
+                  result.stats.certificate_bound);
+    }
     return finish(0);
   }
 
@@ -194,6 +210,11 @@ int RunQuery(int argc, char** argv) {
   {
     ScopedTimer span(nullptr, trace_sink, "knn_query");
     for (int64_t run = 0; run < repeat; ++run) {
+      // A fresh absolute deadline per repetition: --repeat measures the
+      // steady state, not a budget shared across repetitions.
+      if (deadline_ms > 0.0) {
+        options.budget = QueryBudget::WithDeadlineAfterMs(deadline_ms);
+      }
       result = engine.FindKNearest(target, *family, static_cast<size_t>(k),
                                    options, &context);
     }
@@ -212,7 +233,8 @@ int RunQuery(int argc, char** argv) {
                 db->Get(neighbor.id).ToString().c_str());
   }
   if (!result.guaranteed_exact) {
-    std::printf("unexplored entries could reach %.4g\n",
+    std::printf("degraded answer (%s): unexplored entries could reach %.4g\n",
+                QueryTerminationName(result.stats.termination),
                 result.unexplored_optimistic_bound);
   }
   if (explain && engine.table() != nullptr) {
