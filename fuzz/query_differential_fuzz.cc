@@ -1,4 +1,5 @@
-/// Differential fuzz target: branch-and-bound vs. sequential scan.
+/// Differential fuzz target: branch-and-bound vs. sequential scan, and the
+/// dynamized (buffer + leveled components) fan-out vs. the same scan.
 ///
 /// Decodes a transaction database, an index configuration, a query target,
 /// and a similarity family from the fuzz input; builds a signature table
@@ -9,6 +10,13 @@
 /// with Lemma 2.1 bounds loses nothing against a full scan for any
 /// admissible f(x, y)) checked on machine-generated adversarial inputs
 /// rather than the hand-picked shapes in tests/oracle_equivalence_test.cc.
+///
+/// The second leg feeds the same rows through a DynamicIndex with a
+/// fuzz-chosen buffer capacity, level fanout, and tombstone stride — so the
+/// split between the unindexed buffer and the leveled components (and which
+/// rows are deleted) is adversarial, not hand-picked. The merged fan-out
+/// answer must match a single scan over the live union under the identical
+/// tie semantics (see tests/dyn_differential_test.cc and DESIGN.md §13.3).
 ///
 /// Tie semantics (this fuzzer's first real catch): the engine prunes an
 /// entry as soon as its optimistic bound is <= the k-th best similarity, so
@@ -33,6 +41,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -40,6 +50,7 @@
 #include "core/branch_and_bound.h"
 #include "core/index_builder.h"
 #include "core/similarity.h"
+#include "dyn/dynamic_index.h"
 #include "engine/engine.h"
 #include "fuzz_input.h"
 #include "kernel/dispatch.h"
@@ -77,6 +88,98 @@ bool SameSimilarity(double a, double b) {
   return a == b || (std::isnan(a) && std::isnan(b));
 }
 
+/// How the engine-under-test's reported ids relate to the oracle scan.
+struct IdResolver {
+  /// The row behind a reported id, or nullptr when the id is not live
+  /// (out of range, tombstoned) — which is itself a divergence.
+  std::function<const mbi::Transaction*(mbi::TransactionId)> row;
+  /// Maps the oracle's dense scan id to the id the engine must report for
+  /// that row (identity for the static engine, gid for the dynamized one).
+  std::function<mbi::TransactionId(mbi::TransactionId)> oracle_id;
+};
+
+/// The full tie-aware comparison for one exact answer, shared by both legs.
+void CheckAgainstScan(const char* label,
+                      const mbi::NearestNeighborResult& result,
+                      const std::vector<mbi::Neighbor>& expected,
+                      const mbi::Transaction& target,
+                      const mbi::SimilarityFamily& family,
+                      const IdResolver& resolver) {
+  if (!result.guaranteed_exact) {
+    std::fprintf(stderr, "%s divergence: exact search not guaranteed_exact\n",
+                 label);
+    abort();
+  }
+  if (result.neighbors.size() != expected.size()) {
+    std::fprintf(stderr, "%s divergence: returned %zu neighbors, scan %zu\n",
+                 label, result.neighbors.size(), expected.size());
+    abort();
+  }
+  if (expected.empty()) return;
+
+  // The similarity *sequence* must agree everywhere — pruning at the cutoff
+  // can change which tied id is reported, never any value.
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (!SameSimilarity(result.neighbors[i].similarity,
+                        expected[i].similarity)) {
+      std::fprintf(stderr,
+                   "%s divergence: neighbor %zu similarity %.17g vs %.17g\n",
+                   label, i, result.neighbors[i].similarity,
+                   expected[i].similarity);
+      abort();
+    }
+  }
+
+  // Ids are fully determined above the cutoff tie group (every candidate
+  // strictly better than the k-th similarity is evaluated by both sides and
+  // both sort ties ascending).
+  const double cutoff = expected.back().similarity;
+  const std::unique_ptr<mbi::SimilarityFunction> function =
+      family.ForTarget(target);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const mbi::TransactionId id = result.neighbors[i].id;
+    const bool in_cutoff_group = SameSimilarity(expected[i].similarity, cutoff);
+    if (!in_cutoff_group && id != resolver.oracle_id(expected[i].id)) {
+      std::fprintf(stderr,
+                   "%s divergence: neighbor %zu id %u (sim %.17g) vs scan id "
+                   "%u (sim %.17g)\n",
+                   label, i, id, result.neighbors[i].similarity,
+                   resolver.oracle_id(expected[i].id), expected[i].similarity);
+      abort();
+    }
+    if (in_cutoff_group) {
+      // The engine's pick must be a live row that is genuinely tied:
+      // recompute its similarity from scratch, bypassing the index entirely.
+      const mbi::Transaction* row = resolver.row(id);
+      if (row == nullptr) {
+        std::fprintf(stderr, "%s divergence: neighbor %zu id %u is not live\n",
+                     label, i, id);
+        abort();
+      }
+      size_t match = 0, hamming = 0;
+      mbi::MatchAndHamming(target, *row, &match, &hamming);
+      const double recomputed = function->Evaluate(static_cast<int>(match),
+                                                   static_cast<int>(hamming));
+      if (!SameSimilarity(recomputed, result.neighbors[i].similarity)) {
+        std::fprintf(stderr,
+                     "%s divergence: neighbor %zu id %u reported %.17g, "
+                     "recomputed %.17g\n",
+                     label, i, id, result.neighbors[i].similarity, recomputed);
+        abort();
+      }
+    }
+    if (i > 0 && SameSimilarity(result.neighbors[i].similarity,
+                                result.neighbors[i - 1].similarity) &&
+        id <= result.neighbors[i - 1].id) {
+      std::fprintf(stderr,
+                   "%s divergence: tied neighbors %zu/%zu not in ascending-id "
+                   "order (%u then %u)\n",
+                   label, i - 1, i, result.neighbors[i - 1].id, id);
+      abort();
+    }
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -90,6 +193,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const bool balanced_partitioner = input.TakeByte() % 2 == 1;
   const uint8_t family_selector = input.TakeByte();
   const uint32_t k = input.TakeInRange(1, 8);
+  // Dynamized leg: where the buffer/level split lands and which rows are
+  // tombstoned is part of the fuzz input, so the adversary controls the
+  // component boundaries the k-NN merge has to agree across.
+  const uint32_t buffer_capacity = input.TakeInRange(1, num_transactions + 4);
+  const uint32_t level_fanout = input.TakeInRange(2, 4);
+  const uint32_t delete_stride = input.TakeInRange(0, 4);
   // Force a SIMD dispatch path from the input so the differential check
   // also covers every kernel ISA (unsupported requests clamp to the widest
   // available one — see kernel/dispatch.h). The scan below runs through the
@@ -121,80 +230,67 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // guarantee against the scan.
   const mbi::NearestNeighborResult result =
       engine.FindKNearest(target, *family, k);
-  if (!result.guaranteed_exact) {
-    std::fprintf(stderr, "divergence: exact search not guaranteed_exact\n");
-    abort();
-  }
-
   const mbi::SequentialScanner scanner(&database);
   const std::vector<mbi::Neighbor> expected =
       scanner.FindKNearest(target, *family, k);
+  const IdResolver static_resolver{
+      [&](mbi::TransactionId id) {
+        return id < database.size() ? &database.Get(id) : nullptr;
+      },
+      [](mbi::TransactionId id) { return id; }};
+  CheckAgainstScan("static", result, expected, target, *family,
+                   static_resolver);
 
-  if (result.neighbors.size() != expected.size()) {
-    std::fprintf(stderr, "divergence: engine returned %zu neighbors, scan %zu\n",
-                 result.neighbors.size(), expected.size());
-    abort();
-  }
-  if (expected.empty()) return 0;
-
-  // The similarity *sequence* must agree everywhere — pruning at the cutoff
-  // can change which tied id is reported, never any value.
-  for (size_t i = 0; i < expected.size(); ++i) {
-    if (!SameSimilarity(result.neighbors[i].similarity,
-                        expected[i].similarity)) {
-      std::fprintf(stderr, "divergence: neighbor %zu similarity %.17g vs %.17g\n",
-                   i, result.neighbors[i].similarity, expected[i].similarity);
+  // Leg two: the same rows through the dynamized index. Every merge re-runs
+  // the miner/clusterer with the same build config, so a divergence here is
+  // in the fan-out/merge layer, not in a differently-tuned table.
+  mbi::DynamicIndexOptions options;
+  options.buffer_capacity = buffer_capacity;
+  options.level_fanout = level_fanout;
+  options.build = config;
+  mbi::DynamicIndex dyn(universe_size, options);
+  std::map<mbi::TransactionId, const mbi::Transaction*> live;
+  std::vector<mbi::TransactionId> live_gids;
+  for (uint32_t i = 0; i < num_transactions; ++i) {
+    auto gid = dyn.Insert(database.Get(i));
+    if (!gid.ok()) {
+      std::fprintf(stderr, "dyn divergence: insert failed: %s\n",
+                   gid.status().message().c_str());
       abort();
     }
+    live.emplace(gid.value(), &database.Get(i));
   }
-
-  // Ids are fully determined above the cutoff tie group (every candidate
-  // strictly better than the k-th similarity is evaluated by both sides and
-  // both sort ties ascending).
-  const double cutoff = expected.back().similarity;
-  const std::unique_ptr<mbi::SimilarityFunction> function =
-      family->ForTarget(target);
-  for (size_t i = 0; i < expected.size(); ++i) {
-    const bool in_cutoff_group = SameSimilarity(expected[i].similarity, cutoff);
-    if (!in_cutoff_group && result.neighbors[i].id != expected[i].id) {
-      std::fprintf(stderr,
-                   "divergence: neighbor %zu id %u (sim %.17g) vs scan id %u "
-                   "(sim %.17g)\n",
-                   i, result.neighbors[i].id, result.neighbors[i].similarity,
-                   expected[i].id, expected[i].similarity);
-      abort();
-    }
-    if (in_cutoff_group) {
-      // The engine's pick must be a real transaction that is genuinely tied:
-      // recompute its similarity from scratch, bypassing the index entirely.
-      const mbi::TransactionId id = result.neighbors[i].id;
-      if (id >= database.size()) {
-        std::fprintf(stderr, "divergence: neighbor %zu id %u out of range\n",
-                     i, id);
-        abort();
+  mbi::TransactionDatabase union_db(universe_size);
+  {
+    uint32_t i = 0;
+    for (auto it = live.begin(); it != live.end();) {
+      if (delete_stride != 0 && i++ % (delete_stride + 1) == 0 &&
+          live.size() > 1) {
+        if (!dyn.Delete(it->first).ok()) {
+          std::fprintf(stderr, "dyn divergence: delete of live gid failed\n");
+          abort();
+        }
+        it = live.erase(it);
+        continue;
       }
-      size_t match = 0, hamming = 0;
-      mbi::MatchAndHamming(target, database.Get(id), &match, &hamming);
-      const double recomputed = function->Evaluate(static_cast<int>(match),
-                                                   static_cast<int>(hamming));
-      if (!SameSimilarity(recomputed, result.neighbors[i].similarity)) {
-        std::fprintf(stderr,
-                     "divergence: neighbor %zu id %u reported %.17g, "
-                     "recomputed %.17g\n",
-                     i, id, result.neighbors[i].similarity, recomputed);
-        abort();
-      }
-    }
-    if (i > 0 && SameSimilarity(result.neighbors[i].similarity,
-                                result.neighbors[i - 1].similarity) &&
-        result.neighbors[i].id <= result.neighbors[i - 1].id) {
-      std::fprintf(stderr,
-                   "divergence: tied neighbors %zu/%zu not in ascending-id "
-                   "order (%u then %u)\n",
-                   i - 1, i, result.neighbors[i - 1].id,
-                   result.neighbors[i].id);
-      abort();
+      union_db.Add(*it->second);
+      live_gids.push_back(it->first);
+      ++it;
     }
   }
+
+  const mbi::NearestNeighborResult dyn_result =
+      dyn.FindKNearest(target, *family, k);
+  const mbi::SequentialScanner union_scanner(&union_db);
+  const std::vector<mbi::Neighbor> dyn_expected =
+      union_scanner.FindKNearest(target, *family, k);
+  const IdResolver dyn_resolver{
+      [&](mbi::TransactionId gid) -> const mbi::Transaction* {
+        const auto it = live.find(gid);
+        return it != live.end() ? it->second : nullptr;
+      },
+      [&](mbi::TransactionId id) { return live_gids[id]; }};
+  CheckAgainstScan("dyn", dyn_result, dyn_expected, target, *family,
+                   dyn_resolver);
   return 0;
 }

@@ -111,20 +111,22 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
   // gather-form kernel batch (ids are sorted ascending, so the kernel's row
   // prefetch still streams forward), and the budget is checked between
   // slices — never before the first, so a degraded answer always carries
-  // real candidates.
+  // real candidates. One scored candidate costs one "entry" against
+  // max_entries (same unit as branch-and-bound and the sequential scanner;
+  // overshoot bounded at kScanChunk - 1 by the per-slice check).
   const size_t num_candidates = candidates.size();
   const bool budget_limited = budget.limited();
   QueryTermination termination = QueryTermination::kCompleted;
-  uint64_t chunks_scanned = 0;
+  uint64_t rows_scanned = 0;
   uint32_t chunk_match[kScanChunk];
   uint32_t chunk_hamming[kScanChunk];
   for (size_t base = 0; base < num_candidates; base += kScanChunk) {
-    if (budget_limited && chunks_scanned > 0) {
+    if (budget_limited && rows_scanned > 0) {
       if (budget.cancelled()) {
         termination = QueryTermination::kCancelled;
         break;
       }
-      if (chunks_scanned >= budget.max_entries) {
+      if (rows_scanned >= budget.max_entries) {
         termination = QueryTermination::kEntryBudget;
         break;
       }
@@ -153,19 +155,20 @@ InvertedIndex::Result InvertedIndex::FindKNearest(
       scored.push_back({id, similarity->Evaluate(static_cast<int>(match),
                                                  static_cast<int>(hamming))});
     }
-    ++chunks_scanned;
+    rows_scanned += len;
   }
   result.pages_touched = touched.size();
   result.pages_total = sequential_store_.page_store().size();
 
   // Budget accounting + certificate (the same f(|target|, 0) pointwise bound
   // the sequential scanner uses; phase-1 completeness is reported separately
-  // via candidates_complete).
+  // via candidates_complete). Entries are counted in candidate rows, the
+  // common unit across every query path (DESIGN.md §13).
   result.stats.database_size = database_->size();
-  result.stats.entries_total = (num_candidates + kScanChunk - 1) / kScanChunk;
-  result.stats.entries_scanned = chunks_scanned;
+  result.stats.entries_total = num_candidates;
+  result.stats.entries_scanned = rows_scanned;
   result.stats.entries_unexplored =
-      result.stats.entries_total - chunks_scanned;
+      result.stats.entries_total - rows_scanned;
   result.stats.transactions_evaluated = scored.size();
   result.stats.termination = termination;
   result.stats.is_exact = termination == QueryTermination::kCompleted;

@@ -55,7 +55,9 @@ class InvertedIndex {
     IoStats io;
     /// Budget accounting + quality certificate (termination, is_exact,
     /// certificate_bound), in the same shape as the engine's QueryStats.
-    /// One "entry" is one kScanChunk-candidate slice of phase-2 re-ranking.
+    /// One "entry" is one phase-2 candidate row (the repo-wide stats unit;
+    /// the budget is checked every kScanChunk candidates, bounding the
+    /// overshoot at kScanChunk - 1).
     QueryStats stats;
   };
 

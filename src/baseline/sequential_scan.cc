@@ -87,7 +87,7 @@ MBI_HOT SequentialScanner::ScanOutcome SequentialScanner::ScoreAllCandidates(
   SequentialIoCharger charger(stats, page_size_bytes);
   const size_t n = database_->size();
   ScanOutcome outcome;
-  outcome.chunks_total = (n + kScanChunk - 1) / kScanChunk;
+  outcome.rows_total = n;
   const bool budget_limited = budget.limited();
   // SIMD match-kernel output for one chunk (layout path). The buffers live
   // on the stack (const method, no mutable scratch), so the zero-allocation
@@ -99,12 +99,15 @@ MBI_HOT SequentialScanner::ScanOutcome SequentialScanner::ScoreAllCandidates(
     // Budget check between chunks, never before the first: a degraded scan
     // always carries at least kScanChunk real candidates (or the whole
     // database if smaller), mirroring RunKNearest's min-one-entry rule.
-    if (budget_limited && outcome.chunks_scanned > 0) {
+    // Rows — not chunks — are charged against max_entries so the scan path
+    // enforces the budget in the same unit as branch-and-bound; checking at
+    // chunk boundaries bounds the overshoot at kScanChunk - 1 rows.
+    if (budget_limited && outcome.rows_scanned > 0) {
       if (budget.cancelled()) {
         outcome.termination = QueryTermination::kCancelled;
         break;
       }
-      if (outcome.chunks_scanned >= budget.max_entries) {
+      if (outcome.rows_scanned >= budget.max_entries) {
         outcome.termination = QueryTermination::kEntryBudget;
         break;
       }
@@ -136,7 +139,7 @@ MBI_HOT SequentialScanner::ScanOutcome SequentialScanner::ScoreAllCandidates(
                                                    static_cast<int>(h))});
       }
     }
-    ++outcome.chunks_scanned;
+    outcome.rows_scanned += len;
   }
   return outcome;
 }
@@ -162,20 +165,22 @@ std::vector<Neighbor> SequentialScanner::FindKNearest(
 
 namespace {
 
-/// Shared stats fill for the budget-aware scans: chunk accounting maps onto
-/// the entries_* fields (one chunk = one "entry"), and an incomplete scan is
-/// certified with f(|target|, 0) — no unscanned transaction can match more
-/// than the whole target or differ by less than nothing, so for admissible
-/// f (monotone up in matches, down in Hamming) this bound dominates every
-/// skipped similarity (Lemma 2.1 in pointwise form).
+/// Shared stats fill for the budget-aware scans: row accounting maps onto
+/// the entries_* fields (one row = one "entry", the same unit the
+/// branch-and-bound path charges — DESIGN.md §13.4 stats-unit contract), and
+/// an incomplete scan is certified with f(|target|, 0) — no unscanned
+/// transaction can match more than the whole target or differ by less than
+/// nothing, so for admissible f (monotone up in matches, down in Hamming)
+/// this bound dominates every skipped similarity (Lemma 2.1 in pointwise
+/// form).
 void FillScanStats(const SequentialScanner::ScanOutcome& outcome,
                    const SimilarityFunction& similarity,
                    const Transaction& target, uint64_t evaluated,
                    uint64_t database_size, QueryStats* stats) {
   stats->database_size = database_size;
-  stats->entries_total = outcome.chunks_total;
-  stats->entries_scanned = outcome.chunks_scanned;
-  stats->entries_unexplored = outcome.chunks_total - outcome.chunks_scanned;
+  stats->entries_total = outcome.rows_total;
+  stats->entries_scanned = outcome.rows_scanned;
+  stats->entries_unexplored = outcome.rows_total - outcome.rows_scanned;
   stats->transactions_evaluated = evaluated;
   stats->termination = outcome.termination;
   stats->is_exact = outcome.termination == QueryTermination::kCompleted;

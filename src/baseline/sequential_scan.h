@@ -47,11 +47,14 @@ class SequentialScanner {
 
   /// Budget-aware variant filling a full NearestNeighborResult (certificate
   /// included) — the form the quarantine fallback propagates, so termination
-  /// fields are never dropped. The budget is checked at chunk granularity
-  /// (kScanChunk rows = one "entry" for QueryBudget::max_entries); on expiry
-  /// the returned prefix top-k is certified with f(|target|, 0), a pointwise
-  /// optimistic bound for every admissible similarity (matches cannot exceed
-  /// the target size and the Hamming distance cannot go below zero).
+  /// fields are never dropped. One scanned row costs one "entry" against
+  /// QueryBudget::max_entries (the same unit the branch-and-bound path
+  /// charges); the budget is checked between kScanChunk-row chunks, so a
+  /// scan may overshoot the entry budget by at most kScanChunk - 1 rows and
+  /// always scores at least one chunk. On expiry the returned prefix top-k
+  /// is certified with f(|target|, 0), a pointwise optimistic bound for
+  /// every admissible similarity (matches cannot exceed the target size and
+  /// the Hamming distance cannot go below zero).
   void FindKNearest(const Transaction& target, const SimilarityFamily& family,
                     size_t k, const QueryBudget& budget,
                     NearestNeighborResult* result,
@@ -66,12 +69,13 @@ class SequentialScanner {
   /// Rows scored per budget check in the budget-aware scans.
   static constexpr size_t kScanChunk = 256;
 
-  /// How far a budgeted scan got: chunk accounting feeds the entries_*
-  /// stats, termination the certificate.
+  /// How far a budgeted scan got: row accounting feeds the entries_* stats
+  /// (row units — the stats-unit contract in DESIGN.md §13.4), termination
+  /// the certificate.
   struct ScanOutcome {
     QueryTermination termination = QueryTermination::kCompleted;
-    uint64_t chunks_total = 0;
-    uint64_t chunks_scanned = 0;
+    uint64_t rows_total = 0;
+    uint64_t rows_scanned = 0;
   };
 
   /// Exact multi-target variant: maximizes average similarity to `targets`.

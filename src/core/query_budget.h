@@ -24,9 +24,11 @@ struct QueryBudget {
   /// Absolute deadline in the clock's NowUs() timeline; +inf = none.
   double deadline_us = std::numeric_limits<double>::infinity();
 
-  /// Maximum signature-table entries (or, for the baselines, candidate
-  /// chunks' worth of transactions) this query may scan before it must
-  /// return whatever it has.
+  /// Maximum entries this query may scan before it must return whatever it
+  /// has, counted in the path's scan unit: occupied signature-table entries
+  /// on the indexed path, candidate rows on the scan/re-rank paths (which
+  /// check at 256-row chunk boundaries, so they may overshoot by at most
+  /// 255 rows — DESIGN.md §13.4).
   uint64_t max_entries = std::numeric_limits<uint64_t>::max();
 
   /// Cooperative cancellation: the query gives up (with a certified partial

@@ -97,6 +97,43 @@ struct QueryStats {
   }
 };
 
+/// Severity order for merging terminations: a combined answer inherits the
+/// *most* degraded component's reason. kCompleted < kAccessFraction <
+/// kEntryBudget < kDeadline < kCancelled — the enum is declared in this
+/// order, so the numeric max is the merge.
+inline QueryTermination MergeTermination(QueryTermination a,
+                                         QueryTermination b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/// Folds one component's (or one batch entry's) stats into an aggregate.
+/// The aggregation rules are part of the §4 certificate contract and must
+/// not be improvised per call site (engine batch paths, the dynamization
+/// KnnMerger, and the CLI all share this):
+///
+///  * counters and I/O — sum (work is additive across components),
+///  * `database_size` — sum (components partition the logical database;
+///    callers aggregating *repeat* queries over the same data want averages,
+///    not this),
+///  * `is_exact` — logical AND (one degraded component degrades the whole),
+///  * `certificate_bound` — max (the bound must dominate every component's
+///    unexplored region; sum or last-writer would be unsound),
+///  * `termination` — most severe (MergeTermination).
+inline void MergeQueryStats(const QueryStats& component, QueryStats* agg) {
+  agg->database_size += component.database_size;
+  agg->entries_total += component.entries_total;
+  agg->entries_scanned += component.entries_scanned;
+  agg->entries_pruned += component.entries_pruned;
+  agg->entries_unexplored += component.entries_unexplored;
+  agg->transactions_evaluated += component.transactions_evaluated;
+  agg->io += component.io;
+  agg->sequential_fallbacks += component.sequential_fallbacks;
+  agg->termination = MergeTermination(agg->termination, component.termination);
+  agg->is_exact = agg->is_exact && component.is_exact;
+  agg->certificate_bound =
+      std::max(agg->certificate_bound, component.certificate_bound);
+}
+
 }  // namespace mbi
 
 #endif  // MBI_CORE_QUERY_STATS_H_

@@ -1,0 +1,62 @@
+#include "dyn/scheduler.h"
+
+#include <utility>
+
+namespace mbi {
+
+Scheduler::Scheduler(ThreadPool* pool, double job_deadline_ms)
+    : pool_(pool), job_deadline_ms_(job_deadline_ms) {}
+
+Scheduler::~Scheduler() {
+  RequestStop();
+  Drain();
+}
+
+bool Scheduler::Submit(std::function<void(const QueryBudget&)> job) {
+  if (stopping()) return false;
+  {
+    MutexLock lock(&mu_);
+    ++in_flight_;
+  }
+  if (pool_ == nullptr) {
+    Run(job);
+    return true;
+  }
+  // The closure copies the job; `this` must outlive the pool's queue, which
+  // the destructor's RequestStop + Drain guarantees.
+  pool_->Submit([this, job = std::move(job)] { Run(job); });
+  return true;
+}
+
+void Scheduler::Run(const std::function<void(const QueryBudget&)>& job) {
+  QueryBudget budget;
+  if (job_deadline_ms_ != std::numeric_limits<double>::infinity()) {
+    budget = QueryBudget::WithDeadlineAfterMs(job_deadline_ms_);
+  }
+  budget.cancel = &cancel_;
+  // A stop requested between Submit and Run still counts as "ran": the job
+  // itself polls budget.cancelled() at its first phase boundary and exits.
+  job(budget);
+  Finish();
+}
+
+void Scheduler::Finish() {
+  MutexLock lock(&mu_);
+  if (--in_flight_ == 0) idle_.NotifyAll();
+}
+
+void Scheduler::Drain() {
+  MutexLock lock(&mu_);
+  while (in_flight_ > 0) idle_.Wait(&mu_);
+}
+
+void Scheduler::RequestStop() {
+  cancel_.store(true, std::memory_order_release);
+}
+
+size_t Scheduler::in_flight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+}  // namespace mbi

@@ -1,0 +1,72 @@
+#ifndef MBI_DYN_SCHEDULER_H_
+#define MBI_DYN_SCHEDULER_H_
+
+#include <atomic>
+#include <functional>
+#include <limits>
+
+#include "core/query_budget.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+
+/// Runs index maintenance (level merges, compactions) off the query path.
+///
+/// A thin in-flight tracker over a borrowed ThreadPool: DynamicIndex submits
+/// reconstruction jobs here instead of spawning threads (the no-raw-thread
+/// rule — only ThreadPool owns threads). Each job receives a QueryBudget
+/// carrying the scheduler's cancellation token (and an optional deadline),
+/// and is expected to poll it between phases — gather, build, publish — so
+/// shutdown and budget expiry abandon a merge instead of blocking it.
+///
+/// With a null pool, jobs run inline on the submitting thread (synchronous
+/// mode: deterministic tests, no background concurrency).
+class Scheduler {
+ public:
+  /// `pool` is borrowed and may be shared with query batches; null runs
+  /// every job inline. `job_deadline_ms` bounds each job's budget (relative
+  /// to submission; +inf = no deadline).
+  explicit Scheduler(ThreadPool* pool,
+                     double job_deadline_ms =
+                         std::numeric_limits<double>::infinity());
+
+  /// Stops (cancelling the budget of any running job) and drains.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits one maintenance job. After RequestStop(), jobs are dropped
+  /// (the index is shutting down; pending work is abandoned by design) and
+  /// Submit returns false so the caller can unwind its bookkeeping.
+  bool Submit(std::function<void(const QueryBudget&)> job);
+
+  /// Blocks until every submitted job has finished (or been dropped).
+  void Drain();
+
+  /// Flips the cancellation token: running jobs see budget.cancelled() at
+  /// their next phase boundary, future Submits are dropped.
+  void RequestStop();
+
+  bool stopping() const { return cancel_.load(std::memory_order_acquire); }
+
+  /// Jobs submitted but not yet finished.
+  size_t in_flight() const;
+
+ private:
+  void Run(const std::function<void(const QueryBudget&)>& job);
+  void Finish();
+
+  ThreadPool* pool_;
+  const double job_deadline_ms_;
+  std::atomic<bool> cancel_{false};
+
+  mutable Mutex mu_;
+  CondVar idle_;
+  size_t in_flight_ MBI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_DYN_SCHEDULER_H_

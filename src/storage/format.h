@@ -39,6 +39,7 @@ constexpr uint32_t kDatabaseMagic = 0x4D424944;   // "MBID"
 constexpr uint32_t kPartitionMagic = 0x4D425350;  // "MBSP"
 constexpr uint32_t kTableMagic = 0x4D425354;      // "MBST"
 constexpr uint32_t kPageSpillMagic = 0x4D425047;  // "MBPG"
+constexpr uint32_t kDynIndexMagic = 0x4D424458;   // "MBDX" (dyn manifest)
 
 /// Container versions accepted by ArtifactReader.
 constexpr uint32_t kFormatVersionLegacy = 1;

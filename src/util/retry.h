@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <utility>
 
+#include "util/deadline_clock.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -26,6 +28,17 @@ struct RetryOptions {
   /// sleeping (durability tests run a whole backoff schedule in microseconds
   /// and assert on the delays it would have used).
   std::function<void(double)> sleep_ms;
+  /// Absolute give-up point on the DeadlineClock timeline (microseconds),
+  /// mirroring QueryBudget::deadline_us (util cannot see core's QueryBudget,
+  /// so callers copy the field: `retry.deadline_us = budget.deadline_us`).
+  /// Every backoff sleep — including a server-supplied retry_after_ms hint —
+  /// is clamped to the time remaining, and once the deadline has passed no
+  /// further attempt is made: a retry must never sleep past the budget that
+  /// is paying for it. +inf (the default) disables the clamp.
+  double deadline_us = std::numeric_limits<double>::infinity();
+  /// Clock the deadline is measured against. Null means the process-wide
+  /// real clock; tests inject a ManualClock to script expiry.
+  const DeadlineClock* clock = nullptr;
 };
 
 /// Computed delay before attempt `next_attempt` (1-based: the delay between
@@ -61,21 +74,37 @@ struct RetryStats {
 /// only transient faults are worth paying latency for. When the kUnavailable
 /// status carries a retry_after_ms hint (RetryAfterHintMs), the delay before
 /// the next attempt is max(backoff, hint): the server knows how long its
-/// queue is, the client knows how often it has already failed. When `stats`
-/// is non-null it is overwritten with this call's attempt/backoff accounting.
+/// queue is, the client knows how often it has already failed. Both the
+/// backoff and the hint are then clamped to what remains of
+/// `options.deadline_us` — an overloaded server may ask for a 5-second
+/// nap, but a caller with 10ms of budget left sleeps 10ms and, if the
+/// retry still fails, gives up rather than queueing behind a deadline it
+/// has already blown. When `stats` is non-null it is overwritten with this
+/// call's attempt/backoff accounting.
 template <typename Fn>
 Status RetryTransient(const RetryOptions& options, Rng* rng, Fn&& fn,
                       RetryStats* stats = nullptr) {
   if (stats != nullptr) *stats = RetryStats{};
+  const bool deadline_limited =
+      options.deadline_us != std::numeric_limits<double>::infinity();
+  const DeadlineClock* clock =
+      options.clock != nullptr ? options.clock : DeadlineClock::Real();
   Status status = fn();
   if (stats != nullptr) ++stats->attempts;
   for (int attempt = 1;
        !status.ok() && status.code() == StatusCode::kUnavailable &&
        attempt < options.max_attempts;
        ++attempt) {
-    const double delay_ms =
-        std::max(BackoffDelayMs(options, attempt, rng),
-                 RetryAfterHintMs(status));
+    double delay_ms = std::max(BackoffDelayMs(options, attempt, rng),
+                               RetryAfterHintMs(status));
+    if (deadline_limited) {
+      const double remaining_ms =
+          (options.deadline_us - clock->NowUs()) / 1000.0;
+      // Deadline already blown: another attempt could not be served in
+      // time, so surface the transient failure instead of retrying late.
+      if (remaining_ms <= 0.0) return status;
+      delay_ms = std::min(delay_ms, remaining_ms);
+    }
     if (stats != nullptr) stats->backoff_ms += delay_ms;
     if (options.sleep_ms) {
       options.sleep_ms(delay_ms);

@@ -286,13 +286,17 @@ TEST(QueryBudgetTest, SequentialScannerBudgetedScanCertifies) {
   const size_t k = 5;
 
   QueryBudget budget;
-  budget.max_entries = 1;  // one kScanChunk chunk of rows
+  budget.max_entries = 1;  // rows; the min-one-chunk rule rounds up
   NearestNeighborResult result;
   scanner.FindKNearest(target, family, k, budget, &result);
   EXPECT_EQ(result.stats.termination, QueryTermination::kEntryBudget);
   EXPECT_FALSE(result.stats.is_exact);
-  EXPECT_EQ(result.stats.entries_scanned, 1u);
+  // Row-unit contract (DESIGN.md §13): entries_* count rows on the scan
+  // path, so scanned == evaluated, and total is the database size.
+  EXPECT_EQ(result.stats.entries_scanned, SequentialScanner::kScanChunk);
   EXPECT_EQ(result.stats.transactions_evaluated, SequentialScanner::kScanChunk);
+  EXPECT_EQ(result.stats.entries_scanned, result.stats.transactions_evaluated);
+  EXPECT_EQ(result.stats.entries_total, db.size());
   // f(|target|, 0) is a pointwise optimistic bound for every admissible
   // similarity, so it must dominate every score in the database.
   auto f = family.ForTarget(target);
@@ -326,7 +330,8 @@ TEST(QueryBudgetTest, InvertedIndexRerankHonorsTheBudget) {
                                                      budget);
   if (limited.stats.termination == QueryTermination::kEntryBudget) {
     EXPECT_FALSE(limited.stats.is_exact);
-    EXPECT_EQ(limited.stats.entries_scanned, 1u);
+    // Row units: one full re-rank slice was scored before the budget hit.
+    EXPECT_EQ(limited.stats.entries_scanned, InvertedIndex::kScanChunk);
     auto f = family.ForTarget(target);
     EXPECT_EQ(limited.stats.certificate_bound,
               f->Evaluate(static_cast<int>(target.size()), 0));

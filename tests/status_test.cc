@@ -9,6 +9,7 @@
 
 #include "storage/fault_injector.h"
 #include "util/crc32c.h"
+#include "util/deadline_clock.h"
 #include "util/retry.h"
 #include "util/rng.h"
 
@@ -200,6 +201,74 @@ TEST(RetryTest, GivesUpAfterMaxAttempts) {
   });
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, RetryAfterHintIsClampedToRemainingDeadline) {
+  // Regression for the oversleep bug: an overloaded server's retry_after_ms
+  // hint used to be honored verbatim, so a caller with 10ms of budget left
+  // could be parked for a 50ms nap. The hint (and the backoff) must be
+  // clamped to what remains of the caller's deadline.
+  ManualClock clock(1'000.0);  // now = 1000us
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.jitter = 0.0;
+  options.initial_backoff_ms = 0.5;
+  options.clock = &clock;
+  options.deadline_us = 11'000.0;  // 10ms remaining
+  std::vector<double> slept;
+  options.sleep_ms = [&slept](double ms) { slept.push_back(ms); };
+
+  RetryStats stats;
+  Status status = RetryTransient(
+      options, nullptr,
+      [] { return Status::Unavailable("shed; retry_after_ms=50"); }, &stats);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  ASSERT_FALSE(slept.empty());
+  for (double ms : slept) {
+    EXPECT_LE(ms, 10.0) << "slept past the caller's deadline";
+  }
+  EXPECT_DOUBLE_EQ(slept.front(), 10.0);  // min(hint=50, remaining=10)
+  EXPECT_EQ(stats.attempts, options.max_attempts);
+  EXPECT_LE(stats.backoff_ms, 10.0 * (options.max_attempts - 1));
+}
+
+TEST(RetryTest, StopsRetryingOncePastTheDeadline) {
+  // An expired deadline means another attempt cannot be served in time:
+  // the transient failure surfaces immediately, with zero sleeps.
+  ManualClock clock(5'000.0);
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.clock = &clock;
+  options.deadline_us = 4'000.0;  // already in the past
+  int slept = 0;
+  options.sleep_ms = [&slept](double) { ++slept; };
+
+  int calls = 0;
+  Status status = RetryTransient(options, nullptr, [&calls] {
+    ++calls;
+    return Status::Unavailable("busy; retry_after_ms=5");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);  // the mandatory first try, nothing after
+  EXPECT_EQ(slept, 0);
+}
+
+TEST(RetryTest, UnlimitedDeadlineKeepsHonoringTheHint) {
+  // Without a deadline the pre-existing contract holds: delay is
+  // max(backoff, hint), uncapped by any clock.
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.jitter = 0.0;
+  options.initial_backoff_ms = 1.0;
+  std::vector<double> slept;
+  options.sleep_ms = [&slept](double ms) { slept.push_back(ms); };
+
+  Status status = RetryTransient(options, nullptr, [] {
+    return Status::Unavailable("shed; retry_after_ms=25");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_DOUBLE_EQ(slept.front(), 25.0);
 }
 
 // --- FaultInjector spec parsing ----------------------------------------

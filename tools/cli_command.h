@@ -14,6 +14,8 @@
 ///   mbi mine     --db data.mbid --min_support 0.01 --min_confidence 0.5
 ///   mbi bench    --db data.mbid --index index.mbst --queries 500
 ///   mbi verify   data.mbid index.mbst
+///   mbi insert   --index index.mbdyn --db data.mbid
+///   mbi compact  --index index.mbdyn
 
 namespace mbi::cli {
 
@@ -38,6 +40,12 @@ int RunBench(int argc, char** argv);
 
 /// `mbi verify`: checksum + structural health report for any artifact.
 int RunVerify(int argc, char** argv);
+
+/// `mbi insert`: append rows to (or create) a dynamic index family.
+int RunInsert(int argc, char** argv);
+
+/// `mbi compact`: fold a dynamic index into one freshly mined component.
+int RunCompact(int argc, char** argv);
 
 /// Prints the top-level usage text.
 void PrintUsage(const std::string& program);

@@ -27,6 +27,8 @@ void PrintUsage(const std::string& program) {
                "  mine       frequent itemsets and association rules\n"
                "  bench      replay a query workload, report latencies\n"
                "  verify     checksum + structural health of any artifact\n"
+               "  insert     append rows to (or create) a dynamic index\n"
+               "  compact    fold a dynamic index into one fresh component\n"
                "\n"
                "run '%s <command> --help' for command flags\n"
                "\n"
@@ -77,6 +79,8 @@ int main(int argc, char** argv) {
   if (command == "mine") return mbi::cli::RunMine(sub_argc, sub_argv);
   if (command == "bench") return mbi::cli::RunBench(sub_argc, sub_argv);
   if (command == "verify") return mbi::cli::RunVerify(sub_argc, sub_argv);
+  if (command == "insert") return mbi::cli::RunInsert(sub_argc, sub_argv);
+  if (command == "compact") return mbi::cli::RunCompact(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     mbi::cli::PrintUsage(argv[0]);
     return 0;
