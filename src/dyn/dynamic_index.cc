@@ -78,7 +78,8 @@ DynamicIndex::DynamicIndex(size_t universe_size,
                            const DynamicIndexOptions& options)
     : universe_size_(universe_size),
       options_(options),
-      scheduler_(options.pool, options.merge_deadline_ms) {
+      scheduler_(options.pool, options.merge_deadline_ms),
+      metrics_(MakeMetrics(options.metrics)) {
   MBI_CHECK(universe_size_ >= 1);
   MBI_CHECK(options_.buffer_capacity >= 1);
   MBI_CHECK(options_.level_fanout >= 2);
@@ -86,7 +87,6 @@ DynamicIndex::DynamicIndex(size_t universe_size,
   MutexLock lock(&mu_);
   state_.buffer = std::make_shared<MutableBuffer>(options_.buffer_capacity);
   state_.tombstones = std::make_shared<const std::vector<TransactionId>>();
-  InitMetrics();
   UpdateGaugesLocked();
 }
 
@@ -97,35 +97,35 @@ DynamicIndex::~DynamicIndex() {
   scheduler_.Drain();
 }
 
-void DynamicIndex::InitMetrics() {
-  MetricsRegistry* registry = options_.metrics;
-  if (registry == nullptr) return;
-  metrics_.inserts =
-      registry->GetCounter("mbi.dyn.inserts", "rows", "Rows inserted");
-  metrics_.deletes =
+DynamicIndex::Metrics DynamicIndex::MakeMetrics(MetricsRegistry* registry) {
+  Metrics m;
+  if (registry == nullptr) return m;
+  m.inserts = registry->GetCounter("mbi.dyn.inserts", "rows", "Rows inserted");
+  m.deletes =
       registry->GetCounter("mbi.dyn.deletes", "rows", "Rows tombstoned");
-  metrics_.spills = registry->GetCounter("mbi.dyn.spills", "spills",
-                                         "Buffer spills into level 0");
-  metrics_.merges = registry->GetCounter("mbi.dyn.merges", "merges",
-                                         "Level merges published");
-  metrics_.merges_abandoned =
+  m.spills = registry->GetCounter("mbi.dyn.spills", "spills",
+                                  "Buffer spills into level 0");
+  m.merges = registry->GetCounter("mbi.dyn.merges", "merges",
+                                  "Level merges published");
+  m.merges_abandoned =
       registry->GetCounter("mbi.dyn.merges_abandoned", "merges",
                            "Level merges abandoned (budget/shutdown)");
-  metrics_.backpressure =
+  m.backpressure =
       registry->GetCounter("mbi.dyn.backpressure", "rejections",
                            "Inserts rejected by admission control");
-  metrics_.queries = registry->GetCounter("mbi.dyn.queries", "queries",
-                                          "Fan-out k-NN queries answered");
-  metrics_.components = registry->GetGauge("mbi.dyn.components", "components",
-                                           "Published static components");
-  metrics_.tombstones = registry->GetGauge("mbi.dyn.tombstones", "rows",
-                                           "Unpurged tombstones");
-  metrics_.buffer_fill = registry->GetGauge("mbi.dyn.buffer_fill", "rows",
-                                            "Rows in the mutable buffer");
-  metrics_.live_rows =
+  m.queries = registry->GetCounter("mbi.dyn.queries", "queries",
+                                   "Fan-out k-NN queries answered");
+  m.components = registry->GetGauge("mbi.dyn.components", "components",
+                                    "Published static components");
+  m.tombstones = registry->GetGauge("mbi.dyn.tombstones", "rows",
+                                    "Unpurged tombstones");
+  m.buffer_fill = registry->GetGauge("mbi.dyn.buffer_fill", "rows",
+                                     "Rows in the mutable buffer");
+  m.live_rows =
       registry->GetGauge("mbi.dyn.live_rows", "rows", "Live (queryable) rows");
-  metrics_.merge_latency = registry->GetHistogram(
+  m.merge_latency = registry->GetHistogram(
       "mbi.dyn.merge_latency", "us", "Background reconstruction latency");
+  return m;
 }
 
 void DynamicIndex::UpdateGaugesLocked() {

@@ -260,7 +260,6 @@ class DynamicIndex {
     int out_level = 0;
   };
 
-  void InitMetrics();
   Status AppendRowLocked(TransactionId gid, const Transaction& txn)
       MBI_REQUIRES(mu_);
   /// Freezes the buffer into a level-0 component (dropping tombstoned rows,
@@ -322,7 +321,11 @@ class DynamicIndex {
     Gauge* live_rows = nullptr;
     LatencyHistogram* merge_latency = nullptr;
   };
-  Metrics metrics_;
+  static Metrics MakeMetrics(MetricsRegistry* registry);
+
+  // Immutable after construction; the Counter/Gauge/Histogram objects it
+  // points at are internally synchronized, so no mu_ annotation is needed.
+  const Metrics metrics_;
 };
 
 }  // namespace mbi

@@ -58,7 +58,7 @@ class Scheduler {
   void Run(const std::function<void(const QueryBudget&)>& job);
   void Finish();
 
-  ThreadPool* pool_;
+  ThreadPool* const pool_;
   const double job_deadline_ms_;
   std::atomic<bool> cancel_{false};
 

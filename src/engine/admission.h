@@ -116,7 +116,7 @@ class AdmissionController {
   Status Shed(const char* reason, size_t depth_at_rejection);
 
   const AdmissionOptions options_;
-  const DeadlineClock* clock_;
+  const DeadlineClock* const clock_;
 
   mutable Mutex mu_;
   CondVar token_free_;

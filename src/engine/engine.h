@@ -181,7 +181,7 @@ class SignatureTableEngine {
   void RecordQuery(const QueryStats& stats, bool is_range,
                    double elapsed_us) const;
 
-  const TransactionDatabase* database_;
+  const TransactionDatabase* const database_;
   /// Blocked candidate bitmap shared by the branch-and-bound engine and the
   /// sequential fallback (one build per database snapshot instead of one
   /// per component). Rebuilt by AdoptTable when the database has grown;

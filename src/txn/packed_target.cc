@@ -15,11 +15,7 @@ MBI_HOT void PackedTarget::Assign(const Transaction& target,
 MBI_HOT void PackedTarget::Assign(const Transaction& target,
                                   size_t universe_size,
                                   const CandidateLayout* layout) {
-  if (bits_.size() != universe_size) {
-    bits_ = Bitset(universe_size);
-  } else {
-    bits_.ClearAll();
-  }
+  bits_.ResizeAndClear(universe_size);  // capacity-keeping: no heap when warm
   for (ItemId item : target.items()) {
     MBI_CHECK(item < universe_size);
     bits_.Set(item);

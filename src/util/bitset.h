@@ -54,6 +54,13 @@ class Bitset {
     for (uint64_t& word : words_) word = 0;
   }
 
+  /// Resizes to `size` bits, all zero. Keeps the word vector's capacity when
+  /// the new size fits, so warm per-target reuse never touches the heap.
+  void ResizeAndClear(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
   /// Number of set bits.
   size_t Count() const {
     size_t count = 0;

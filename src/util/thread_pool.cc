@@ -50,13 +50,15 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
     chunk = std::max<size_t>(1, count / (workers_.size() * 8));
   }
   // Shard by an atomic cursor so uneven task costs balance dynamically; each
-  // grab claims `chunk` consecutive indices.
-  const auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // grab claims `chunk` consecutive indices. The cursor lives on this frame:
+  // Wait() below outlives every worker lambda, and keeping it off the heap
+  // keeps the multi-target query path allocation-free.
+  std::atomic<size_t> cursor{0};
   const size_t shards = std::min((count + chunk - 1) / chunk, workers_.size());
   for (size_t s = 0; s < shards; ++s) {
-    Submit([cursor, count, chunk, &fn] {
+    Submit([&cursor, count, chunk, &fn] {
       while (true) {
-        const size_t begin = cursor->fetch_add(chunk, std::memory_order_relaxed);
+        const size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= count) break;
         const size_t end = std::min(count, begin + chunk);
         for (size_t index = begin; index < end; ++index) fn(index);

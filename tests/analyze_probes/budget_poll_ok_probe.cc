@@ -1,0 +1,61 @@
+// mbi-analyze probe: budget-poll reachability check must stay SILENT here.
+//
+// One loop per sanctioned pattern: compile-time-bounded trip count, a
+// direct QueryBudget poll in the loop, an interprocedural poll through
+// a helper (the poll closure must see through the call), a chunk loop
+// nested inside a polling loop (runs between two polls by construction),
+// and a helper invoked only from inside a polling loop (its loops are the
+// polling loop's per-iteration work — no descent).
+#include <cstddef>
+#include <cstdint>
+
+#include "core/query_budget.h"
+
+namespace mbi_probe {
+
+inline bool PollingHelper(const mbi::QueryBudget& budget, size_t scanned) {
+  return budget.cancelled() || budget.deadline_expired() ||
+         scanned >= budget.max_entries;
+}
+
+uint64_t ScanWithPolls(const uint64_t* rows, size_t n,
+                       const mbi::QueryBudget& budget) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < 8; ++i) {  // compile-time bounded: no poll needed
+    acc ^= rows[i % (n + 1)];
+  }
+  for (size_t i = 0; i < n; ++i) {  // direct poll
+    if (budget.cancelled() || budget.deadline_expired()) break;
+    acc += rows[i];
+  }
+  for (size_t i = 0; i < n; ++i) {  // poll via helper
+    if (PollingHelper(budget, i)) break;
+    acc += rows[i] * 3;
+  }
+  return acc;
+}
+
+// Called only from inside the polling chunk loop below: the runtime-bounded
+// loop in here is between-poll work at the documented poll granularity, so
+// the check must not descend into it from that call site.
+inline uint64_t SumChunk(const uint64_t* rows, size_t begin, size_t end) {
+  uint64_t acc = 0;
+  for (size_t i = begin; i < end; ++i) acc += rows[i];
+  return acc;
+}
+
+uint64_t ChunkedScan(const uint64_t* rows, size_t n,
+                     const mbi::QueryBudget& budget) {
+  uint64_t acc = 0;
+  for (size_t begin = 0; begin < n; begin += 64) {  // polls between chunks
+    if (budget.cancelled() || budget.deadline_expired()) break;
+    const size_t end = begin + 64 < n ? begin + 64 : n;
+    for (size_t i = begin; i < end; ++i) {  // nested in a polling loop: ok
+      acc ^= rows[i];
+    }
+    acc += SumChunk(rows, begin, end);
+  }
+  return acc;
+}
+
+}  // namespace mbi_probe

@@ -1,0 +1,48 @@
+// mbi-analyze probe: budget-poll reachability check MUST flag this TU.
+//
+// Expected findings (check = budget-poll):
+//   * the runtime-bounded scan loop in ScanWithoutPolling (never polls)
+//   * the loop in ScanViaHelper whose only call is a helper that does not
+//     poll either (proves the check is interprocedural, not lexical)
+//   * the unbounded inner loop in BoundedOuterUnboundedInner: a bounded
+//     enclosing loop does NOT sanction unbounded non-polling work inside it
+//     (only a *polling* ancestor does)
+#include <cstddef>
+#include <cstdint>
+
+#include "core/query_budget.h"
+
+namespace mbi_probe {
+
+inline uint64_t NonPollingHelper(uint64_t x) { return x ^ (x >> 9); }
+
+uint64_t ScanWithoutPolling(const uint64_t* rows, size_t n,
+                            const mbi::QueryBudget& budget) {
+  uint64_t acc = budget.limited() ? 1u : 0u;
+  for (size_t i = 0; i < n; ++i) {  // unbounded, never polls the budget
+    acc += rows[i];
+  }
+  return acc;
+}
+
+uint64_t ScanViaHelper(const uint64_t* rows, size_t n,
+                       const mbi::QueryBudget& budget) {
+  uint64_t acc = budget.limited() ? 1u : 0u;
+  for (size_t i = 0; i < n; ++i) {  // helper below never reaches a poll
+    acc += NonPollingHelper(rows[i]);
+  }
+  return acc;
+}
+
+uint64_t BoundedOuterUnboundedInner(const uint64_t* rows, size_t n,
+                                    const mbi::QueryBudget& budget) {
+  uint64_t acc = budget.limited() ? 1u : 0u;
+  for (size_t r = 0; r < 4; ++r) {    // bounded outer: fine on its own
+    for (size_t i = 0; i < n; ++i) {  // unbounded, non-polling: must flag
+      acc += rows[i] + r;
+    }
+  }
+  return acc;
+}
+
+}  // namespace mbi_probe

@@ -1,0 +1,44 @@
+// mbi-analyze probe: guarded-by completeness check must stay SILENT here.
+//
+// One member per sanctioned category: MBI_GUARDED_BY-annotated state,
+// std::atomic, const configuration, the capability itself, and a CondVar
+// (self-synchronizing primitive).
+#include <atomic>
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mbi_probe {
+
+class GuardedCounter {
+ public:
+  explicit GuardedCounter(uint64_t limit) : limit_(limit) {}
+
+  bool Record() {
+    mbi::MutexLock lock(&mu_);
+    if (hits_ >= limit_) return false;
+    ++hits_;
+    fast_hits_.fetch_add(1, std::memory_order_relaxed);
+    cv_.NotifyOne();
+    return true;
+  }
+
+  uint64_t fast_hits() const {
+    return fast_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable mbi::Mutex mu_;
+  mbi::CondVar cv_;
+  const uint64_t limit_;
+  uint64_t hits_ MBI_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> fast_hits_{0};
+};
+
+bool Drive() {
+  GuardedCounter c(4);
+  return c.Record() && c.fast_hits() == 1;
+}
+
+}  // namespace mbi_probe

@@ -1,0 +1,42 @@
+// mbi-analyze probe: guarded-by completeness check MUST flag this TU.
+//
+// This is the gap -Wthread-safety leaves open: the annotations that exist
+// are verified, but a member that was never annotated is invisible to it.
+// Expected findings (check = guarded-by):
+//   * UnguardedCounter::hits_      (plain mutable state, no annotation)
+//   * UnguardedCounter::last_key_  (same, second member proves per-field
+//                                   granularity rather than per-class)
+#include <cstdint>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mbi_probe {
+
+class UnguardedCounter {
+ public:
+  void Record(uint64_t key) {
+    mbi::MutexLock lock(&mu_);
+    ++hits_;
+    last_key_ = key;
+  }
+
+  uint64_t hits() const {
+    mbi::MutexLock lock(&mu_);
+    return hits_;
+  }
+
+ private:
+  mutable mbi::Mutex mu_;
+  uint64_t hits_ = 0;      // deliberately unannotated
+  uint64_t last_key_ = 0;  // deliberately unannotated
+};
+
+uint64_t Drive(uint64_t key) {
+  UnguardedCounter c;
+  c.Record(key);
+  return c.hits();
+}
+
+}  // namespace mbi_probe

@@ -1,0 +1,48 @@
+// mbi-analyze probe: hot-path reachability check must stay SILENT here.
+//
+// Exercises every sanctioned pattern of the MBI_HOT contract
+// (util/hot_path.h): pure arithmetic helpers, memcpy/popcount-style leaf
+// work, amortized growth of a caller-owned buffer (push_back/reserve are a
+// traversal boundary), and non-blocking TryLock.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/hot_path.h"
+#include "util/mutex.h"
+
+namespace mbi_probe {
+
+inline uint64_t PureLeaf(uint64_t x) { return x * 2654435761u; }
+
+inline uint64_t ChainedHelper(uint64_t x) { return PureLeaf(x) ^ (x >> 7); }
+
+inline void CopyLeaf(uint64_t* dst, const uint64_t* src, size_t n) {
+  std::memcpy(dst, src, n * sizeof(uint64_t));
+}
+
+mbi::Mutex g_stats_mu;
+
+inline bool TryRecord() {
+  if (g_stats_mu.TryLock()) {  // non-blocking: allowed on hot paths
+    g_stats_mu.Unlock();
+    return true;
+  }
+  return false;
+}
+
+MBI_HOT uint64_t HotAccumulate(const uint64_t* src, size_t n,
+                               std::vector<uint64_t>* scratch) {
+  // Amortized growth of the caller-owned scratch buffer is sanctioned.
+  scratch->reserve(n);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += ChainedHelper(src[i]);
+    scratch->push_back(acc);
+  }
+  if (!scratch->empty()) CopyLeaf(scratch->data(), src, 1);
+  (void)TryRecord();
+  return acc;
+}
+
+}  // namespace mbi_probe

@@ -1,0 +1,51 @@
+// mbi-analyze probe: hot-path reachability check MUST flag this TU.
+//
+// Every violation here is at least one call frame away from the MBI_HOT
+// entry point, which is exactly what the retired regex lint could not see.
+// Expected findings (check = hot-path):
+//   * allocation      : HotEntry -> DeepHelper -> AllocatingLeaf -> operator new
+//   * blocking lock   : HotEntry -> LockingLeaf -> mbi::Mutex::Lock
+//   * throw           : HotEntry -> ThrowingLeaf -> throw
+//   * io              : HotEntry -> IoLeaf -> fopen
+#include <cstdio>
+#include <vector>
+
+#include "util/hot_path.h"
+#include "util/mutex.h"
+
+namespace mbi_probe {
+
+int* AllocatingLeaf(int n) {
+  return new int[static_cast<unsigned>(n)];  // reachable allocation
+}
+
+int* DeepHelper(int n) { return AllocatingLeaf(n + 1); }
+
+mbi::Mutex g_mu;
+
+void LockingLeaf() {
+  g_mu.Lock();  // blocking acquire on a hot path
+  g_mu.Unlock();
+}
+
+int ThrowingLeaf(int n) {
+  if (n < 0) throw n;  // throw reachable from a hot entry
+  return n;
+}
+
+long IoLeaf(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");  // I/O outside the Env seam
+  if (f == nullptr) return -1;
+  std::fclose(f);
+  return 0;
+}
+
+MBI_HOT int HotEntry(int n, const char* path) {
+  int* p = DeepHelper(n);
+  LockingLeaf();
+  int v = ThrowingLeaf(n) + p[0];
+  delete[] p;
+  return v + static_cast<int>(IoLeaf(path));
+}
+
+}  // namespace mbi_probe

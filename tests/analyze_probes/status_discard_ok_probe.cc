@@ -1,0 +1,40 @@
+// mbi-analyze probe: Status-consumption check must stay SILENT here.
+//
+// One site per sanctioned consumption pattern: tested with ok(),
+// propagated with MBI_RETURN_IF_ERROR, explicitly dropped with (void) /
+// static_cast<void>, and explicitly dropped with IgnoreError().
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mbi_probe {
+
+mbi::Status MightFail(int v) {
+  if (v < 0) return mbi::Status::InvalidArgument("negative");
+  return mbi::Status::Ok();
+}
+
+mbi::StatusOr<int> MightProduce(int v) {
+  if (v < 0) return mbi::Status::InvalidArgument("negative");
+  return v * 2;
+}
+
+int Tested(int v) {
+  mbi::Status s = MightFail(v);
+  if (!s.ok()) return -1;
+  auto produced = MightProduce(v);
+  return produced.ok() ? *produced : -1;
+}
+
+mbi::Status Propagated(int v) {
+  MBI_RETURN_IF_ERROR(MightFail(v));
+  return mbi::Status::Ok();
+}
+
+void ExplicitlyDropped(int v) {
+  (void)MightFail(v);              // sanctioned explicit drop
+  static_cast<void>(MightFail(v));  // sanctioned explicit drop
+  MightFail(v).IgnoreError();       // sanctioned explicit drop
+}
+
+}  // namespace mbi_probe

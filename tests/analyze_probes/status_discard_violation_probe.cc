@@ -1,0 +1,43 @@
+// mbi-analyze probe: Status-consumption check MUST flag this TU.
+//
+// Every discard here lives in a context the class-level [[nodiscard]]
+// attribute does not diagnose (or only warns about). Expected findings
+// (check = status-discard):
+//   * comma-operator LHS discard in CommaDrop
+//   * both ternary arms discarded in TernaryDrop
+//   * plain statement discard in StatementDrop (no (void) sanction)
+//   * discarded StatusOr<int> in StatusOrDrop
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mbi_probe {
+
+mbi::Status MightFail(int v) {
+  if (v < 0) return mbi::Status::InvalidArgument("negative");
+  return mbi::Status::Ok();
+}
+
+mbi::StatusOr<int> MightProduce(int v) {
+  if (v < 0) return mbi::Status::InvalidArgument("negative");
+  return v * 2;
+}
+
+int CommaDrop(int v) {
+  int r = (MightFail(v), v + 1);  // comma LHS silently drops the Status
+  return r;
+}
+
+void TernaryDrop(int v) {
+  v > 0 ? MightFail(v) : MightFail(-v);  // both arms discarded
+}
+
+void StatementDrop(int v) {
+  MightFail(v);  // bare statement discard, no sanction token
+}
+
+void StatusOrDrop(int v) {
+  MightProduce(v);  // discarded StatusOr
+}
+
+}  // namespace mbi_probe

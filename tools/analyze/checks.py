@@ -1,0 +1,480 @@
+"""mbi-analyze checks: the four AST-level contract verifications.
+
+Each check consumes the linked Program (model.py) plus a RepoIndex that
+resolves the dump's basename-only locations back to real repo files and
+confirms lexical facts (`MBI_HOT`, `MBI_GUARDED_BY`, `(void)` sanctions) at
+AST-anchored lines. The AST decides *what* is at a location; the source
+text only confirms annotations the gcc front end cannot surface (the repo's
+annotation macros expand to nothing, or to clang-only attributes, under
+gcc — see util/hot_path.h and util/thread_annotations.h).
+
+Finding fingerprints (`id`) are what the baseline keys on. They embed
+symbols (uids, class::field) rather than raw positions wherever possible so
+unrelated edits don't invalidate the baseline; loop and discard findings
+additionally embed the line because one function can contain several.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from model import Program, VIRTUAL_PREFIX
+
+# ---------------------------------------------------------------------------
+# Contract configuration
+# ---------------------------------------------------------------------------
+
+# std container methods that may grow a *caller-owned* buffer: the MBI_HOT
+# contract (util/hot_path.h) explicitly allows amortized growth, so these are
+# a traversal boundary — nothing beneath them (realloc, __throw_length_error)
+# is charged to the hot path. Everything else reachable must be clean.
+GROWTH_METHODS = {
+    "push_back", "emplace_back", "pop_back", "resize", "reserve", "insert",
+    "emplace", "emplace_hint", "append", "assign", "push", "pop", "clear",
+    "erase", "operator[]", "at", "operator=",
+    "_M_realloc_insert", "_M_realloc_append", "_M_default_append",
+    "_M_fill_insert", "_M_insert_aux", "_M_create_storage", "_M_assign_aux",
+    "_M_range_insert",
+}
+
+# Blocking acquire/wait entry points reported by name (traversal stops here:
+# the finding anchors at the contract-relevant symbol, not at pthreads).
+NAMED_BLOCKING = {
+    ("mbi::Mutex", "Lock"),
+    ("mbi::Mutex", "AssertHeld"),
+    ("mbi::MutexLock", "MutexLock"),
+    ("mbi::CondVar", "Wait"),
+    ("mbi::CondVar", "WaitFor"),
+    ("std::mutex", "lock"),
+    ("std::condition_variable", "wait"),
+    ("std::condition_variable", "wait_for"),
+}
+
+EXTERNAL_ALLOC = {
+    "operator new", "operator new []", "operator delete",
+    "operator delete []", "malloc", "calloc", "realloc", "free", "strdup",
+    "aligned_alloc", "posix_memalign", "__cxa_allocate_exception",
+}
+
+EXTERNAL_BLOCKING = {
+    "pthread_mutex_lock", "pthread_cond_wait", "pthread_cond_timedwait",
+    "pthread_join", "sleep", "usleep", "nanosleep",
+}
+
+# File I/O outside the Env seam. The printf family is deliberately absent:
+# MBI_CHECK diagnostics print-and-abort (util/macros.h), which is sanctioned
+# on any path because it never returns.
+EXTERNAL_IO = {
+    "open", "open64", "openat", "creat", "close", "read", "write", "pread",
+    "pwrite", "pread64", "pwrite64", "lseek", "lseek64", "fsync",
+    "fdatasync", "rename", "renameat", "unlink", "unlinkat", "mkdir",
+    "rmdir", "stat", "lstat", "fstat", "opendir", "readdir", "closedir",
+    "fopen", "fopen64", "freopen", "fclose", "fread", "fwrite", "fflush",
+    "fseek", "fseeko", "ftell", "fgets", "fgetc",
+}
+
+THROW_HELPER_PREFIXES = ("__throw_", "__cxa_throw", "__cxa_rethrow",
+                         "__cxa_bad_cast")
+
+# Functions defined in these files form the sanctioned I/O seam: reaching
+# them is allowed, and traversal does not descend past them.
+ENV_SEAM_FILES = {"env.h", "env.cc"}
+
+BUDGET_PARAM_TOKENS = ("QueryBudget", "SearchOptions")
+
+SANCTION_RE = re.compile(
+    r"\(void\)|static_cast<\s*void\s*>|IgnoreError|mbi-analyze:\s*allow")
+ALLOW_RE = re.compile(r"mbi-analyze:\s*allow")
+GUARDED_RE = re.compile(r"MBI_GUARDED_BY|MBI_PT_GUARDED_BY")
+HOT_RE = re.compile(r"\bMBI_HOT\b")
+
+
+def split_uid(uid: str) -> Tuple[str, str, int]:
+    head, _, arity_s = uid.rpartition("/")
+    try:
+        arity = int(arity_s)
+    except ValueError:
+        head, arity = uid, -1
+    qual, sep, name = head.rpartition("::")
+    if not sep:
+        qual, name = "", head
+    return qual, name, arity
+
+
+class RepoIndex:
+    """Maps dump basenames back to repo files and answers lexical queries."""
+
+    def __init__(self, repo_root: str, extra_dirs: Iterable[str] = ()):
+        self.repo_root = repo_root
+        self.by_basename: Dict[str, List[str]] = {}
+        self._lines: Dict[str, List[str]] = {}
+        roots = [os.path.join(repo_root, "src"),
+                 os.path.join(repo_root, "tools")]
+        roots.extend(extra_dirs)
+        for root in roots:
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _, names in os.walk(root):
+                for n in names:
+                    if n.endswith((".h", ".cc", ".hpp", ".cpp")):
+                        self.by_basename.setdefault(n, []).append(
+                            os.path.join(dirpath, n))
+        for paths in self.by_basename.values():
+            paths.sort()
+
+    def lines(self, path: str) -> List[str]:
+        cached = self._lines.get(path)
+        if cached is None:
+            try:
+                with open(path, "r", encoding="utf-8", errors="replace") as f:
+                    cached = f.read().split("\n")
+            except OSError:
+                cached = []
+            self._lines[path] = cached
+        return cached
+
+    def is_repo_file(self, basename: str) -> bool:
+        return basename in self.by_basename
+
+    def region_matches(self, basename: str, line: int, pattern: re.Pattern,
+                       before: int = 0, after: int = 0) -> bool:
+        """True if pattern appears within [line-before, line+after] in any
+        candidate file for this basename (1-indexed lines)."""
+        for path in self.by_basename.get(basename, ()):  # usually unique
+            lines = self.lines(path)
+            lo = max(0, line - 1 - before)
+            hi = min(len(lines), line + after)
+            for text in lines[lo:hi]:
+                if pattern.search(text):
+                    return True
+        return False
+
+    def display_path(self, basename: str) -> str:
+        paths = self.by_basename.get(basename)
+        if paths:
+            return os.path.relpath(paths[0], self.repo_root)
+        return basename
+
+
+def make_finding(check: str, fid: str, file: str, line: int, message: str,
+                 chain: Optional[List[str]] = None) -> dict:
+    return {"check": check, "id": fid, "file": file, "line": line,
+            "message": message, "chain": chain or []}
+
+
+# ---------------------------------------------------------------------------
+# Check 1: hot-path reachability
+# ---------------------------------------------------------------------------
+
+def hot_entry_points(program: Program, repo: RepoIndex) -> List[str]:
+    """Functions whose AST-resolved declaration line carries the MBI_HOT
+    token. gcc erases the attribute (it is just `__attribute__((hot))`),
+    so the anchor is lexical at the AST location — the repo convention
+    (enforced here by construction) repeats MBI_HOT on out-of-line
+    definitions."""
+    out = []
+    for uid, fn in program.functions.items():
+        if not fn.has_body or not repo.is_repo_file(fn.file):
+            continue
+        if repo.region_matches(fn.file, fn.line, HOT_RE, before=2):
+            out.append(uid)
+    return sorted(out)
+
+
+def _classify_callee(program: Program, repo: RepoIndex,
+                     uid: str) -> Tuple[str, str]:
+    """-> (action, fact_kind). action: descend | boundary | fact."""
+    qual, name, _ = split_uid(uid)
+    if (qual, name) in NAMED_BLOCKING:
+        return ("fact", "blocking-lock")
+    if (qual == "std" or qual.startswith("std::")) and name in GROWTH_METHODS:
+        return ("boundary", "amortized-growth")
+    fn = program.functions.get(uid)
+    if fn is not None and fn.file in ENV_SEAM_FILES:
+        return ("boundary", "env-seam")
+    if fn is not None and fn.has_body:
+        return ("descend", "")
+    # External: classify by name.
+    if name in EXTERNAL_ALLOC:
+        return ("fact", "allocation")
+    if name in EXTERNAL_BLOCKING:
+        return ("fact", "blocking-lock")
+    if name in EXTERNAL_IO and qual in ("", "std"):
+        return ("fact", "io")
+    if name.startswith(THROW_HELPER_PREFIXES):
+        return ("fact", "throw")
+    return ("ignore", "")
+
+
+def check_hot_path(program: Program, repo: RepoIndex) -> List[dict]:
+    findings: Dict[str, dict] = {}
+    entries = hot_entry_points(program, repo)
+    for entry in entries:
+        # BFS with parent pointers for the offending call chain.
+        parent: Dict[str, Tuple[str, int]] = {entry: ("", 0)}
+        queue = [entry]
+        while queue:
+            cur = queue.pop(0)
+            fn = program.functions.get(cur)
+            if fn is None:
+                continue
+            if fn.throws and repo.is_repo_file(fn.file):
+                _add_hot_finding(findings, program, repo, parent, cur,
+                                 "throw", cur, fn.throws[0])
+            for site in fn.calls:
+                for callee in program.resolve_call(site):
+                    if callee == "@indirect":
+                        continue  # see DESIGN.md §14: covered dynamically
+                    action, kind = _classify_callee(program, repo, callee)
+                    if action == "fact":
+                        if callee not in parent:
+                            parent[callee] = (cur, site.line)
+                        _add_hot_finding(findings, program, repo, parent,
+                                         callee, kind, cur, site.line)
+                    elif action == "descend" and callee not in parent:
+                        parent[callee] = (cur, site.line)
+                        queue.append(callee)
+    return sorted(findings.values(), key=lambda f: f["id"])
+
+
+def _add_hot_finding(findings, program, repo, parent, fact_uid, kind,
+                     caller_uid, line):
+    caller = program.functions.get(caller_uid)
+    file = caller.file if caller else ""
+    _, fact_name, _ = split_uid(fact_uid)
+    if kind == "throw" and fact_uid == caller_uid:
+        fid = f"hot-path:throw:{caller_uid}"
+        msg = f"throw statement reachable from a hot entry in {caller_uid}"
+    else:
+        fid = f"hot-path:{kind}:{caller_uid}->{fact_name}"
+        msg = (f"{kind} reachable from a hot entry: {caller_uid} calls "
+               f"{fact_uid}")
+    if fid in findings:
+        return
+    chain = []
+    cur = caller_uid
+    hops = 0
+    while cur and hops < 64:
+        chain.append(cur)
+        cur = parent.get(cur, ("", 0))[0]
+        hops += 1
+    chain.reverse()
+    if fact_uid != caller_uid:
+        chain.append(fact_uid)
+    findings[fid] = make_finding(
+        "hot-path", fid, repo.display_path(file), line, msg, chain)
+
+
+# ---------------------------------------------------------------------------
+# Check 2: guarded-by completeness
+# ---------------------------------------------------------------------------
+
+def check_guarded_by(program: Program, repo: RepoIndex) -> List[dict]:
+    findings = []
+    for cls in sorted(program.classes.values(), key=lambda c: c.qual_name):
+        if not cls.owns_mutex or not repo.is_repo_file(cls.file):
+            continue
+        for field in cls.fields:
+            if field.is_const or field.is_atomic or field.is_sync_primitive:
+                continue
+            # Annotation may trail onto the next line for long declarations.
+            if repo.region_matches(field.file, field.line, GUARDED_RE,
+                                   after=1):
+                continue
+            fid = f"guarded-by:{cls.qual_name}::{field.name}"
+            findings.append(make_finding(
+                "guarded-by", fid, repo.display_path(field.file), field.line,
+                f"{cls.qual_name}::{field.name} ({field.type_name}) is "
+                f"mutable state in a mutex-owning class but is not "
+                f"MBI_GUARDED_BY-annotated, atomic, or const"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check 3: budget-poll reachability
+# ---------------------------------------------------------------------------
+
+def budget_entry_points(program: Program, repo: RepoIndex) -> List[str]:
+    out = []
+    for uid, fn in program.functions.items():
+        if not fn.has_body or not repo.is_repo_file(fn.file):
+            continue
+        if any(any(tok in p for tok in BUDGET_PARAM_TOKENS)
+               for p in fn.params):
+            out.append(uid)
+    return sorted(out)
+
+
+def _may_poll_closure(program: Program) -> Set[str]:
+    may_poll = {uid for uid, fn in program.functions.items() if fn.polls}
+    changed = True
+    while changed:
+        changed = False
+        for uid, fn in program.functions.items():
+            if uid in may_poll or not fn.has_body:
+                continue
+            for site in fn.calls:
+                if any(c in may_poll for c in program.resolve_call(site)):
+                    may_poll.add(uid)
+                    changed = True
+                    break
+    return may_poll
+
+
+def _loop_poller(program: Program, may_poll: Set[str]):
+    """Returns effective_polls(fn, i): does loop i of fn poll QueryBudget —
+    itself, via a may-poll callee, or via an enclosing loop that does?
+
+    The ancestor rule encodes the repo's documented poll granularity
+    (DESIGN §12): the outer chunk loop polls between chunks, and work nested
+    inside it runs *between* two polls by construction. Boundedness does NOT
+    propagate downward — an unbounded non-polling loop inside a bounded loop
+    is still unbounded work between polls."""
+    memo: Dict[Tuple[str, int], bool] = {}
+
+    def self_polls(fn, i) -> bool:
+        lp = fn.loops[i]
+        if lp.polls:
+            return True
+        return any(c in may_poll
+                   for callee in lp.calls
+                   for c in program.resolve_call(_as_site(callee)))
+
+    def eff(fn, i) -> bool:
+        key = (fn.uid, i)
+        if key in memo:
+            return memo[key]
+        memo[key] = False  # cycle guard against malformed parent links
+        lp = fn.loops[i]
+        val = self_polls(fn, i) or (
+            0 <= lp.parent < len(fn.loops) and lp.parent != i
+            and eff(fn, lp.parent))
+        memo[key] = val
+        return val
+
+    return eff
+
+
+def check_budget_poll(program: Program, repo: RepoIndex) -> List[dict]:
+    findings: Dict[str, dict] = {}
+    may_poll = _may_poll_closure(program)
+    effective_polls = _loop_poller(program, may_poll)
+    entries = budget_entry_points(program, repo)
+    reach_via: Dict[str, str] = {}
+    queue = []
+    for e in entries:
+        if e not in reach_via:
+            reach_via[e] = e
+            queue.append(e)
+    while queue:
+        cur = queue.pop(0)
+        fn = program.functions.get(cur)
+        if fn is None:
+            continue
+        # Callees invoked *only* from inside a polling loop run between two
+        # polls at the documented granularity — their internal loops are
+        # that loop's per-iteration work, so don't descend. A callee also
+        # called from straight-line code or from a non-polling loop still
+        # gets descended into via those occurrences. (Blind spot: membership
+        # sets can't see a straight-line occurrence of a callee that is
+        # *also* called inside some loop; such dual-context helpers are
+        # reached through the polling context anyway.)
+        all_loop_calls: Set[str] = set()
+        covered: Set[str] = set()
+        uncovered: Set[str] = set()
+        for i, lp in enumerate(fn.loops):
+            all_loop_calls.update(lp.calls)
+            (covered if effective_polls(fn, i) else uncovered).update(lp.calls)
+        straight = {site.callee for site in fn.calls} - all_loop_calls
+        skip_descent = covered - uncovered - straight
+        for site in fn.calls:
+            if site.callee in skip_descent:
+                continue
+            for callee in program.resolve_call(site):
+                qual, name, _ = split_uid(callee)
+                if (qual == "std" or qual.startswith("std::")) and \
+                        name in GROWTH_METHODS:
+                    continue
+                target = program.functions.get(callee)
+                if target is not None and target.has_body and \
+                        callee not in reach_via:
+                    reach_via[callee] = reach_via[cur]
+                    queue.append(callee)
+    for uid, entry in sorted(reach_via.items()):
+        fn = program.functions[uid]
+        if not repo.is_repo_file(fn.file):
+            continue
+        for i, loop in enumerate(fn.loops):
+            if not repo.is_repo_file(loop.file):
+                continue
+            if loop.bounded or effective_polls(fn, i):
+                continue
+            fid = f"budget-poll:{uid}:{loop.file}:{loop.line}"
+            if fid in findings:
+                continue
+            findings[fid] = make_finding(
+                "budget-poll", fid, repo.display_path(loop.file), loop.line,
+                f"loop in {uid} is reachable from budget-carrying entry "
+                f"{entry} but neither polls QueryBudget (itself or via an "
+                f"enclosing loop) nor has a compile-time-bounded trip count",
+                chain=[entry, uid] if entry != uid else [uid])
+    return sorted(findings.values(), key=lambda f: f["id"])
+
+
+def _as_site(callee: str):
+    from model import CallSite
+    return CallSite(callee=callee, line=0)
+
+
+# ---------------------------------------------------------------------------
+# Check 4: Status consumption
+# ---------------------------------------------------------------------------
+
+def check_status_discard(program: Program, repo: RepoIndex) -> List[dict]:
+    findings: Dict[str, dict] = {}
+    for uid, fn in sorted(program.functions.items()):
+        if not fn.has_body or not repo.is_repo_file(fn.file):
+            continue
+        for disc in fn.discards:
+            if disc.context in ("stmt", "cast"):
+                # `(void)` / static_cast<void> / IgnoreError() at the
+                # AST-anchored line is the sanctioned explicit drop.
+                if repo.region_matches(fn.file, disc.line, SANCTION_RE):
+                    continue
+                label = "discarded as a bare statement"
+            elif disc.context == "comma":
+                label = "discarded on the left of a comma operator"
+                if repo.region_matches(fn.file, disc.line, ALLOW_RE):
+                    continue
+            else:
+                label = "discarded in a ternary arm"
+                if repo.region_matches(fn.file, disc.line, SANCTION_RE):
+                    continue
+            fid = f"status-discard:{uid}:{fn.file}:{disc.line}"
+            if fid in findings:
+                continue
+            findings[fid] = make_finding(
+                "status-discard", fid, repo.display_path(fn.file), disc.line,
+                f"{disc.type_name} result {label} in {uid} "
+                f"(use (void)/IgnoreError() for an intentional drop)")
+    return sorted(findings.values(), key=lambda f: f["id"])
+
+
+# ---------------------------------------------------------------------------
+
+ALL_CHECKS = {
+    "hot-path": check_hot_path,
+    "guarded-by": check_guarded_by,
+    "budget-poll": check_budget_poll,
+    "status-discard": check_status_discard,
+}
+
+
+def run_checks(program: Program, repo: RepoIndex,
+               checks: Optional[Iterable[str]] = None) -> List[dict]:
+    out = []
+    for name in (checks or ALL_CHECKS):
+        out.extend(ALL_CHECKS[name](program, repo))
+    return out

@@ -1,0 +1,463 @@
+"""Clang frontend for mbi-analyze: lowers `clang -Xclang -ast-dump=json`
+trees to the same TuModel the gcc frontend produces.
+
+This is the CI frontend (the dev container ships only g++). The JSON dump is
+a faithful pre-lowering AST, so some things are *easier* here than in gcc's
+post-genericize raw dump — loops are still ForStmt/WhileStmt/DoStmt nodes,
+discarded full-expressions appear directly under CompoundStmt — but the
+format is only semi-stable across clang releases, so every field access below
+is defensive: a node we cannot interpret contributes nothing rather than
+crashing the run. The --self-test probe corpus is the contract that keeps
+both frontends honest: CI runs it under clang, the dev loop under gcc.
+
+Location tracking: clang's JSON elides unchanged loc fields (sticky
+file/line state), so the walker threads a _Cursor through the traversal and
+updates it from every "loc"/"range" it encounters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+from typing import Dict, List, Optional, Tuple
+
+from model import (CallSite, ClassInfo, Discard, Field, Function, Loop,
+                   TuModel, VIRTUAL_PREFIX)
+
+STATUS_TYPES = ("mbi::Status", "mbi::StatusOr")
+BUDGET_TYPE = "mbi::QueryBudget"
+
+_LOOP_KINDS = {"ForStmt", "WhileStmt", "DoStmt", "CXXForRangeStmt"}
+_CALL_KINDS = {"CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"}
+_FN_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+             "CXXDestructorDecl", "CXXConversionDecl"}
+
+_TMPL_ARGS = re.compile(r"<.*>$")
+
+
+def _strip_type(qual: str) -> str:
+    """Normalize a clang type spelling to the gcc frontend's convention."""
+    q = qual.replace("const ", "").replace("volatile ", "")
+    q = q.replace("&", "").replace("struct ", "").replace("class ", "")
+    return q.strip()
+
+
+def _base_status_type(qual: str) -> Optional[str]:
+    q = _strip_type(qual)
+    q = _TMPL_ARGS.sub("", q)
+    return q if q in STATUS_TYPES else None
+
+
+class _Cursor:
+    """Sticky source location, updated from partial loc dicts."""
+
+    def __init__(self, main_file: str):
+        self.file = os.path.basename(main_file)
+        self.line = 0
+
+    def update(self, node: dict) -> None:
+        for key in ("loc", "range"):
+            loc = node.get(key)
+            if not isinstance(loc, dict):
+                continue
+            if key == "range":
+                loc = loc.get("begin", {})
+            # Macro expansions nest the interesting location one level down.
+            if "expansionLoc" in loc:
+                loc = loc["expansionLoc"]
+            f = loc.get("file")
+            if isinstance(f, str) and f and f != "<invalid>":
+                self.file = os.path.basename(f)
+            ln = loc.get("line")
+            if isinstance(ln, int):
+                self.line = ln
+
+    def snapshot(self) -> Tuple[str, int]:
+        return self.file, self.line
+
+
+class _TuExtractor:
+    def __init__(self, root: dict, source: str):
+        self.root = root
+        self.source = source
+        self.functions: Dict[str, Function] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        # id -> (qualified name, arity) for referenced decls
+        self._decl_sig: Dict[str, Tuple[str, str, int]] = {}
+
+    # -- declaration identity ------------------------------------------------
+
+    def _fn_sig(self, node: dict, scope: str) -> Optional[Tuple[str, str, int]]:
+        name = node.get("name")
+        if not isinstance(name, str) or not name:
+            return None
+        qt = node.get("type", {})
+        spelling = qt.get("qualType", "") if isinstance(qt, dict) else ""
+        arity = spelling.count(",") + 1 if "(" in spelling else 0
+        if re.search(r"\(\s*\)", spelling) or "(" not in spelling:
+            arity = 0
+        kind = node.get("kind")
+        if kind == "CXXConstructorDecl":
+            name = scope.rpartition("::")[2] or name
+        elif kind == "CXXDestructorDecl":
+            name = "~" + (scope.rpartition("::")[2] or name.lstrip("~"))
+        return name, scope, arity
+
+    @staticmethod
+    def _uid(name: str, scope: str, arity: int) -> str:
+        qual = f"{scope}::{name}" if scope else name
+        return f"{qual}/{arity}"
+
+    def _callee_of(self, node: dict) -> Optional[str]:
+        """Resolve a call expression to a callee uid/symbol, or @virtual."""
+        # Direct reference through the callee subexpression.
+        for sub in self._iter_inner(node):
+            ref = self._find_decl_ref(sub, depth=0)
+            if ref is not None:
+                return ref
+            break  # only the first inner child is the callee expression
+        return None
+
+    def _find_decl_ref(self, node: dict, depth: int) -> Optional[str]:
+        if depth > 6 or not isinstance(node, dict):
+            return None
+        kind = node.get("kind")
+        if kind in ("DeclRefExpr", "MemberExpr"):
+            ref = node.get("referencedDecl") or node.get("foundReferencedDecl")
+            if isinstance(ref, dict):
+                rid = ref.get("id")
+                sig = self._decl_sig.get(rid) if rid else None
+                if sig is None:
+                    # Fall back to the inline summary clang embeds.
+                    name = ref.get("name", "")
+                    qt = ref.get("type", {})
+                    spelling = (qt.get("qualType", "")
+                                if isinstance(qt, dict) else "")
+                    arity = (spelling.count(",") + 1
+                             if "(" in spelling
+                             and not re.search(r"\(\s*\)", spelling) else 0)
+                    return self._uid(name, "", arity) if name else None
+                return self._uid(*sig)
+        for sub in self._iter_inner(node):
+            got = self._find_decl_ref(sub, depth + 1)
+            if got is not None:
+                return got
+        return None
+
+    @staticmethod
+    def _iter_inner(node: dict):
+        inner = node.get("inner")
+        if isinstance(inner, list):
+            for sub in inner:
+                if isinstance(sub, dict):
+                    yield sub
+
+    def _node_type(self, node: dict) -> str:
+        qt = node.get("type")
+        if isinstance(qt, dict):
+            return qt.get("qualType", "") or ""
+        return ""
+
+    # -- body walking --------------------------------------------------------
+
+    def _walk_body(self, fn: Function, node: dict, cur: _Cursor,
+                   loops: List[Loop], ctx: str) -> None:
+        if not isinstance(node, dict):
+            return
+        cur.update(node)
+        kind = node.get("kind")
+
+        if kind in _FN_KINDS or kind == "LambdaExpr":
+            return  # nested function boundary
+
+        if kind in _LOOP_KINDS:
+            f, ln = cur.snapshot()
+            loop = Loop(file=f, line=ln, bounded=self._loop_bounded(node))
+            # Loops are appended at open here (unlike gcc's close-order), so
+            # the enclosing loop already has its fn.loops index. Identity via
+            # a transient _idx: dataclass == would alias identical loops.
+            loop.parent = loops[-1]._idx if loops else -1
+            loop._idx = len(fn.loops)
+            fn.loops.append(loop)
+            loops = loops + [loop]
+            for sub in self._iter_inner(node):
+                self._walk_body(fn, sub, cur, loops, "value")
+            return
+
+        if kind == "CXXThrowExpr":
+            fn.throws.append(cur.line)
+        elif kind == "CXXNewExpr":
+            site = CallSite(callee="operator new/1", line=cur.line)
+            fn.calls.append(site)
+            for lp in loops:
+                lp.calls.append(site.callee)
+        elif kind == "CXXDeleteExpr":
+            site = CallSite(callee="operator delete/1", line=cur.line)
+            fn.calls.append(site)
+            for lp in loops:
+                lp.calls.append(site.callee)
+        elif kind in _CALL_KINDS:
+            callee = self._callee_of(node)
+            if callee is None and kind == "CXXMemberCallExpr":
+                # Virtual dispatch without a resolvable decl: record the
+                # static class so the linker can over-approximate.
+                cls = self._member_call_class(node)
+                if cls:
+                    callee = f"{VIRTUAL_PREFIX}{cls}/-1"
+            if callee is None:
+                callee = "@indirect"
+            site = CallSite(callee=callee, line=cur.line)
+            fn.calls.append(site)
+            for lp in loops:
+                lp.calls.append(callee)
+            if self._is_budget_poll(node, callee):
+                fn.polls = True
+                for lp in loops:
+                    lp.polls = True
+        elif kind == "MemberExpr":
+            # Field read on a QueryBudget object counts as a poll.
+            base_t = ""
+            for sub in self._iter_inner(node):
+                base_t = self._node_type(sub)
+                break
+            if BUDGET_TYPE in _strip_type(base_t):
+                fn.polls = True
+                for lp in loops:
+                    lp.polls = True
+
+        # Discard detection: statement-level expressions of Status type.
+        if ctx in ("stmt", "cast", "comma", "ternary"):
+            st = _base_status_type(self._node_type(node))
+            if st is not None and kind not in ("CompoundStmt",):
+                if kind in ("ExprWithCleanups", "CXXBindTemporaryExpr",
+                            "MaterializeTemporaryExpr", "ImplicitCastExpr"):
+                    pass  # transparent wrapper; keep context for the child
+                else:
+                    f, ln = cur.snapshot()
+                    fn.discards.append(Discard(
+                        file=f, line=ln, context=ctx,
+                        type_name="StatusOr" if "StatusOr" in st
+                        else "Status"))
+                    ctx = "value"
+
+        for sub in self._iter_inner(node):
+            self._walk_body(fn, sub, cur, loops,
+                            self._child_ctx(kind, node, sub, ctx))
+
+    def _child_ctx(self, kind: str, node: dict, child: dict,
+                   ctx: str) -> str:
+        if kind == "CompoundStmt":
+            return "stmt"
+        if kind in ("ExprWithCleanups", "CXXBindTemporaryExpr",
+                    "MaterializeTemporaryExpr"):
+            return ctx
+        if kind == "BinaryOperator" and node.get("opcode") == ",":
+            inner = list(self._iter_inner(node))
+            if inner and child is inner[0]:
+                return "comma"
+            return ctx
+        if kind == "ConditionalOperator" and ctx in ("stmt", "cast"):
+            inner = list(self._iter_inner(node))
+            if inner and child is not inner[0]:
+                return "ternary"
+            return "value"
+        if kind in ("CStyleCastExpr", "CXXStaticCastExpr",
+                    "CXXFunctionalCastExpr"):
+            if "void" == _strip_type(self._node_type(node)):
+                return "value"  # (void) / static_cast<void> sanction
+            return "value"
+        return "value"
+
+    def _loop_bounded(self, node: dict) -> bool:
+        """ForStmt whose condition compares against an integer literal."""
+        for sub in self._iter_inner(node):
+            if self._has_int_compare(sub, 0):
+                return True
+        return False
+
+    def _has_int_compare(self, node: dict, depth: int) -> bool:
+        if depth > 4 or not isinstance(node, dict):
+            return False
+        if node.get("kind") == "BinaryOperator" and \
+                node.get("opcode") in ("<", "<=", ">", ">=", "!="):
+            for sub in self._iter_inner(node):
+                if sub.get("kind") == "IntegerLiteral":
+                    return True
+                for s2 in self._iter_inner(sub):
+                    if s2.get("kind") == "IntegerLiteral":
+                        return True
+        return any(self._has_int_compare(s, depth + 1)
+                   for s in self._iter_inner(node))
+
+    def _member_call_class(self, node: dict) -> str:
+        for sub in self._iter_inner(node):
+            if sub.get("kind") == "MemberExpr":
+                for base in self._iter_inner(sub):
+                    t = _strip_type(self._node_type(base)).lstrip("*")
+                    t = t.replace("*", "").strip()
+                    if t and not t.startswith("std::"):
+                        return t
+        return ""
+
+    def _is_budget_poll(self, node: dict, callee: str) -> bool:
+        if "QueryBudget" in callee:
+            return True
+        for sub in self._iter_inner(node):
+            if sub.get("kind") == "MemberExpr":
+                for base in self._iter_inner(sub):
+                    if BUDGET_TYPE in _strip_type(self._node_type(base)):
+                        return True
+            break
+        return False
+
+    # -- declarations --------------------------------------------------------
+
+    def _param_types(self, node: dict) -> List[str]:
+        out = []
+        for sub in self._iter_inner(node):
+            if sub.get("kind") == "ParmVarDecl":
+                out.append(_strip_type(self._node_type(sub)))
+        return out
+
+    def _visit_function(self, node: dict, scope: str, cur: _Cursor) -> None:
+        cur.update(node)
+        sig = self._fn_sig(node, scope)
+        if sig is None:
+            return
+        name, _, _ = sig
+        params = self._param_types(node)
+        arity = len(params)
+        uid = self._uid(name, scope, arity)
+        nid = node.get("id")
+        if isinstance(nid, str):
+            self._decl_sig[nid] = (name, scope, arity)
+        body = None
+        for sub in self._iter_inner(node):
+            if sub.get("kind") == "CompoundStmt":
+                body = sub
+        f, ln = cur.snapshot()
+        fn = Function(uid=uid, name=name, qual=scope, arity=arity,
+                      file=f, line=ln, has_body=body is not None,
+                      params=params)
+        if body is not None:
+            self._walk_body(fn, body, cur, [], "stmt")
+        prev = self.functions.get(uid)
+        if prev is None or (fn.has_body and not prev.has_body):
+            self.functions[uid] = fn
+
+    def _visit_record(self, node: dict, scope: str, cur: _Cursor) -> None:
+        cur.update(node)
+        name = node.get("name")
+        if not isinstance(name, str) or not name:
+            return
+        qual = f"{scope}::{name}" if scope else name
+        if qual.startswith(("std::", "__gnu", "__cxx")):
+            return
+        f, ln = cur.snapshot()
+        cls = ClassInfo(qual_name=qual, file=f, line=ln)
+        for base in node.get("bases", []) or []:
+            if isinstance(base, dict):
+                bt = base.get("type", {})
+                bq = _strip_type(bt.get("qualType", "")
+                                 if isinstance(bt, dict) else "")
+                if bq:
+                    cls.bases.append(_TMPL_ARGS.sub("", bq))
+        inner_cur = _Cursor(self.source)
+        inner_cur.file, inner_cur.line = cur.snapshot()
+        for sub in self._iter_inner(node):
+            inner_cur.update(sub)
+            k = sub.get("kind")
+            if k == "FieldDecl":
+                fname = sub.get("name")
+                if not isinstance(fname, str) or not fname:
+                    continue
+                tq = _strip_type(self._node_type(sub))
+                qt = sub.get("type", {})
+                raw = qt.get("qualType", "") if isinstance(qt, dict) else ""
+                ff, fl = inner_cur.snapshot()
+                fld = Field(
+                    name=fname, file=ff, line=fl, type_name=tq,
+                    is_const="const" in raw.split("*")[0],
+                    is_atomic=tq.startswith(("std::atomic", "_Atomic")),
+                    is_sync_primitive=tq in ("mbi::Mutex", "mbi::CondVar"))
+                cls.fields.append(fld)
+                if tq == "mbi::Mutex":
+                    cls.owns_mutex = True
+            elif k in _FN_KINDS:
+                self._visit_function(sub, qual, inner_cur)
+            elif k == "CXXRecordDecl" and sub.get("name"):
+                self._visit_record(sub, qual, inner_cur)
+        prev = self.classes.get(qual)
+        if prev is None or len(cls.fields) > len(prev.fields):
+            self.classes[qual] = cls
+
+    def _visit_scope(self, node: dict, scope: str, cur: _Cursor) -> None:
+        for sub in self._iter_inner(node):
+            cur.update(sub)
+            k = sub.get("kind")
+            try:
+                if k == "NamespaceDecl":
+                    name = sub.get("name", "")
+                    inner_scope = (f"{scope}::{name}" if scope and name
+                                   else (name or scope))
+                    if name not in ("std", "__gnu_cxx"):
+                        self._visit_scope(sub, inner_scope, cur)
+                elif k == "CXXRecordDecl":
+                    self._visit_record(sub, scope, cur)
+                elif k in _FN_KINDS:
+                    self._visit_function(sub, scope, cur)
+                elif k in ("LinkageSpecDecl", "ExportDecl"):
+                    self._visit_scope(sub, scope, cur)
+            except RecursionError:
+                continue
+
+    def extract(self) -> TuModel:
+        cur = _Cursor(self.source)
+        # Pass 1: register decl ids so DeclRefExpr resolution sees
+        # out-of-order references.
+        self._register_ids(self.root, "", 0)
+        self._visit_scope(self.root, "", cur)
+        return TuModel(source=self.source, frontend="clang",
+                       functions=list(self.functions.values()),
+                       classes=list(self.classes.values()))
+
+    def _register_ids(self, node: dict, scope: str, depth: int) -> None:
+        if depth > 3 or not isinstance(node, dict):
+            return
+        for sub in self._iter_inner(node):
+            k = sub.get("kind")
+            if k in _FN_KINDS:
+                sig = self._fn_sig(sub, scope)
+                nid = sub.get("id")
+                if sig and isinstance(nid, str):
+                    params = self._param_types(sub)
+                    self._decl_sig[nid] = (sig[0], scope, len(params))
+            elif k == "NamespaceDecl":
+                name = sub.get("name", "")
+                self._register_ids(
+                    sub, f"{scope}::{name}" if scope and name
+                    else (name or scope), depth + 1)
+            elif k == "CXXRecordDecl" and sub.get("name"):
+                name = sub.get("name", "")
+                self._register_ids(
+                    sub, f"{scope}::{name}" if scope else name, depth + 1)
+
+
+def analyze_tu(source: str, compile_args: List[str], workdir: str,
+               clang: str = "clang++", timeout: int = 600) -> TuModel:
+    """Dump and lower one TU via clang. Raises on compiler failure."""
+    os.makedirs(workdir, exist_ok=True)
+    cmd = [clang, *compile_args, "-fsyntax-only", "-Xclang",
+           "-ast-dump=json", source]
+    proc = subprocess.run(cmd, capture_output=True, timeout=timeout)
+    if proc.returncode != 0 and not proc.stdout:
+        raise RuntimeError(
+            f"clang AST dump failed for {source}:\n"
+            f"{proc.stderr.decode('utf-8', 'replace')[:2000]}")
+    try:
+        root = json.loads(proc.stdout.decode("utf-8", "replace"))
+    except json.JSONDecodeError as e:
+        raise RuntimeError(f"unparseable clang AST JSON for {source}: {e}")
+    return _TuExtractor(root, source).extract()

@@ -1,0 +1,686 @@
+"""gcc real-AST frontend for mbi-analyze.
+
+Resolves the C++ front end's post-genericize tree dump
+(`g++ -fsyntax-only -fdump-lang-raw`) into the frontend-neutral TuModel.
+This is a *real* AST: overload resolution, template instantiation, and
+implicit calls (constructors, conversions, `operator new` behind `new`)
+have already happened, which is exactly what the retired regex lint could
+never see.
+
+Dump format notes (empirically pinned against g++ 12, see
+tests/analyze_probes/):
+
+- Records: `@<id> <kind> <fields...>`; a record continues until the next
+  line starting with `@<id>`. Bytes are not guaranteed UTF-8 (raw string
+  literals) — decode latin-1.
+- Fields are `<key>: <value>` with keys padded to 4 columns (`fn  :`,
+  `op 0:`, `0   :`); `note:` may repeat.
+- Source locations (`srcp`) are `<basename>:<line>` — basenames only.
+  Path resolution happens in the checks layer.
+- Loops are genericized: a loop is a backward `goto_expr` to an
+  already-visited artificial `label_decl`, whose `srcp` carries the loop's
+  source line. Each loop has exactly one back edge (continue/break are
+  forward gotos), and the back edge sits in a `cond_expr` whose guard is
+  the loop condition.
+- `operator new`/`operator delete` decls carry a *nameless* identifier and
+  `srcp: new:<line>`; they are told apart by return type.
+- Virtual calls appear as `obj_type_ref`, which dumps no operands — only
+  the static class is recoverable (via the method type), so virtual call
+  sites are recorded as `@virtual:<class>/<arity>` for the linker to
+  expand over the class hierarchy.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from model import CallSite, ClassInfo, Discard, Field, Function, Loop, TuModel
+
+_REC_HEAD = re.compile(r"@(\d+)\s+(\S+)\s*(.*)")
+_KEY = re.compile(r"(?:(?<=^)|(?<= ))((?:op \d+)|(?:\d+)|(?:[a-zA-Z_][a-zA-Z_0-9]{0,6}))\s{0,3}: ")
+_SRCP = re.compile(r"^(.*):(\d+)$")
+
+# Scopes whose classes are never audited (still traversed for calls).
+_SKIP_CLASS_PREFIXES = ("std::", "__gnu", "__cxx", "mbi_internal_std")
+
+_CTOR_CLONES = {"__ct_comp", "__ct_base", "__ct "}
+_DTOR_CLONES = {"__dt_comp", "__dt_base", "__dt_del", "__dt "}
+
+# Child keys the body walker descends into. Everything else (types, scopes,
+# chains, cleanups) is metadata, not evaluated code.
+_CHILD_KEYS = ("op 0", "op 1", "op 2", "op 3", "body", "expr", "init", "hdlr")
+
+_COMPARE_KINDS = {"eq_expr", "ne_expr", "lt_expr", "le_expr", "gt_expr",
+                  "ge_expr"}
+_WRAPPER_KINDS = {"nop_expr", "convert_expr", "non_lvalue_expr",
+                  "save_expr", "float_expr", "fix_trunc_expr"}
+
+# Types whose member reads/calls count as a budget poll, and the parameter
+# types that make a function "budget-carrying" (SearchOptions embeds the
+# budget by value).
+BUDGET_TYPES = ("mbi::QueryBudget",)
+BUDGET_PARAM_TYPES = ("QueryBudget", "SearchOptions")
+STATUS_TYPES = ("mbi::Status", "mbi::StatusOr")
+
+
+class RawDump:
+    """Lazy record/field access over one `.raw` dump."""
+
+    def __init__(self, text: str):
+        self.kind: Dict[int, str] = {}
+        self.raw: Dict[int, str] = {}
+        self._fields: Dict[int, Dict[str, List[str]]] = {}
+        self.by_kind: Dict[str, List[int]] = {}
+        cur = None
+        buf: List[str] = []
+        for line in text.split("\n"):
+            m = _REC_HEAD.match(line)
+            if m:
+                if cur is not None:
+                    self.raw[cur] = " ".join(buf)
+                cur = int(m.group(1))
+                self.kind[cur] = m.group(2)
+                self.by_kind.setdefault(m.group(2), []).append(cur)
+                buf = [m.group(3)]
+            elif cur is not None and line.strip():
+                buf.append(line.strip())
+        if cur is not None:
+            self.raw[cur] = " ".join(buf)
+
+    def fields(self, rid: int) -> Dict[str, List[str]]:
+        f = self._fields.get(rid)
+        if f is not None:
+            return f
+        f = {}
+        raw = self.raw.get(rid, "")
+        matches = list(_KEY.finditer(raw))
+        for i, m in enumerate(matches):
+            key = m.group(1).rstrip()
+            end = matches[i + 1].start() if i + 1 < len(matches) else len(raw)
+            f.setdefault(key, []).append(raw[m.end():end].strip())
+        self._fields[rid] = f
+        return f
+
+    def val(self, rid: int, key: str) -> Optional[str]:
+        vs = self.fields(rid).get(key)
+        return vs[0] if vs else None
+
+    def ref(self, rid: int, key: str) -> Optional[int]:
+        v = self.val(rid, key)
+        if v and v.startswith("@"):
+            try:
+                return int(v[1:].split()[0])
+            except ValueError:
+                return None
+        return None
+
+    def notes(self, rid: int) -> List[str]:
+        return self.fields(rid).get("note", [])
+
+    def chain(self, rid: int) -> Optional[int]:
+        """Decl/list chains: decls use `chain:`, tree_lists use `chan:`."""
+        r = self.ref(rid, "chain")
+        return r if r is not None else self.ref(rid, "chan")
+
+    def srcp(self, rid: int) -> Tuple[str, int]:
+        v = self.val(rid, "srcp")
+        if not v:
+            return ("", 0)
+        m = _SRCP.match(v)
+        if not m:
+            return (v, 0)
+        try:
+            return (m.group(1), int(m.group(2)))
+        except ValueError:
+            return (m.group(1), 0)
+
+    def numbered_refs(self, rid: int) -> List[int]:
+        """Numbered operands (`0:`, `1:`, ...) in order — call args and
+        statement_list entries."""
+        out = []
+        i = 0
+        fl = self.fields(rid)
+        while str(i) in fl:
+            v = fl[str(i)][0]
+            if v.startswith("@"):
+                try:
+                    out.append(int(v[1:].split()[0]))
+                except ValueError:
+                    pass
+            i += 1
+        return out
+
+
+class _TuExtractor:
+    def __init__(self, dump: RawDump, source: str):
+        self.d = dump
+        self.source = source
+        self._qual_cache: Dict[int, str] = {}
+        self._type_cache: Dict[int, str] = {}
+        self.functions: Dict[str, Function] = {}
+
+    # ---------- names and types ----------
+
+    def ident(self, rid: Optional[int]) -> str:
+        if rid is None or self.d.kind.get(rid) != "identifier_node":
+            return ""
+        v = self.d.val(rid, "strg")
+        return v or ""
+
+    def decl_name(self, decl: int) -> str:
+        name = self.ident(self.d.ref(decl, "name"))
+        notes = self.d.notes(decl)
+        cls = ""
+        scpe = self.d.ref(decl, "scpe")
+        if scpe is not None and self.d.kind.get(scpe) == "record_type":
+            cls = self.record_base_name(scpe)
+        if name in _CTOR_CLONES or (not name and any(
+                n.startswith("constructor") for n in notes)):
+            return cls or "<ctor>"
+        if name in _DTOR_CLONES or (not name and any(
+                n.startswith("destructor") for n in notes)):
+            return "~" + cls if cls else "<dtor>"
+        if not name and any(n.startswith("operator") for n in notes):
+            # Global operator new/delete: nameless, srcp `new:<line>`;
+            # new returns a pointer, delete returns void.
+            file, _ = self.d.srcp(decl)
+            if file == "new":
+                ret = self.ret_type_kind(decl)
+                return "operator new" if ret == "pointer_type" else "operator delete"
+            return "operator?"
+        return name
+
+    def ret_type_kind(self, decl: int) -> str:
+        t = self.d.ref(decl, "type")
+        if t is None:
+            return ""
+        retn = self.d.ref(t, "retn")
+        return self.d.kind.get(retn, "") if retn is not None else ""
+
+    def record_base_name(self, rec: int) -> str:
+        name_ref = self.d.ref(rec, "name")
+        if name_ref is None:
+            unql = self.d.ref(rec, "unql")
+            return self.record_base_name(unql) if unql is not None else ""
+        k = self.d.kind.get(name_ref)
+        if k == "identifier_node":
+            return self.ident(name_ref)
+        if k == "type_decl":
+            return self.ident(self.d.ref(name_ref, "name"))
+        return ""
+
+    def scope_qual(self, scpe: Optional[int], depth: int = 0) -> str:
+        """Qualified name of a scope node (namespace_decl / record_type)."""
+        if scpe is None or depth > 24:
+            return ""
+        if scpe in self._qual_cache:
+            return self._qual_cache[scpe]
+        self._qual_cache[scpe] = ""  # cycle guard
+        k = self.d.kind.get(scpe)
+        out = ""
+        if k == "namespace_decl":
+            name = self.ident(self.d.ref(scpe, "name"))
+            if name and name != "::":
+                parent = self.scope_qual(self.d.ref(scpe, "scpe"), depth + 1)
+                out = f"{parent}::{name}" if parent else name
+        elif k in ("record_type", "union_type"):
+            base = self.record_base_name(scpe)
+            tdecl = self.d.ref(scpe, "name")
+            parent_scope = None
+            if tdecl is not None and self.d.kind.get(tdecl) == "type_decl":
+                parent_scope = self.d.ref(tdecl, "scpe")
+            parent = self.scope_qual(parent_scope, depth + 1)
+            out = f"{parent}::{base}" if parent and base else base
+        elif k == "function_decl":
+            out = self.scope_qual(self.d.ref(scpe, "scpe"), depth + 1)
+        self._qual_cache[scpe] = out
+        return out
+
+    def type_qualname(self, t: Optional[int], depth: int = 0) -> str:
+        """Canonical qualified spelling of a type node (qualifiers and
+        typedef layers stripped; pointers/references marked)."""
+        if t is None or depth > 16:
+            return ""
+        if t in self._type_cache:
+            return self._type_cache[t]
+        self._type_cache[t] = ""
+        k = self.d.kind.get(t, "")
+        out = ""
+        if k == "pointer_type":
+            out = self.type_qualname(self.d.ref(t, "ptd"), depth + 1) + "*"
+        elif k == "reference_type":
+            out = self.type_qualname(self.d.ref(t, "refd"), depth + 1) + "&"
+        elif k in ("record_type", "union_type", "enumeral_type"):
+            unql = self.d.ref(t, "unql")
+            if unql is not None:
+                out = self.type_qualname(unql, depth + 1)
+            else:
+                base = self.record_base_name(t)
+                tdecl = self.d.ref(t, "name")
+                parent = ""
+                if tdecl is not None and self.d.kind.get(tdecl) == "type_decl":
+                    parent = self.scope_qual(self.d.ref(tdecl, "scpe"), depth + 1)
+                out = f"{parent}::{base}" if parent and base else base
+        else:
+            unql = self.d.ref(t, "unql")
+            if unql is not None:
+                out = self.type_qualname(unql, depth + 1)
+            else:
+                name_ref = self.d.ref(t, "name")
+                if name_ref is not None:
+                    if self.d.kind.get(name_ref) == "type_decl":
+                        out = self.ident(self.d.ref(name_ref, "name"))
+                    else:
+                        out = self.ident(name_ref)
+        self._type_cache[t] = out
+        return out
+
+    def type_is_const(self, t: Optional[int]) -> bool:
+        if t is None:
+            return False
+        k = self.d.kind.get(t, "")
+        if k == "reference_type":
+            return True  # references cannot be reseated after construction
+        q = self.d.val(t, "qual") or ""
+        return "c" in q.split()
+
+    # ---------- function identity ----------
+
+    def fn_params(self, decl: int) -> Tuple[List[str], int]:
+        parms, arity = [], 0
+        p = self.d.ref(decl, "args")
+        guard = 0
+        while p is not None and self.d.kind.get(p) == "parm_decl" and guard < 64:
+            guard += 1
+            pname = self.ident(self.d.ref(p, "name"))
+            if pname != "this":
+                parms.append(self.type_qualname(self.d.ref(p, "type")))
+                arity += 1
+            p = self.d.chain(p)
+        if guard:
+            return parms, arity
+        # Declaration without parm decls: fall back to the function type.
+        t = self.d.ref(decl, "type")
+        if t is None:
+            return parms, arity
+        is_method = self.d.kind.get(t) == "method_type"
+        prm = self.d.ref(t, "prms")
+        guard = 0
+        while prm is not None and guard < 64:
+            guard += 1
+            valu = self.d.ref(prm, "valu")
+            if valu is not None and self.d.kind.get(valu) != "void_type":
+                parms.append(self.type_qualname(valu))
+            prm = self.d.chain(prm)
+        if is_method and parms:
+            parms = parms[1:]
+        return parms, len(parms)
+
+    def fn_uid(self, decl: int) -> Tuple[str, str, str, int, List[str]]:
+        name = self.decl_name(decl)
+        qual = self.scope_qual(self.d.ref(decl, "scpe"))
+        params, arity = self.fn_params(decl)
+        uid = f"{qual}::{name}/{arity}" if qual else f"{name}/{arity}"
+        return uid, name, qual, arity, params
+
+    # ---------- body walking ----------
+
+    def walk_body(self, fn: Function, body: int) -> None:
+        d = self.d
+        open_loops: List[Tuple[int, Loop]] = []  # (label_decl id, loop)
+        state = {"line": fn.line}
+
+        def guard_bounded(guard: Optional[int]) -> bool:
+            """True if the back-edge guard compares against an integer
+            constant (the only 'provably compile-time bounded' shape we
+            accept)."""
+            work = [guard]
+            depth = 0
+            while work and depth < 64:
+                depth += 1
+                n = work.pop()
+                if n is None:
+                    continue
+                k = d.kind.get(n, "")
+                if k in _COMPARE_KINDS:
+                    for key in ("op 0", "op 1"):
+                        op = d.ref(n, key)
+                        hops = 0
+                        while op is not None and d.kind.get(op) in _WRAPPER_KINDS and hops < 8:
+                            op = d.ref(op, "op 0")
+                            hops += 1
+                        if op is not None and d.kind.get(op) == "integer_cst":
+                            return True
+                elif k in _WRAPPER_KINDS or k in ("truth_andif_expr",
+                                                  "truth_orif_expr",
+                                                  "truth_and_expr",
+                                                  "truth_or_expr",
+                                                  "truth_not_expr",
+                                                  "cond_expr"):
+                    for key in ("op 0", "op 1", "op 2"):
+                        r = d.ref(n, key)
+                        if r is not None:
+                            work.append(r)
+            return False
+
+        def goto_target_in(n: Optional[int], depth: int = 0) -> Optional[int]:
+            """Label targeted by a goto nested (shallowly) under n."""
+            if n is None or depth > 4:
+                return None
+            k = d.kind.get(n, "")
+            if k == "goto_expr":
+                return d.ref(n, "labl")
+            if k in ("statement_list",):
+                for child in d.numbered_refs(n):
+                    t = goto_target_in(child, depth + 1)
+                    if t is not None:
+                        return t
+            if k in _WRAPPER_KINDS or k == "expr_stmt":
+                return goto_target_in(d.ref(n, "op 0") or d.ref(n, "expr"),
+                                      depth + 1)
+            return None
+
+        def record_call(callee: str, line: int) -> None:
+            fn.calls.append(CallSite(callee=callee, line=line))
+            for _, loop in open_loops:
+                loop.calls.append(callee)
+
+        def record_poll() -> None:
+            fn.polls = True
+            for _, loop in open_loops:
+                loop.polls = True
+
+        def resolve_callee(fnref: Optional[int], nargs: int) -> Optional[str]:
+            hops = 0
+            while fnref is not None and hops < 8:
+                hops += 1
+                k = d.kind.get(fnref, "")
+                if k == "addr_expr":
+                    fnref = d.ref(fnref, "op 0")
+                elif k in _WRAPPER_KINDS:
+                    fnref = d.ref(fnref, "op 0")
+                elif k == "function_decl":
+                    uid, name, qual, arity, _ = self.fn_uid(fnref)
+                    if qual.startswith(BUDGET_TYPES) or qual in BUDGET_TYPES:
+                        record_poll()
+                    return uid
+                elif k == "obj_type_ref":
+                    # Virtual dispatch: only the static class is dumped.
+                    t = d.ref(fnref, "type")
+                    mt = d.ref(t, "ptd") if t is not None else None
+                    cls = ""
+                    if mt is not None:
+                        clas = d.ref(mt, "clas")
+                        if clas is not None:
+                            cls = self.type_qualname(clas)
+                    return f"@virtual:{cls}/{max(nargs - 1, 0)}" if cls else "@indirect"
+                else:
+                    return "@indirect"
+            return None
+
+        def walk(n: Optional[int], ctx: str, depth: int = 0) -> None:
+            if n is None or depth > 768:
+                return
+            k = d.kind.get(n, "")
+            line_v = d.val(n, "line")
+            if line_v:
+                try:
+                    state["line"] = int(line_v)
+                except ValueError:
+                    pass
+
+            if k == "label_expr":
+                lab = d.ref(n, "name")
+                if lab is not None:
+                    lfile, lline = d.srcp(lab)
+                    loop = Loop(file=lfile or fn.file,
+                                line=lline or state["line"])
+                    # Remember the enclosing loop *object*; indices into
+                    # fn.loops don't exist yet (loops close inner-first).
+                    loop._parent_obj = open_loops[-1][1] if open_loops else None
+                    open_loops.append((lab, loop))
+                return
+            if k == "goto_expr":
+                lab = d.ref(n, "labl")
+                for i, (lid, loop) in enumerate(open_loops):
+                    if lid == lab:  # back edge: close this loop
+                        fn.loops.append(loop)
+                        # Inner facts propagate to still-open outer loops.
+                        for _, outer in open_loops[:i]:
+                            outer.calls.extend(loop.calls)
+                            outer.polls = outer.polls or loop.polls
+                        del open_loops[i:]
+                        break
+                return
+            if k == "cond_expr":
+                # A cond whose arm jumps back to an open label is a loop
+                # guard: evaluate boundedness before the goto closes it.
+                for key in ("op 1", "op 2"):
+                    t = goto_target_in(d.ref(n, key))
+                    if t is not None:
+                        for lid, loop in open_loops:
+                            if lid == t:
+                                loop.bounded = loop.bounded or guard_bounded(
+                                    d.ref(n, "op 0"))
+                walk(d.ref(n, "op 0"), "value", depth + 1)
+                t_ref = d.ref(n, "type")
+                arm_ctx = ctx
+                if t_ref is not None and d.kind.get(t_ref) == "void_type" and \
+                        ctx in ("stmt", "value"):
+                    arm_ctx = "ternary"
+                walk(d.ref(n, "op 1"), arm_ctx, depth + 1)
+                walk(d.ref(n, "op 2"), arm_ctx, depth + 1)
+                return
+            if k == "compound_expr":
+                walk(d.ref(n, "op 0"), "comma", depth + 1)
+                walk(d.ref(n, "op 1"), ctx, depth + 1)
+                return
+            if k in ("convert_expr", "nop_expr"):
+                t = d.ref(n, "type")
+                inner_ctx = "value"
+                if t is not None and d.kind.get(t) == "void_type":
+                    inner_ctx = "cast" if ctx in ("stmt", "value") else ctx
+                walk(d.ref(n, "op 0"), inner_ctx, depth + 1)
+                return
+            if k == "expr_stmt":
+                walk(d.ref(n, "expr"), "stmt", depth + 1)
+                return
+            if k == "statement_list":
+                for child in d.numbered_refs(n):
+                    walk(child, "stmt", depth + 1)
+                return
+            if k == "bind_expr":
+                walk(d.ref(n, "body"), "stmt", depth + 1)
+                return
+            if k == "target_expr":
+                # A class-typed temporary: the call inside (aggr_init_expr)
+                # is void-typed, the result type lives here.
+                rt = self.type_qualname(d.ref(n, "type"))
+                if ctx in ("stmt", "cast", "comma", "ternary") and \
+                        rt in STATUS_TYPES:
+                    fn.discards.append(Discard(
+                        file=fn.file, line=state["line"], context=ctx,
+                        type_name=rt.rsplit("::", 1)[-1]))
+                    walk(d.ref(n, "init"), "value", depth + 1)
+                    return
+                walk(d.ref(n, "init"), ctx, depth + 1)
+                return
+            if k == "throw_expr":
+                fn.throws.append(state["line"])
+                walk(d.ref(n, "op 0"), "value", depth + 1)
+                return
+            if k in ("call_expr", "aggr_init_expr"):
+                args = d.numbered_refs(n)
+                callee = resolve_callee(d.ref(n, "fn"), len(args))
+                if callee:
+                    record_call(callee, state["line"])
+                rt = self.type_qualname(d.ref(n, "type"))
+                if ctx in ("stmt", "cast", "comma", "ternary") and \
+                        rt in STATUS_TYPES:
+                    fn.discards.append(Discard(
+                        file=fn.file, line=state["line"], context=ctx,
+                        type_name=rt.rsplit("::", 1)[-1]))
+                for a in args:
+                    walk(a, "value", depth + 1)
+                return
+            if k == "component_ref":
+                obj = d.ref(n, "op 0")
+                if obj is not None:
+                    ot = self.type_qualname(d.ref(obj, "type"))
+                    if ot.rstrip("*&") in BUDGET_TYPES:
+                        record_poll()
+                walk(obj, "value", depth + 1)
+                return
+            # Generic node: descend into child operands.
+            fl = d.fields(n)
+            for key in _CHILD_KEYS:
+                if key in fl:
+                    v = fl[key][0]
+                    if v.startswith("@"):
+                        try:
+                            child = int(v[1:].split()[0])
+                        except ValueError:
+                            continue
+                        ck = "stmt" if key in ("body", "hdlr") else "value"
+                        walk(child, ck, depth + 1)
+            for child in d.numbered_refs(n):
+                walk(child, "stmt", depth + 1)
+
+        walk(body, "stmt")
+        # Unclosed loops (a label never jumped back to was not a loop) are
+        # dropped by construction: only back edges append to fn.loops.
+        # Resolve parent links now that the closed set is final: the chain
+        # may pass through labels that never became loops, so walk upward
+        # until an ancestor that actually closed (or the top) is found.
+        pos = {id(lp): i for i, lp in enumerate(fn.loops)}
+        for lp in fn.loops:
+            anc = getattr(lp, "_parent_obj", None)
+            while anc is not None and id(anc) not in pos:
+                anc = getattr(anc, "_parent_obj", None)
+            lp.parent = pos[id(anc)] if anc is not None else -1
+            if hasattr(lp, "_parent_obj"):
+                del lp._parent_obj
+
+    # ---------- top-level extraction ----------
+
+    def extract(self) -> TuModel:
+        d = self.d
+        for decl in d.by_kind.get("function_decl", []):
+            file, line = d.srcp(decl)
+            if file in ("<built-in>", ""):
+                continue
+            body = d.ref(decl, "body")
+            has_body = body is not None and d.val(decl, "body") != "undefined"
+            uid, name, qual, arity, params = self.fn_uid(decl)
+            if not name:
+                continue
+            prev = self.functions.get(uid)
+            if prev is not None and prev.has_body:
+                continue
+            fn = Function(uid=uid, name=name, qual=qual, arity=arity,
+                          file=file, line=line, has_body=has_body,
+                          params=params)
+            if has_body and body is not None:
+                try:
+                    self.walk_body(fn, body)
+                except RecursionError:
+                    pass
+            self.functions[uid] = fn
+
+        classes: Dict[str, ClassInfo] = {}
+        for rec in d.by_kind.get("record_type", []):
+            if d.ref(rec, "unql") is not None:
+                continue  # qualified/typedef variant, not the main record
+            flds = d.ref(rec, "flds")
+            if flds is None:
+                continue
+            tdecl = d.ref(rec, "name")
+            if tdecl is None or d.kind.get(tdecl) != "type_decl":
+                continue
+            file, line = d.srcp(tdecl)
+            base = self.record_base_name(rec)
+            parent = self.scope_qual(d.ref(tdecl, "scpe"))
+            qual_name = f"{parent}::{base}" if parent and base else base
+            if not qual_name or qual_name.startswith(_SKIP_CLASS_PREFIXES):
+                continue
+            cls = ClassInfo(qual_name=qual_name, file=file, line=line)
+            f = flds
+            guard = 0
+            while f is not None and guard < 512:
+                guard += 1
+                nxt = d.chain(f)
+                if d.kind.get(f) == "field_decl" and \
+                        "artificial" not in d.notes(f):
+                    fname = self.ident(d.ref(f, "name"))
+                    if fname:
+                        t = d.ref(f, "type")
+                        tq = self.type_qualname(t)
+                        ffile, fline = d.srcp(f)
+                        fld = Field(
+                            name=fname, file=ffile, line=fline, type_name=tq,
+                            is_const=self.type_is_const(t),
+                            is_atomic=tq.startswith("std::atomic"),
+                            is_sync_primitive=tq in ("mbi::Mutex",
+                                                     "mbi::CondVar"))
+                        cls.fields.append(fld)
+                        if tq == "mbi::Mutex":
+                            cls.owns_mutex = True
+                f = nxt
+            binf = d.ref(rec, "binf")
+            if binf is not None:
+                raw = d.raw.get(binf, "")
+                for m in re.finditer(r"@(\d+)", raw):
+                    bid = int(m.group(1))
+                    if d.kind.get(bid) == "binfo":
+                        bt = d.ref(bid, "type")
+                        if bt is not None and bt != rec:
+                            bq = self.type_qualname(bt)
+                            if bq and not bq.startswith(_SKIP_CLASS_PREFIXES):
+                                cls.bases.append(bq)
+            prev = classes.get(qual_name)
+            if prev is None or len(cls.fields) > len(prev.fields):
+                classes[qual_name] = cls
+
+        return TuModel(source=self.source, frontend="gcc",
+                       functions=list(self.functions.values()),
+                       classes=list(classes.values()))
+
+
+def dump_tu(source: str, compile_args: List[str], workdir: str,
+            gxx: str = "g++", timeout: int = 300) -> str:
+    """Run the gcc front end over one TU, returning the raw dump path."""
+    os.makedirs(workdir, exist_ok=True)
+    base = re.sub(r"[^A-Za-z0-9_.-]", "_", os.path.basename(source))
+    for old in os.listdir(workdir):
+        if old.startswith(base + ".") and old.endswith("l.raw"):
+            os.unlink(os.path.join(workdir, old))
+    cmd = [gxx] + compile_args + [
+        "-fsyntax-only", "-w", "-fdump-lang-raw",
+        "-dumpdir", workdir + os.sep, "-dumpbase", base, source]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+    dumps = [f for f in os.listdir(workdir)
+             if f.startswith(base + ".") and f.endswith("l.raw")]
+    if not dumps:
+        raise RuntimeError(
+            f"gcc frontend produced no raw dump for {source}:\n"
+            f"  cmd: {' '.join(cmd)}\n  stderr: {proc.stderr[-2000:]}")
+    return os.path.join(workdir, sorted(dumps)[0])
+
+
+def analyze_tu(source: str, compile_args: List[str], workdir: str,
+               gxx: str = "g++") -> TuModel:
+    dump_path = dump_tu(source, compile_args, workdir, gxx=gxx)
+    with open(dump_path, "rb") as f:
+        text = f.read().decode("latin-1")
+    os.unlink(dump_path)  # dumps are ~70MB; never keep them around
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(20000)
+    try:
+        return _TuExtractor(RawDump(text), source).extract()
+    finally:
+        sys.setrecursionlimit(old_limit)

@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""mbi-analyze: AST/call-graph static verification of the repo's load-bearing
+contracts (DESIGN.md §14).
+
+Four checks, all interprocedural and AST-resolved (never regex-over-code):
+
+  hot-path        nothing transitively reachable from an MBI_HOT entry point
+                  allocates, acquires a blocking mbi::Mutex, throws, or does
+                  I/O outside the Env seam
+  guarded-by      every mutable member of a mutex-owning class is
+                  MBI_GUARDED_BY-annotated, std::atomic, const, or exempted
+  budget-poll     every loop reachable from a budget-carrying entry polls
+                  QueryBudget or has a compile-time-bounded trip count
+  status-discard  no Status/StatusOr value is silently discarded (statement,
+                  comma LHS, ternary arm, cast) without (void)/IgnoreError()
+
+Frontends (same model, same checks — builder's note: the container has no
+clang, CI has both):
+
+  gcc     resolves `g++ -fsyntax-only -fdump-lang-raw` post-genericize trees
+  clang   resolves `clang++ -Xclang -ast-dump=json` ASTs
+
+Usage:
+  mbi_analyze.py --compile-commands build/compile_commands.json \
+      [--frontend auto|gcc|clang] [--baseline tools/analyze/baseline.json] \
+      [--report out.json] [--checks hot-path,guarded-by,...] [-v]
+  mbi_analyze.py --self-test        # probe corpus under tests/analyze_probes/
+
+Exit codes: 0 clean (or all findings exempted), 1 findings, 2 tool error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import checks as checks_mod
+import gcc_frontend
+from model import MODEL_VERSION, Program, TuModel
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+TOOL_VERSION = 1  # bump with MODEL_VERSION to invalidate caches
+
+PROBE_DIR = os.path.join(REPO_ROOT, "tests", "analyze_probes")
+
+# Probe pair per check; the self-test fails on a missing pair, a silent
+# violation probe, or a noisy ok probe (tests/analyze_probes/README.md).
+EXPECTED_PROBES = {
+    "hot-path": ("hot_path_violation_probe.cc", "hot_path_ok_probe.cc"),
+    "guarded-by": ("guarded_by_violation_probe.cc", "guarded_by_ok_probe.cc"),
+    "budget-poll": ("budget_poll_violation_probe.cc",
+                    "budget_poll_ok_probe.cc"),
+    "status-discard": ("status_discard_violation_probe.cc",
+                       "status_discard_ok_probe.cc"),
+}
+
+CLANG_CANDIDATES = ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                    "clang++-16", "clang++-15", "clang++-14")
+
+DROP_ARG_PREFIXES = ("-o", "-c", "-M", "-W", "-g", "-O")
+KEEP_W_PREFIXES = ()  # all warnings dropped: analysis runs -w
+
+
+def find_clang() -> Optional[str]:
+    for c in CLANG_CANDIDATES:
+        path = shutil.which(c)
+        if path:
+            return path
+    return None
+
+
+def pick_frontend(requested: str) -> Tuple[str, str]:
+    """-> (frontend name, compiler path)."""
+    if requested == "gcc":
+        return "gcc", shutil.which("g++") or "g++"
+    if requested == "clang":
+        clang = find_clang()
+        if not clang:
+            raise RuntimeError("--frontend clang requested but no clang++ "
+                               "found on PATH")
+        return "clang", clang
+    clang = find_clang()
+    if clang:
+        return "clang", clang
+    return "gcc", shutil.which("g++") or "g++"
+
+
+def filter_compile_args(args: List[str], source: str) -> List[str]:
+    """Strip output/diagnostic/codegen flags from a compile command, keeping
+    what shapes the AST: -I/-isystem/-D/-std/-f*/-m*."""
+    out: List[str] = []
+    it = iter(args[1:])  # drop the compiler itself
+    for a in it:
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            next(it, None)
+            continue
+        if a in ("-isystem", "-I", "-D", "-include"):
+            out.append(a)
+            out.append(next(it, ""))
+            continue
+        if a == source or a == "-c" or os.path.basename(a) == \
+                os.path.basename(source):
+            continue
+        if a.startswith(DROP_ARG_PREFIXES):
+            continue
+        out.append(a)
+    return out
+
+
+def load_compile_commands(path: str) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_tus(db: List[dict], roots: Tuple[str, ...] = ("src", "tools")) \
+        -> List[Tuple[str, List[str]]]:
+    """(absolute source path, filtered args) for repo TUs under roots.
+    Tests/bench/fuzz TUs are out of analysis scope (they may allocate and
+    discard freely); gtest-linked code never runs on the serving path."""
+    out = []
+    seen = set()
+    for entry in db:
+        src = entry["file"]
+        if not os.path.isabs(src):
+            src = os.path.normpath(os.path.join(entry["directory"], src))
+        rel = os.path.relpath(src, REPO_ROOT)
+        if not any(rel.startswith(r + os.sep) for r in roots):
+            continue
+        if src in seen:
+            continue
+        seen.add(src)
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = shlex.split(entry["command"])
+        out.append((src, filter_compile_args(args, src)))
+    return sorted(out)
+
+
+def headers_digest() -> str:
+    """Cheap global invalidation key: any repo header edit reruns all TUs."""
+    h = hashlib.sha256()
+    for root in ("src", "tools"):
+        top = os.path.join(REPO_ROOT, root)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in sorted(os.walk(top)):
+            for n in sorted(names):
+                if n.endswith((".h", ".hpp")):
+                    p = os.path.join(dirpath, n)
+                    st = os.stat(p)
+                    h.update(f"{p}:{st.st_mtime_ns}:{st.st_size}".encode())
+    return h.hexdigest()
+
+
+def analyze_one(source: str, args: List[str], frontend: str, compiler: str,
+                cache_dir: Optional[str], hdr_digest: str,
+                workdir: str, verbose: bool) -> TuModel:
+    key = None
+    if cache_dir:
+        h = hashlib.sha256()
+        h.update(f"{TOOL_VERSION}:{MODEL_VERSION}:{frontend}".encode())
+        h.update(hdr_digest.encode())
+        h.update(" ".join(args).encode())
+        try:
+            with open(source, "rb") as f:
+                h.update(f.read())
+        except OSError:
+            pass
+        key = os.path.join(cache_dir, h.hexdigest() + ".json")
+        if os.path.exists(key):
+            with open(key, "r", encoding="utf-8") as f:
+                model = TuModel.from_json(f.read())
+            if model is not None:
+                if verbose:
+                    print(f"  [cached] {os.path.relpath(source, REPO_ROOT)}")
+                return model
+    if verbose:
+        print(f"  [{frontend}] {os.path.relpath(source, REPO_ROOT)}",
+              flush=True)
+    if frontend == "clang":
+        import clang_frontend
+        model = clang_frontend.analyze_tu(source, args, clangxx=compiler)
+    else:
+        model = gcc_frontend.analyze_tu(source, args, workdir, gxx=compiler)
+    if key:
+        os.makedirs(cache_dir, exist_ok=True)
+        with open(key, "w", encoding="utf-8") as f:
+            f.write(model.to_json())
+    return model
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """-> {finding id: reason}. Schema forbids blanket suppressions by
+    construction: an exemption is one fingerprint plus one reason."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for ex in data.get("exemptions", []):
+        fid, reason = ex.get("id"), ex.get("reason", "")
+        if not fid or not reason:
+            raise RuntimeError(
+                f"baseline entry missing id or reason: {ex!r} "
+                f"(blanket suppressions are not supported)")
+        out[fid] = reason
+    return out
+
+
+def print_findings(findings: List[dict], exempted: Dict[str, str]) -> None:
+    for f in findings:
+        status = "EXEMPT" if f["id"] in exempted else "FAIL"
+        print(f"[{status}] {f['check']}: {f['file']}:{f['line']}: "
+              f"{f['message']}")
+        if f.get("chain") and len(f["chain"]) > 1:
+            print("         call chain: " + " -> ".join(f["chain"]))
+        if f["id"] in exempted:
+            print(f"         exempt: {exempted[f['id']]}")
+        print(f"         fingerprint: {f['id']}")
+
+
+def run_repo_analysis(opts) -> int:
+    frontend, compiler = pick_frontend(opts.frontend)
+    db = load_compile_commands(opts.compile_commands)
+    tus = select_tus(db)
+    if not tus:
+        print("mbi-analyze: no src/ or tools/ TUs in compile_commands.json",
+              file=sys.stderr)
+        return 2
+    hdr = headers_digest()
+    workdir = opts.workdir or os.path.join(
+        os.path.dirname(os.path.abspath(opts.compile_commands)),
+        "mbi_analyze_work")
+    os.makedirs(workdir, exist_ok=True)
+    models = []
+    print(f"mbi-analyze: {len(tus)} TUs via the {frontend} frontend")
+    for src, args in tus:
+        try:
+            models.append(analyze_one(src, args, frontend, compiler,
+                                      opts.cache_dir, hdr, workdir,
+                                      opts.verbose))
+        except Exception as e:  # noqa: BLE001 — per-TU diagnostics
+            print(f"mbi-analyze: error analyzing {src}: {e}",
+                  file=sys.stderr)
+            return 2
+    program = Program(models)
+    repo = checks_mod.RepoIndex(REPO_ROOT)
+    selected = opts.checks.split(",") if opts.checks else None
+    findings = checks_mod.run_checks(program, repo, selected)
+    exempted = load_baseline(opts.baseline) if opts.baseline else {}
+    print_findings(findings, exempted)
+    fails = [f for f in findings if f["id"] not in exempted]
+    stale = sorted(set(exempted) - {f["id"] for f in findings})
+    for s in stale:
+        print(f"[STALE] baseline exemption no longer matches any finding: "
+              f"{s}")
+    hot = checks_mod.hot_entry_points(program, repo)
+    budget = checks_mod.budget_entry_points(program, repo)
+    print(f"mbi-analyze: {len(program.functions)} functions, "
+          f"{len(hot)} MBI_HOT entry points, "
+          f"{len(budget)} budget-carrying functions, "
+          f"{len(findings)} findings "
+          f"({len(findings) - len(fails)} exempted, {len(fails)} failing, "
+          f"{len(stale)} stale exemptions)")
+    if opts.report:
+        with open(opts.report, "w", encoding="utf-8") as f:
+            json.dump({
+                "tool": "mbi-analyze", "frontend": frontend,
+                "tus": len(tus), "functions": len(program.functions),
+                "hot_entry_points": hot, "budget_entry_points": budget,
+                "findings": findings,
+                "exempted": {f["id"]: exempted[f["id"]] for f in findings
+                             if f["id"] in exempted},
+                "stale_exemptions": stale,
+            }, f, indent=2)
+        print(f"mbi-analyze: report written to {opts.report}")
+    return 1 if fails else 0
+
+
+def run_self_test(opts) -> int:
+    frontend, compiler = pick_frontend(opts.frontend)
+    workdir = opts.workdir or os.path.join(PROBE_DIR, ".analyze_work")
+    probe_args = ["-std=c++20", "-I", os.path.join(REPO_ROOT, "src")]
+    failures = []
+    print(f"mbi-analyze self-test via the {frontend} frontend")
+    for check, (bad, good) in sorted(EXPECTED_PROBES.items()):
+        for fname, expect_findings in ((bad, True), (good, False)):
+            path = os.path.join(PROBE_DIR, fname)
+            if not os.path.exists(path):
+                failures.append(f"{check}: probe {fname} is missing")
+                continue
+            try:
+                model = analyze_one(path, probe_args, frontend, compiler,
+                                    None, "", workdir, opts.verbose)
+            except Exception as e:  # noqa: BLE001
+                failures.append(f"{check}: {fname} failed to analyze: {e}")
+                continue
+            program = Program([model])
+            repo = checks_mod.RepoIndex(REPO_ROOT, extra_dirs=[PROBE_DIR])
+            found = checks_mod.run_checks(program, repo, [check])
+            found = [f for f in found if fname in f["file"]
+                     or f["file"] == os.path.basename(fname)]
+            if expect_findings and not found:
+                failures.append(
+                    f"{check}: violation probe {fname} produced no findings "
+                    f"— the check is dead")
+            elif not expect_findings and found:
+                failures.append(
+                    f"{check}: ok probe {fname} produced findings: " +
+                    "; ".join(f["id"] for f in found))
+            else:
+                n = len(found)
+                print(f"  ok: {fname} -> {n} finding(s), expected "
+                      f"{'>=1' if expect_findings else '0'}")
+                if opts.verbose:
+                    for f in found:
+                        print(f"     {f['id']}")
+    if failures:
+        print("mbi-analyze self-test FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("mbi-analyze self-test passed: every check fires on its violation "
+          "probe and stays silent on its conforming probe")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--compile-commands",
+                   default=os.path.join(REPO_ROOT, "build",
+                                        "compile_commands.json"))
+    p.add_argument("--frontend", choices=["auto", "gcc", "clang"],
+                   default="auto")
+    p.add_argument("--baseline",
+                   default=os.path.join(REPO_ROOT, "tools", "analyze",
+                                        "baseline.json"))
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report all findings, ignoring the baseline")
+    p.add_argument("--checks", default="",
+                   help="comma-separated subset of: " +
+                        ",".join(checks_mod.ALL_CHECKS))
+    p.add_argument("--cache-dir", default=None,
+                   help="persist per-TU models keyed by content hashes "
+                        "(default: <build>/mbi_analyze_cache)")
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--report", default=None, help="write a JSON report here")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the tests/analyze_probes/ corpus")
+    p.add_argument("-v", "--verbose", action="store_true")
+    opts = p.parse_args(argv)
+    if opts.no_baseline:
+        opts.baseline = None
+    if opts.self_test:
+        return run_self_test(opts)
+    if not os.path.exists(opts.compile_commands):
+        print(f"mbi-analyze: {opts.compile_commands} not found — configure "
+              f"with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first",
+              file=sys.stderr)
+        return 2
+    if opts.cache_dir is None and not opts.no_cache:
+        opts.cache_dir = os.path.join(
+            os.path.dirname(os.path.abspath(opts.compile_commands)),
+            "mbi_analyze_cache")
+    if opts.no_cache:
+        opts.cache_dir = None
+    try:
+        return run_repo_analysis(opts)
+    except RuntimeError as e:
+        print(f"mbi-analyze: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

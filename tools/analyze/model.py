@@ -1,0 +1,254 @@
+"""Frontend-neutral program model for mbi-analyze.
+
+Both frontends (gcc_frontend resolving `g++ -fdump-lang-raw` trees,
+clang_frontend resolving `clang -Xclang -ast-dump=json` trees) lower a
+translation unit to the same TuModel: functions with their call sites, loops,
+throw sites, allocation sites, budget polls, and Status discards; classes
+with their fields and bases. The checks layer (checks.py) only ever sees
+this model, so a check written once runs under either compiler.
+
+Identity: functions are keyed by `uid = <qualified scope>::<name>/<arity>`
+where arity counts declared parameters excluding `this`. Mangled names are
+deliberately not used — gcc's raw dump omits them for plain functions, and
+the uid must be stable across frontends because finding fingerprints (and
+therefore the baseline) embed it.
+
+Source locations carry *basenames* (gcc raw dumps never print directories);
+path resolution against the repo tree happens in the checks layer, which
+confirms every lexical fact (MBI_HOT, MBI_GUARDED_BY, `(void)` sanctions) at
+the AST-resolved location before using it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional
+
+MODEL_VERSION = 4  # bump to invalidate cached TU models
+
+VIRTUAL_PREFIX = "@virtual:"
+
+
+@dataclasses.dataclass
+class CallSite:
+    callee: str  # uid, external symbol name, or "@virtual:<class>/<arity>"
+    line: int = 0
+
+    def to_dict(self):
+        return {"c": self.callee, "l": self.line}
+
+    @staticmethod
+    def from_dict(d):
+        return CallSite(callee=d["c"], line=d["l"])
+
+
+@dataclasses.dataclass
+class Loop:
+    file: str = ""
+    line: int = 0
+    bounded: bool = False  # back-edge guard compares against an integer constant
+    polls: bool = False  # direct QueryBudget poll lexically inside the loop
+    calls: List[str] = dataclasses.field(default_factory=list)  # callee uids inside
+    parent: int = -1  # index into Function.loops of the enclosing loop, -1 if top
+
+    def to_dict(self):
+        return {"f": self.file, "l": self.line, "b": self.bounded,
+                "p": self.polls, "c": self.calls, "pa": self.parent}
+
+    @staticmethod
+    def from_dict(d):
+        return Loop(file=d["f"], line=d["l"], bounded=d["b"], polls=d["p"],
+                    calls=list(d["c"]), parent=d.get("pa", -1))
+
+
+@dataclasses.dataclass
+class Discard:
+    file: str = ""
+    line: int = 0
+    context: str = "stmt"  # stmt | cast | comma | ternary
+    type_name: str = "Status"
+
+    def to_dict(self):
+        return {"f": self.file, "l": self.line, "x": self.context,
+                "t": self.type_name}
+
+    @staticmethod
+    def from_dict(d):
+        return Discard(file=d["f"], line=d["l"], context=d["x"],
+                       type_name=d["t"])
+
+
+@dataclasses.dataclass
+class Function:
+    uid: str
+    name: str = ""
+    qual: str = ""  # enclosing scope ("mbi::BranchAndBoundEngine", "" for free)
+    arity: int = 0
+    file: str = ""  # basename of the definition (or declaration) location
+    line: int = 0
+    has_body: bool = False
+    params: List[str] = dataclasses.field(default_factory=list)  # type spellings
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    throws: List[int] = dataclasses.field(default_factory=list)  # stmt lines
+    loops: List[Loop] = dataclasses.field(default_factory=list)
+    discards: List[Discard] = dataclasses.field(default_factory=list)
+    polls: bool = False  # direct QueryBudget poll anywhere in the body
+
+    def to_dict(self):
+        return {
+            "uid": self.uid, "n": self.name, "q": self.qual, "a": self.arity,
+            "f": self.file, "l": self.line, "body": self.has_body,
+            "prm": self.params,
+            "calls": [c.to_dict() for c in self.calls],
+            "thr": self.throws,
+            "loops": [lp.to_dict() for lp in self.loops],
+            "disc": [d.to_dict() for d in self.discards],
+            "polls": self.polls,
+        }
+
+    @staticmethod
+    def from_dict(d):
+        return Function(
+            uid=d["uid"], name=d["n"], qual=d["q"], arity=d["a"], file=d["f"],
+            line=d["l"], has_body=d["body"], params=list(d["prm"]),
+            calls=[CallSite.from_dict(c) for c in d["calls"]],
+            throws=list(d["thr"]),
+            loops=[Loop.from_dict(lp) for lp in d["loops"]],
+            discards=[Discard.from_dict(x) for x in d["disc"]],
+            polls=d["polls"])
+
+
+@dataclasses.dataclass
+class Field:
+    name: str
+    file: str = ""
+    line: int = 0
+    type_name: str = ""
+    is_const: bool = False
+    is_atomic: bool = False
+    is_sync_primitive: bool = False  # mbi::Mutex / mbi::CondVar member itself
+
+    def to_dict(self):
+        return {"n": self.name, "f": self.file, "l": self.line,
+                "t": self.type_name, "c": self.is_const, "a": self.is_atomic,
+                "s": self.is_sync_primitive}
+
+    @staticmethod
+    def from_dict(d):
+        return Field(name=d["n"], file=d["f"], line=d["l"], type_name=d["t"],
+                     is_const=d["c"], is_atomic=d["a"], is_sync_primitive=d["s"])
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    qual_name: str  # fully qualified ("mbi::dyn::Scheduler")
+    file: str = ""
+    line: int = 0
+    fields: List[Field] = dataclasses.field(default_factory=list)
+    bases: List[str] = dataclasses.field(default_factory=list)
+    owns_mutex: bool = False  # has a direct mbi::Mutex member
+
+    def to_dict(self):
+        return {"q": self.qual_name, "f": self.file, "l": self.line,
+                "flds": [f.to_dict() for f in self.fields],
+                "bases": self.bases, "mu": self.owns_mutex}
+
+    @staticmethod
+    def from_dict(d):
+        return ClassInfo(qual_name=d["q"], file=d["f"], line=d["l"],
+                         fields=[Field.from_dict(f) for f in d["flds"]],
+                         bases=list(d["bases"]), owns_mutex=d["mu"])
+
+
+@dataclasses.dataclass
+class TuModel:
+    source: str  # full path of the TU's main source file
+    frontend: str = ""
+    functions: List[Function] = dataclasses.field(default_factory=list)
+    classes: List[ClassInfo] = dataclasses.field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "v": MODEL_VERSION, "src": self.source, "fe": self.frontend,
+            "fns": [f.to_dict() for f in self.functions],
+            "cls": [c.to_dict() for c in self.classes],
+        })
+
+    @staticmethod
+    def from_json(text: str) -> Optional["TuModel"]:
+        try:
+            d = json.loads(text)
+        except (json.JSONDecodeError, ValueError):
+            return None
+        if d.get("v") != MODEL_VERSION:
+            return None
+        return TuModel(
+            source=d["src"], frontend=d["fe"],
+            functions=[Function.from_dict(f) for f in d["fns"]],
+            classes=[ClassInfo.from_dict(c) for c in d["cls"]])
+
+
+class Program:
+    """Whole-program view: TU models linked by uid.
+
+    A definition (has_body) always wins over a mere declaration; identical
+    definitions from multiple TUs (inline/template functions) are assumed
+    ODR-consistent and the first is kept. Virtual call sites are expanded to
+    every method of the static class and its transitive derived classes with
+    a matching arity — a sound over-approximation (gcc's raw dump does not
+    name the dispatched member, only its class)."""
+
+    def __init__(self, tus: List[TuModel]):
+        self.functions: Dict[str, Function] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._derived: Dict[str, List[str]] = {}
+        self._methods_of: Dict[str, List[str]] = {}
+        for tu in tus:
+            for fn in tu.functions:
+                prev = self.functions.get(fn.uid)
+                if prev is None or (fn.has_body and not prev.has_body):
+                    self.functions[fn.uid] = fn
+            for cls in tu.classes:
+                prev = self.classes.get(cls.qual_name)
+                if prev is None or len(cls.fields) > len(prev.fields):
+                    self.classes[cls.qual_name] = cls
+        for cls in self.classes.values():
+            for base in cls.bases:
+                self._derived.setdefault(base, []).append(cls.qual_name)
+        for uid, fn in self.functions.items():
+            if fn.qual:
+                self._methods_of.setdefault(fn.qual, []).append(uid)
+
+    def transitive_derived(self, qual_name: str) -> List[str]:
+        out, work = [], [qual_name]
+        seen = {qual_name}
+        while work:
+            cur = work.pop()
+            out.append(cur)
+            for d in self._derived.get(cur, ()):
+                if d not in seen:
+                    seen.add(d)
+                    work.append(d)
+        return out
+
+    def resolve_call(self, site: CallSite) -> List[str]:
+        """Resolve a call site to candidate callee uids.
+
+        Returns uids present in the program; unresolved externals come back
+        as-is (a bare symbol name) for the checks layer to classify."""
+        if site.callee.startswith(VIRTUAL_PREFIX):
+            spec = site.callee[len(VIRTUAL_PREFIX):]
+            cls, _, arity_s = spec.rpartition("/")
+            try:
+                arity = int(arity_s)
+            except ValueError:
+                cls, arity = spec, -1
+            out = []
+            for qual in self.transitive_derived(cls):
+                for uid in self._methods_of.get(qual, ()):
+                    fn = self.functions[uid]
+                    if arity in (-1, fn.arity) and not fn.name.startswith("~"):
+                        out.append(uid)
+            return out
+        return [site.callee]
